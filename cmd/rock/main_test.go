@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenCleanRoundTrip drives the CLI flow end to end: generate a Bank
+// dataset to CSV, load it back, clean it in place, and verify the written
+// files changed and still parse.
+func TestGenCleanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdGen([]string{"-app", "bank", "-n", "150", "-seed", "3", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"Customer.csv", "Company.csv", "Payment.csv", "rules.ree"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "Payment.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detect only: must not modify files.
+	if err := cmdClean([]string{"-in", dir}, false); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := os.ReadFile(filepath.Join(dir, "Payment.csv"))
+	if string(mid) != string(before) {
+		t.Fatal("detect must not modify the dataset")
+	}
+
+	// Clean: corrects in place.
+	if err := cmdClean([]string{"-in", dir}, true); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, "Payment.csv"))
+	if string(after) == string(before) {
+		t.Fatal("clean must write corrections back")
+	}
+	// The corrected files still load.
+	db, err := loadDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.TupleCount() == 0 {
+		t.Fatal("reloaded database empty")
+	}
+	// Fewer nulls after cleaning (imputation ran).
+	countNulls := func(b []byte) int { return strings.Count(string(b), ",null") }
+	if countNulls(after) >= countNulls(before) {
+		t.Errorf("imputation should reduce nulls: %d -> %d", countNulls(before), countNulls(after))
+	}
+}
+
+func TestGenUnknownApp(t *testing.T) {
+	if err := cmdGen([]string{"-app", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown application must fail")
+	}
+}
+
+func TestLoadDBErrors(t *testing.T) {
+	if _, err := loadDB(t.TempDir()); err == nil {
+		t.Error("empty dir must fail")
+	}
+	if _, err := loadDB("/nonexistent-rock-dir"); err == nil {
+		t.Error("missing dir must fail")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "Bad.csv"), []byte("not,a,valid\nrock,csv,file\n"), 0o644)
+	if _, err := loadDB(dir); err == nil {
+		t.Error("malformed csv must fail")
+	}
+}
+
+func TestDemoRuns(t *testing.T) {
+	if err := cmdDemo(); err != nil {
+		t.Fatal(err)
+	}
+}

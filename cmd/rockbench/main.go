@@ -1,0 +1,47 @@
+// Command rockbench regenerates the paper's evaluation figures (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for paper-vs-
+// measured numbers):
+//
+//	rockbench -exp all                # every panel
+//	rockbench -exp fig4h -n 2000      # one panel at a larger scale
+//
+// Experiments: fig4a..fig4l (the panels of Figure 4), rules (discovered
+// rule counts), ablation (the design-choice ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rockclean/rock/internal/benchkit"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, ablation, all")
+		n       = flag.Int("n", 400, "base tuples per application dataset")
+		seed    = flag.Int64("seed", 2024, "generator seed")
+		workers = flag.Int("workers", 4, "default simulated cluster size")
+	)
+	flag.Parse()
+
+	cfg := benchkit.Config{N: *n, Seed: *seed, Workers: *workers}
+	if *exp == "all" {
+		tables, err := benchkit.All(cfg)
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	t, err := benchkit.ByID(*exp, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rockbench:", err)
+		os.Exit(1)
+	}
+	t.Print(os.Stdout)
+}

@@ -1,0 +1,52 @@
+// Quickstart: clean a small transaction table with two hand-written REE++
+// rules — one conflict-resolution rule and one imputation rule. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rockclean/rock/rock"
+)
+
+func main() {
+	// A Transaction table with a wrong manufactory and a missing price
+	// (rows 2 and 4 mirror the paper's Table 3 errors).
+	db := rock.NewDB()
+	trans := rock.NewRel(rock.MustSchema("Trans",
+		rock.Attribute{Name: "com", Type: rock.TString},
+		rock.Attribute{Name: "mfg", Type: rock.TString},
+		rock.Attribute{Name: "price", Type: rock.TFloat},
+	))
+	trans.Insert("t1", rock.S("Mate X2"), rock.S("Huawei"), rock.F(5200))
+	trans.Insert("t2", rock.S("Mate X2"), rock.S("Apple"), rock.Null(rock.TFloat)) // both cells dirty
+	trans.Insert("t3", rock.S("Mate X2"), rock.S("Huawei"), rock.F(5200))
+	trans.Insert("t4", rock.S("IPhone 13"), rock.S("Apple"), rock.F(9000))
+	db.Add(trans)
+
+	p := rock.NewPipeline(db)
+	p.TrainCorrelationModels() // enables learning-based conflict resolution
+
+	// ϕ2 of the paper: the same commodity has the same manufactory.
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg")
+	// Imputation: a missing price copies from a same-commodity sale by the
+	// same manufactory.
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com ^ t.mfg = s.mfg ^ null(t.price) -> t.price = s.price")
+
+	report, err := p.Clean()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("detected %d errors, applied %d corrections in %d chase rounds\n",
+		len(report.Errors), len(report.Corrections), report.ChaseRounds)
+	for _, c := range report.Corrections {
+		fmt.Printf("  %s: %v -> %v\n", c.Cell, c.Old, c.New)
+	}
+	fmt.Println("\ncleaned table:")
+	for _, t := range trans.Tuples {
+		fmt.Printf("  %-4s %-10s %-7s %v\n", t.EID, t.Values[0], t.Values[1], t.Values[2])
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/rockclean/rock
+
+go 1.22

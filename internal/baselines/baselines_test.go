@@ -1,0 +1,174 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/workload"
+)
+
+func bankBench(t *testing.T, workers int) *Bench {
+	t.Helper()
+	ds := workload.Bank(workload.Config{N: 250, Seed: 9})
+	return NewBench(ds, workers)
+}
+
+func salesBench(t *testing.T) *Bench {
+	t.Helper()
+	ds := workload.Sales(workload.Config{N: 250, Seed: 9})
+	return NewBench(ds, 4)
+}
+
+func detectF1(t *testing.T, sys System, b *Bench) float64 {
+	t.Helper()
+	cells, dups, err := sys.Detect(b)
+	if err != nil {
+		t.Fatalf("%s detect: %v", sys.Name(), err)
+	}
+	return quality.ScoreDetection(b.DS.Gold, cells, dups).F1()
+}
+
+func TestRockDetectionBeatsBaselines(t *testing.T) {
+	rock := detectF1(t, Rock(), bankBench(t, 4))
+	t5 := detectF1(t, NewT5s(), bankBench(t, 4))
+	rb := detectF1(t, NewRB(), bankBench(t, 4))
+	t.Logf("detection F1: Rock=%.3f T5s=%.3f RB=%.3f", rock, t5, rb)
+	if rock < 0.7 {
+		t.Errorf("Rock detection F1 too low: %.3f", rock)
+	}
+	if rock <= t5 || rock <= rb {
+		t.Errorf("Rock must beat ML baselines: rock=%.3f t5=%.3f rb=%.3f", rock, t5, rb)
+	}
+}
+
+func TestRockNoMLLosesAccuracy(t *testing.T) {
+	full := detectF1(t, Rock(), bankBench(t, 4))
+	noml := detectF1(t, RockNoML(), bankBench(t, 4))
+	t.Logf("detection F1: Rock=%.3f Rock_noML=%.3f", full, noml)
+	if noml >= full {
+		t.Errorf("dropping ML rules must hurt: %.3f vs %.3f", noml, full)
+	}
+}
+
+func TestSQLEngineMatchesRockAccuracyOnDetection(t *testing.T) {
+	// SparkSQL/Presto run the same rules, so detection quality matches
+	// Rock; only cost differs (Exp-2 measures their time, not F1).
+	b1 := bankBench(t, 4)
+	rockCells, rockDups, err := Rock().Detect(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := bankBench(t, 4)
+	sqlCells, sqlDups, err := NewSparkSQL().Detect(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1Rock := quality.ScoreDetection(b1.DS.Gold, rockCells, rockDups).F1()
+	f1SQL := quality.ScoreDetection(b2.DS.Gold, sqlCells, sqlDups).F1()
+	// Blocking may lose a candidate pair or two; allow a small gap.
+	if f1SQL < f1Rock-0.1 || f1SQL > f1Rock+0.1 {
+		t.Errorf("same rules should give similar F1: rock=%.3f sql=%.3f", f1Rock, f1SQL)
+	}
+}
+
+func TestRockCorrectionBeatsBaselines(t *testing.T) {
+	score := func(sys System) quality.PRF {
+		b := bankBench(t, 4)
+		corr, err := sys.Correct(b)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		return quality.ScoreCorrection(b.DS.Gold, corr, b.RawValue).Overall()
+	}
+	rock := score(Rock())
+	t5 := score(NewT5s())
+	rb := score(NewRB())
+	t.Logf("correction F1: Rock=%.3f T5s=%.3f RB=%.3f", rock.F1(), t5.F1(), rb.F1())
+	if rock.F1() < 0.7 {
+		t.Errorf("Rock correction F1 too low: %.3f", rock.F1())
+	}
+	if rock.F1() <= t5.F1() || rock.F1() <= rb.F1() {
+		t.Error("Rock must beat ML baselines on correction")
+	}
+}
+
+func TestRockNoCMissesInteractionFixes(t *testing.T) {
+	score := func(sys System) float64 {
+		b := bankBench(t, 4)
+		corr, err := sys.Correct(b)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		return quality.ScoreCorrection(b.DS.Gold, corr, b.RawValue).Overall().F1()
+	}
+	full := score(Rock())
+	noC := score(RockNoC())
+	seq := score(RockSeq())
+	t.Logf("correction F1: Rock=%.3f Rock_seq=%.3f Rock_noC=%.3f", full, seq, noC)
+	if noC > full {
+		t.Errorf("single pass cannot beat the fixpoint: %.3f vs %.3f", noC, full)
+	}
+	// Rock and Rock_seq both chase to fixpoint: same accuracy (paper:
+	// "Rock has the same F-Measure as Rock_seq").
+	if seq < full-0.02 || seq > full+0.02 {
+		t.Errorf("Rock_seq must match Rock: %.3f vs %.3f", seq, full)
+	}
+}
+
+func TestSalesTDOnlyRockFamily(t *testing.T) {
+	b := salesBench(t)
+	corr, err := Rock().Correct(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quality.ScoreCorrection(b.DS.Gold, corr, b.RawValue)
+	t.Logf("sales per-task F1: ER=%.3f CR=%.3f MI=%.3f TD=%.3f",
+		s.ER.F1(), s.CR.F1(), s.MI.F1(), s.TD.F1())
+	if s.TD.TP == 0 {
+		t.Error("Rock must deduce temporal orders on Sales")
+	}
+	if s.CR.F1() < 0.6 {
+		t.Errorf("sales CR too weak: %.3f", s.CR.F1())
+	}
+}
+
+func TestESDiscoversWithoutPruning(t *testing.T) {
+	b := bankBench(t, 1)
+	es := NewES()
+	rules, err := es.Discover(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Error("ES should still find rules")
+	}
+	for _, r := range rules {
+		if r.HasML() {
+			t.Error("ES mines purely, no ML predicates")
+		}
+	}
+}
+
+func TestBenchIsolation(t *testing.T) {
+	ds := workload.Bank(workload.Config{N: 100, Seed: 3})
+	before := ds.DB.TupleCount()
+	b := NewBench(ds, 2)
+	if _, err := NewSparkSQL().Correct(b); err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.TupleCount() != before {
+		t.Error("bench mutated the source dataset")
+	}
+	// The original data values are untouched even though SQL writes in place.
+	orig := workload.Bank(workload.Config{N: 100, Seed: 3})
+	for relName, rel := range ds.DB.Relations {
+		oRel := orig.DB.Rel(relName)
+		for i, tp := range rel.Tuples {
+			for j := range tp.Values {
+				if !tp.Values[j].Equal(oRel.Tuples[i].Values[j]) {
+					t.Fatalf("source mutated at %s[%d]", relName, i)
+				}
+			}
+		}
+	}
+}

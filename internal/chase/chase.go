@@ -1,0 +1,1058 @@
+// Package chase implements Rock's error-correction engine (paper §4): it
+// chases the data with a set Σ of REE++s and a collection Γ of ground
+// truth, deducing fixes U = (E=, E⪯) such that every fix is a logical
+// consequence of Σ and Γ ("certain fixes"). It conducts ER, CR, MI and TD
+// in the same process, exploiting their interactions, and resolves
+// conflicts with the learning-based strategies of §4.2: M_rank confidence
+// for temporal-order conflicts, argmax-M_c for imputation conflicts, and
+// report-to-user for ER/CR conflicts.
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/rockclean/rock/internal/cluster"
+	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/exec"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+	"github.com/rockclean/rock/internal/truth"
+)
+
+// Mode selects how the four cleaning tasks are scheduled.
+type Mode int
+
+// Scheduling modes corresponding to Rock and its ablation variants
+// (paper §6, baselines): Unified is Rock proper; Sequential is Rock_seq
+// (cycle ER→CR→MI→TD until no change); SinglePass is Rock_noC (each task
+// once, no recursion).
+const (
+	Unified Mode = iota
+	Sequential
+	SinglePass
+)
+
+// Options tunes a chase run.
+type Options struct {
+	Mode Mode
+	// MaxRounds bounds the fixpoint loop (safety valve; 0 = default 100).
+	MaxRounds int
+	// Workers is the virtual cluster size: it sets the HyperCube block
+	// count and the simulated-makespan parallelism (Report.SimMakespan).
+	Workers int
+	// Lazy enables the lazy-activation machinery (rule activation by fix
+	// kind + dirty-tuple filtering). Off, every round re-enumerates every
+	// rule over all data — the ablation baseline (DESIGN.md §ablations).
+	Lazy bool
+	// UseBlocking enables LSH blocking for ML predicates.
+	UseBlocking bool
+	// Oracle simulates the user to whom Rock presents ER/CR conflicts
+	// (paper §4.2, case (1)): given the conflicting cell and the candidate
+	// values, it returns the correct value. Nil leaves such conflicts
+	// unresolved (reported in the run summary). Every consultation counts
+	// toward Report.OracleCalls — the manual-effort metric the paper's
+	// bank client tracks ("reduces manual efforts by 8×").
+	Oracle func(rel, eid, attr string, candidates []data.Value) (data.Value, bool)
+	// EIDRefs declares foreign entity references: "Rel.Attr" keys whose
+	// values are EIDs of another relation's entities. A rule consequence
+	// equating two such attributes identifies the referenced entities —
+	// the paper's ϕ1 ("t.pid = s.pid ... identifies two persons") — rather
+	// than overwriting either value.
+	EIDRefs map[string]bool
+}
+
+// DefaultOptions is the configuration Rock ships with.
+func DefaultOptions() Options {
+	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4}
+}
+
+// FixKind classifies a deduced fix.
+type FixKind int
+
+// Fix kinds.
+const (
+	FixMerge FixKind = iota
+	FixSeparate
+	FixCell
+	FixOrder
+)
+
+// Fix is one deduced fix, recorded for reporting and for rebuilding orders
+// during TD conflict resolution.
+type Fix struct {
+	Kind       FixKind
+	Rel, Attr  string
+	EID1, EID2 string
+	TID        int // tuple whose cell is fixed (FixCell)
+	TID1, TID2 int // ordered pair (FixOrder): TID1 ⪯/≺ TID2
+	Value      data.Value
+	Strict     bool
+	RuleID     string
+}
+
+// String renders the fix.
+func (f Fix) String() string {
+	switch f.Kind {
+	case FixMerge:
+		return fmt.Sprintf("merge(%s, %s) by %s", f.EID1, f.EID2, f.RuleID)
+	case FixSeparate:
+		return fmt.Sprintf("separate(%s, %s) by %s", f.EID1, f.EID2, f.RuleID)
+	case FixCell:
+		return fmt.Sprintf("set %s.%s of %s = %v by %s", f.Rel, f.Attr, f.EID1, f.Value, f.RuleID)
+	case FixOrder:
+		op := "<="
+		if f.Strict {
+			op = "<"
+		}
+		return fmt.Sprintf("order %s.%s: %d %s %d by %s", f.Rel, f.Attr, f.TID1, op, f.TID2, f.RuleID)
+	}
+	return "?"
+}
+
+// UnresolvedConflict is an ER/CR conflict presented to the user
+// (paper §4.2, resolution case (1)).
+type UnresolvedConflict struct {
+	Conflict *truth.Conflict
+	Fix      Fix
+}
+
+// Report summarises a chase run.
+type Report struct {
+	Rounds      int
+	Applied     []Fix
+	Unresolved  []UnresolvedConflict
+	ResolvedTD  int // temporal conflicts resolved by M_rank confidence
+	ResolvedMI  int // imputation conflicts resolved by argmax M_c
+	OracleCalls int // ER/CR conflicts escalated to the user
+	Valuations  int
+	MLCalls     int
+	RetractedTD int
+	// SimMakespan is the simulated parallel runtime over Options.Workers
+	// workers (measured unit costs, simulated overlap).
+	SimMakespan time.Duration
+}
+
+// Engine chases one database with one rule set.
+type Engine struct {
+	env   *predicate.Env
+	exec  *exec.Executor
+	rules []*ree.Rule
+	u     *truth.FixSet
+	opts  Options
+
+	// orderLog records accepted order fixes per rel.attr so a losing fix
+	// can be retracted by rebuilding the order.
+	orderLog map[string][]Fix
+	// tuplesByEID indexes tuples by their raw EID per relation for dirty
+	// propagation.
+	tuplesByEID map[string]map[string][]*data.Tuple
+	// ring and nodes simulate work-unit placement for makespan accounting.
+	ring  *crystal.Ring
+	nodes []string
+	// oracleMemo caches user answers per (rel, entity-class, attr): the
+	// user answers each question once.
+	oracleMemo map[string]data.Value
+	// resolvedCells marks cells whose value was fixed by a resolution
+	// (M_c margin or user): later conflicting candidates cannot re-open
+	// the decision through the model — decisions are sticky, which both
+	// matches the certain-fix discipline and guarantees convergence.
+	resolvedCells map[string]bool
+
+	report Report
+}
+
+// New creates an engine. gamma is the ground truth Γ; the engine chases a
+// clone of it, so gamma itself is never mutated. rules is Σ.
+func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Options) *Engine {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 100
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	e := &Engine{
+		env:         env,
+		rules:       rules,
+		u:           gamma.Clone(),
+		opts:        opts,
+		orderLog:      make(map[string][]Fix),
+		tuplesByEID:   make(map[string]map[string][]*data.Tuple),
+		oracleMemo:    make(map[string]data.Value),
+		resolvedCells: make(map[string]bool),
+	}
+	e.ring = crystal.NewRing(64)
+	for i := 0; i < opts.Workers; i++ {
+		n := fmt.Sprintf("node-%d", i)
+		e.ring.AddNode(n)
+		e.nodes = append(e.nodes, n)
+	}
+	for name, rel := range env.DB.Relations {
+		idx := make(map[string][]*data.Tuple)
+		for _, t := range rel.Tuples {
+			idx[t.EID] = append(idx[t.EID], t)
+		}
+		e.tuplesByEID[name] = idx
+	}
+	// Wire the chase semantics into the environment: values read through
+	// the fix set (validated first, raw otherwise) and temporal predicates
+	// read the validated orders.
+	e.env.ValueOf = func(rel string, t *data.Tuple, attr string) (data.Value, bool) {
+		if v, ok := e.u.Cell(rel, t.EID, attr); ok {
+			return v, true
+		}
+		r := e.env.DB.Rel(rel)
+		if r == nil {
+			return data.Value{}, false
+		}
+		i := r.Schema.Index(attr)
+		if i < 0 || i >= len(t.Values) {
+			return data.Value{}, false
+		}
+		return t.Values[i], true
+	}
+	e.env.Orders = func(rel, attr string) *data.TemporalOrder {
+		return e.u.OrderIfAny(rel, attr)
+	}
+	e.exec = exec.New(env)
+	return e
+}
+
+// Truth exposes the engine's fix set U (read-mostly; mutate via the chase).
+func (e *Engine) Truth() *truth.FixSet { return e.u }
+
+// Report returns the run summary; valid after Run.
+func (e *Engine) Report() *Report { return &e.report }
+
+// Run executes the chase to its Church-Rosser fixpoint and returns the
+// report. The result is independent of rule order (verified by tests).
+func (e *Engine) Run() (*Report, error) {
+	switch e.opts.Mode {
+	case Sequential:
+		return e.runSequential()
+	case SinglePass:
+		return e.runSinglePass()
+	default:
+		return e.runUnified(e.rules, nil)
+	}
+}
+
+// RunIncremental chases in response to updates ΔD (paper §3: "Rock
+// corrects errors in batch and incremental modes"): the caller applies the
+// inserts/updates to the database first and passes the changed TIDs per
+// relation; only valuations touching a changed tuple are enumerated in the
+// first round, and the normal lazy-activation machinery propagates from
+// there. Call after Run (or on a fresh engine over already-clean data).
+func (e *Engine) RunIncremental(dirty map[string]map[int]bool) (*Report, error) {
+	if len(dirty) == 0 {
+		return &e.report, nil
+	}
+	// Refresh the EID index for tuples inserted since construction.
+	for name, rel := range e.env.DB.Relations {
+		idx := make(map[string][]*data.Tuple)
+		for _, t := range rel.Tuples {
+			idx[t.EID] = append(idx[t.EID], t)
+		}
+		e.tuplesByEID[name] = idx
+	}
+	return e.runUnified(e.rules, dirty)
+}
+
+// runUnified is the main fixpoint loop over the given rule subset.
+// initialDirty restricts the first round to valuations touching the given
+// tuples (the incremental mode); nil means batch (everything considered).
+func (e *Engine) runUnified(rules []*ree.Rule, initialDirty map[string]map[int]bool) (*Report, error) {
+	active := append([]*ree.Rule(nil), rules...)
+	dirty := initialDirty // nil on batch round 0: everything dirty
+	for round := 0; round < e.opts.MaxRounds; round++ {
+		if len(active) == 0 {
+			break
+		}
+		e.report.Rounds++
+		newFixes, err := e.runRound(active, dirty)
+		if err != nil {
+			return &e.report, err
+		}
+		if len(newFixes) == 0 {
+			break
+		}
+		if e.opts.Lazy {
+			active = e.activate(rules, newFixes)
+			dirty = e.dirtySet(newFixes)
+		} else {
+			active = rules
+			dirty = nil
+		}
+	}
+	return &e.report, nil
+}
+
+// runSequential cycles the four tasks until a full cycle deduces nothing.
+func (e *Engine) runSequential() (*Report, error) {
+	byTask := map[ree.Task][]*ree.Rule{}
+	for _, r := range e.rules {
+		byTask[r.TaskOf()] = append(byTask[r.TaskOf()], r)
+	}
+	taskOrder := []ree.Task{ree.TaskER, ree.TaskCR, ree.TaskMI, ree.TaskTD}
+	for cycle := 0; cycle < e.opts.MaxRounds; cycle++ {
+		before := len(e.report.Applied)
+		for _, task := range taskOrder {
+			if len(byTask[task]) == 0 {
+				continue
+			}
+			if _, err := e.runUnified(byTask[task], nil); err != nil {
+				return &e.report, err
+			}
+		}
+		if len(e.report.Applied) == before {
+			break
+		}
+	}
+	return &e.report, nil
+}
+
+// runSinglePass runs each task exactly once (Rock_noC).
+func (e *Engine) runSinglePass() (*Report, error) {
+	byTask := map[ree.Task][]*ree.Rule{}
+	for _, r := range e.rules {
+		byTask[r.TaskOf()] = append(byTask[r.TaskOf()], r)
+	}
+	for _, task := range []ree.Task{ree.TaskER, ree.TaskCR, ree.TaskMI, ree.TaskTD} {
+		rules := byTask[task]
+		if len(rules) == 0 {
+			continue
+		}
+		e.report.Rounds++
+		if _, err := e.runRound(rules, nil); err != nil {
+			return &e.report, err
+		}
+	}
+	return &e.report, nil
+}
+
+// runRound runs one chase round the way §5.3 describes error correction:
+// the data is partitioned into virtual blocks (HyperCube), each active
+// rule yields one work unit per block combination, units enumerate
+// valuations against the start-of-round fix set and deduce candidate
+// fixes, and the fixes are then applied in a deterministic merge step
+// (conflict resolution included). Unit costs are measured so the report
+// can carry the simulated parallel makespan over Options.Workers workers
+// (the wall clock on this host is single-core; see DESIGN.md).
+func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]Fix, error) {
+	// Deterministic rule order for reproducibility; Church-Rosser makes
+	// the final result order-independent anyway.
+	ordered := append([]*ree.Rule(nil), rules...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	blocks := e.partition()
+	var candidates []Fix
+	var sims []cluster.SimUnit
+	for _, r := range ordered {
+		units := e.unitsFor(r, blocks)
+		for _, u := range units {
+			start := time.Now()
+			opts := exec.Options{UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: u.restrict}
+			st, err := e.exec.Run(r, opts, func(h *predicate.Valuation) bool {
+				candidates = append(candidates, e.deduce(r, h)...)
+				return true
+			})
+			e.report.Valuations += st.Valuations
+			e.report.MLCalls += st.MLCalls
+			if err != nil {
+				return nil, err
+			}
+			sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(u.part), Cost: time.Since(start)})
+		}
+	}
+	if len(sims) > 0 {
+		e.report.SimMakespan += cluster.SimulateMakespan(sims, e.nodes, true)
+	}
+	// Merge step: apply the deduced fixes in deterministic order. Every
+	// matching valuation deduces the same fix, so candidates are heavily
+	// duplicated — dedupe first or the serial merge (with its conflict
+	// resolution) dominates the round.
+	applyStart := time.Now()
+	seenFix := make(map[string]bool, len(candidates))
+	var accepted []Fix
+	for _, fx := range candidates {
+		key := fixKey(fx)
+		if seenFix[key] {
+			continue
+		}
+		seenFix[key] = true
+		if e.apply(fx) {
+			accepted = append(accepted, fx)
+		}
+	}
+	e.report.SimMakespan += time.Since(applyStart)
+	return accepted, nil
+}
+
+// fixKey canonicalises a fix for in-round deduplication (the rule id is
+// excluded: the same fix deduced by two rules applies once).
+func fixKey(fx Fix) string {
+	return fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s\x1f%s\x1f%d\x1f%d\x1f%d\x1f%s\x1f%t",
+		fx.Kind, fx.Rel, fx.Attr, fx.EID1, fx.EID2, fx.TID, fx.TID1, fx.TID2, fx.Value.Key(), fx.Strict)
+}
+
+// chaseUnit is one (rule, block-combination) work unit.
+type chaseUnit struct {
+	part     string
+	restrict map[string][]*data.Tuple
+}
+
+// partition splits each relation into Workers virtual blocks by TID.
+func (e *Engine) partition() map[string][][]*data.Tuple {
+	b := e.opts.Workers
+	if b < 1 {
+		b = 1
+	}
+	out := make(map[string][][]*data.Tuple)
+	for name, rel := range e.env.DB.Relations {
+		bs := make([][]*data.Tuple, b)
+		for _, t := range rel.Tuples {
+			i := t.TID % b
+			bs[i] = append(bs[i], t)
+		}
+		out[name] = bs
+	}
+	return out
+}
+
+// unitsFor builds the block-combination units of a rule (mirrors
+// detect.unitsFor).
+func (e *Engine) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple) []chaseUnit {
+	switch len(r.Atoms) {
+	case 0:
+		return nil
+	case 1:
+		a := r.Atoms[0]
+		var units []chaseUnit
+		for i, blk := range blocks[a.Rel] {
+			if len(blk) == 0 {
+				continue
+			}
+			units = append(units, chaseUnit{
+				part:     fmt.Sprintf("%s/b%d", a.Rel, i),
+				restrict: map[string][]*data.Tuple{a.Var: blk},
+			})
+		}
+		return units
+	default:
+		a1, a2 := r.Atoms[0], r.Atoms[1]
+		var units []chaseUnit
+		for i, b1 := range blocks[a1.Rel] {
+			if len(b1) == 0 {
+				continue
+			}
+			for j, b2 := range blocks[a2.Rel] {
+				if len(b2) == 0 {
+					continue
+				}
+				units = append(units, chaseUnit{
+					part:     fmt.Sprintf("%s-%s/b%d-%d", a1.Rel, a2.Rel, i, j),
+					restrict: map[string][]*data.Tuple{a1.Var: b1, a2.Var: b2},
+				})
+			}
+		}
+		return units
+	}
+}
+
+// deduce turns the consequence p0 under valuation h into zero or more
+// concrete fixes (paper §4.1, chase-step condition (2)).
+func (e *Engine) deduce(r *ree.Rule, h *predicate.Valuation) []Fix {
+	p := r.P0
+	switch p.Kind {
+	case predicate.KEID:
+		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
+		if bt.Tuple == nil || bs.Tuple == nil {
+			return nil
+		}
+		kind := FixMerge
+		if p.Op == predicate.Neq {
+			kind = FixSeparate
+		}
+		return []Fix{{Kind: kind, EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID}}
+
+	case predicate.KConst:
+		bt := h.Tuples[p.T]
+		if bt.Tuple == nil || p.Op != predicate.Eq {
+			return nil
+		}
+		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: p.C, RuleID: r.ID}}
+
+	case predicate.KAttr:
+		if p.Op != predicate.Eq {
+			return nil
+		}
+		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
+		if bt.Tuple == nil || bs.Tuple == nil {
+			return nil
+		}
+		vt, okT := e.env.ValueOf(bt.Rel, bt.Tuple, p.A)
+		vs, okS := e.env.ValueOf(bs.Rel, bs.Tuple, p.B)
+		nullT := !okT || vt.IsNull()
+		nullS := !okS || vs.IsNull()
+		// Equating two declared entity references identifies the referenced
+		// entities (ϕ1: same discount code → same buyer pid).
+		if e.opts.EIDRefs[bt.Rel+"."+p.A] && e.opts.EIDRefs[bs.Rel+"."+p.B] {
+			if nullT || nullS || vt.Equal(vs) {
+				return nil
+			}
+			return []Fix{{Kind: FixMerge, EID1: vt.String(), EID2: vs.String(), RuleID: r.ID}}
+		}
+		mk := func(b predicate.Binding, attr string, v data.Value) Fix {
+			return Fix{Kind: FixCell, Rel: b.Rel, Attr: attr, EID1: b.Tuple.EID, TID: b.Tuple.TID, Value: v, RuleID: r.ID}
+		}
+		switch {
+		case nullT && nullS:
+			return nil
+		case nullT:
+			return []Fix{mk(bt, p.A, vs)}
+		case nullS:
+			return []Fix{mk(bs, p.B, vt)}
+		case vt.Equal(vs):
+			return nil
+		default:
+			// Both sides carry distinct values: the rule asserts they must
+			// be equal, but the data cannot certify which one is correct.
+			// Decide once per pair (validated side → correlation model →
+			// value rarity → user), then assert the winner on both sides —
+			// never contaminate the clean side with an arbitrary choice
+			// (paper §4.1: fixes must be justified, not guessed).
+			winner, ok := e.resolveValuePair(bt, p.A, vt, bs, p.B, vs)
+			if !ok {
+				return nil
+			}
+			var out []Fix
+			if !vt.Equal(winner) {
+				out = append(out, mk(bt, p.A, winner))
+			}
+			if !vs.Equal(winner) {
+				out = append(out, mk(bs, p.B, winner))
+			}
+			return out
+		}
+
+	case predicate.KTemporal:
+		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
+		if bt.Tuple == nil || bs.Tuple == nil {
+			return nil
+		}
+		return []Fix{{Kind: FixOrder, Rel: bt.Rel, Attr: p.A, TID1: bt.Tuple.TID, TID2: bs.Tuple.TID, Strict: p.Strict,
+			EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID}}
+
+	case predicate.KVal:
+		bt := h.Tuples[p.T]
+		bx, okx := h.Vertices[p.X]
+		if bt.Tuple == nil || !okx {
+			return nil
+		}
+		g := e.env.Graphs[bx.Graph]
+		if g == nil {
+			return nil
+		}
+		val, ok := g.Val(bx.ID, p.Path)
+		if !ok {
+			return nil
+		}
+		v := coerce(e.env.DB, bt.Rel, p.A, val)
+		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID}}
+
+	case predicate.KPredict:
+		bt := h.Tuples[p.T]
+		if bt.Tuple == nil {
+			return nil
+		}
+		md := e.env.Pred[p.Model]
+		if md == nil {
+			return nil
+		}
+		rel := e.env.DB.Rel(bt.Rel)
+		if rel == nil {
+			return nil
+		}
+		bIdx := rel.Schema.Index(p.B)
+		if bIdx < 0 {
+			return nil
+		}
+		// Suggest over the tuple as seen through validated values.
+		seen := e.viewTuple(bt.Rel, bt.Tuple)
+		v, _, ok := md.Suggest(seen, bIdx)
+		if !ok {
+			return nil
+		}
+		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.B, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID}}
+	}
+	return nil
+}
+
+// viewTuple materialises the tuple as seen through validated cells.
+func (e *Engine) viewTuple(rel string, t *data.Tuple) *data.Tuple {
+	r := e.env.DB.Rel(rel)
+	if r == nil {
+		return t
+	}
+	vt := t.Clone()
+	for i, a := range r.Schema.Attrs {
+		if v, ok := e.u.Cell(rel, t.EID, a.Name); ok {
+			vt.Values[i] = v
+		}
+	}
+	return vt
+}
+
+func coerce(db *data.Database, rel, attr, raw string) data.Value {
+	r := db.Rel(rel)
+	if r == nil {
+		return data.S(raw)
+	}
+	want, ok := r.Schema.TypeOf(attr)
+	if !ok {
+		return data.S(raw)
+	}
+	if v, err := data.Parse(want, raw); err == nil {
+		return v
+	}
+	return data.S(raw)
+}
+
+// apply commits one fix into U, resolving conflicts per paper §4.2. It
+// reports whether U changed.
+func (e *Engine) apply(fx Fix) bool {
+	switch fx.Kind {
+	case FixMerge:
+		changed, conflict := e.u.MergeEIDs(fx.EID1, fx.EID2)
+		if conflict != nil {
+			e.report.Unresolved = append(e.report.Unresolved, UnresolvedConflict{conflict, fx})
+			return false
+		}
+		if changed {
+			e.report.Applied = append(e.report.Applied, fx)
+		}
+		return changed
+
+	case FixSeparate:
+		changed, conflict := e.u.SeparateEIDs(fx.EID1, fx.EID2)
+		if conflict != nil {
+			e.report.Unresolved = append(e.report.Unresolved, UnresolvedConflict{conflict, fx})
+			return false
+		}
+		if changed {
+			e.report.Applied = append(e.report.Applied, fx)
+		}
+		return changed
+
+	case FixCell:
+		changed, conflict := e.u.SetCell(fx.Rel, fx.EID1, fx.Attr, fx.Value)
+		if conflict != nil {
+			return e.resolveCellConflict(fx, conflict)
+		}
+		if changed {
+			e.report.Applied = append(e.report.Applied, fx)
+		}
+		return changed
+
+	case FixOrder:
+		changed, conflict := e.u.AddOrder(fx.Rel, fx.Attr, fx.TID1, fx.TID2, fx.Strict)
+		if conflict != nil {
+			return e.resolveOrderConflict(fx)
+		}
+		if changed {
+			e.orderLog[fx.Rel+"."+fx.Attr] = append(e.orderLog[fx.Rel+"."+fx.Attr], fx)
+			e.report.Applied = append(e.report.Applied, fx)
+		}
+		return changed
+	}
+	return false
+}
+
+// resolveCellConflict implements the value-conflict resolutions of paper
+// §4.2: the MI case keeps the candidate with the higher M_c correlation
+// strength (argmax over Cand, case (3)); when no correlation model decides
+// — no model trained, or the candidates tie — the conflict is an ER/CR
+// case and goes to the user oracle (case (1)); with neither, it stays
+// unresolved and is reported.
+func (e *Engine) resolveCellConflict(fx Fix, conflict *truth.Conflict) bool {
+	cellMemoKey := fx.Rel + "\x1f" + e.u.ClassMembers(fx.EID1)[0] + "\x1f" + fx.Attr
+	toUser := func() bool {
+		answer, ok := e.askOracle(fx.Rel, fx.EID1, fx.Attr, []data.Value{conflict.Old, fx.Value})
+		if !ok {
+			e.report.Unresolved = append(e.report.Unresolved, UnresolvedConflict{conflict, fx})
+			return false
+		}
+		e.resolvedCells[cellMemoKey] = true
+		if answer.Equal(conflict.Old) {
+			return false // existing fix confirmed
+		}
+		e.u.ReplaceCell(fx.Rel, fx.EID1, fx.Attr, answer)
+		applied := fx
+		applied.Value = answer
+		e.report.Applied = append(e.report.Applied, applied)
+		return true
+	}
+	// A previously resolved cell is settled: only the (memoised) user can
+	// overturn it; model margins drift with the evolving view and would
+	// re-litigate the decision forever.
+	if e.resolvedCells[cellMemoKey] {
+		return toUser()
+	}
+	mc := e.corrFor(fx.Rel)
+	rel := e.env.DB.Rel(fx.Rel)
+	if mc == nil || rel == nil {
+		return toUser()
+	}
+	bIdx := rel.Schema.Index(fx.Attr)
+	if bIdx < 0 {
+		return toUser()
+	}
+	// Score both candidates against any tuple of the entity class.
+	var probe *data.Tuple
+	for _, eid := range e.u.ClassMembers(fx.EID1) {
+		for _, t := range e.tuplesByEID[fx.Rel][eid] {
+			probe = t
+			break
+		}
+		if probe != nil {
+			break
+		}
+	}
+	if probe == nil {
+		return toUser()
+	}
+	view := e.viewTuple(fx.Rel, probe)
+	oldScore := mc.Strength(view, nil, bIdx, conflict.Old)
+	newScore := mc.Strength(view, nil, bIdx, fx.Value)
+	const margin = 0.05 // below this the model cannot distinguish the candidates
+	if newScore-oldScore > margin {
+		e.report.ResolvedMI++
+		e.resolvedCells[cellMemoKey] = true
+		e.u.ReplaceCell(fx.Rel, fx.EID1, fx.Attr, fx.Value)
+		e.report.Applied = append(e.report.Applied, fx)
+		return true
+	}
+	if oldScore-newScore > margin {
+		e.report.ResolvedMI++
+		e.resolvedCells[cellMemoKey] = true
+		return false
+	}
+	return toUser()
+}
+
+// resolveOrderConflict implements the TD resolution: extend M_rank to
+// confidence scores for both directions and retain the higher one
+// (paper §4.2 case (2)). If the new direction wins, the losing direct
+// edges are retracted by rebuilding the attribute's order from the
+// surviving log.
+func (e *Engine) resolveOrderConflict(fx Fix) bool {
+	if e.env.Ranker == nil {
+		e.report.Unresolved = append(e.report.Unresolved,
+			UnresolvedConflict{&truth.Conflict{Kind: truth.OrderConflict, Rel: fx.Rel, Attr: fx.Attr}, fx})
+		return false
+	}
+	rel := e.env.DB.Rel(fx.Rel)
+	if rel == nil {
+		return false
+	}
+	t1, t2 := rel.Get(fx.TID1), rel.Get(fx.TID2)
+	if t1 == nil || t2 == nil {
+		return false
+	}
+	fwd := e.env.Ranker.RankLeq(fx.Rel, t1, t2, fx.Attr)
+	rev := e.env.Ranker.RankLeq(fx.Rel, t2, t1, fx.Attr)
+	e.report.ResolvedTD++
+	if fwd <= rev {
+		// Existing direction wins; drop the new fix.
+		return false
+	}
+	// New direction wins: retract the direct reverse edges and rebuild.
+	key := fx.Rel + "." + fx.Attr
+	var kept []Fix
+	for _, old := range e.orderLog[key] {
+		if old.TID1 == fx.TID2 && old.TID2 == fx.TID1 {
+			e.report.RetractedTD++
+			continue
+		}
+		kept = append(kept, old)
+	}
+	rebuilt := data.NewTemporalOrder(fx.Rel, fx.Attr)
+	valid := true
+	for _, old := range kept {
+		if old.Strict {
+			rebuilt.AddStrict(old.TID1, old.TID2)
+		} else {
+			rebuilt.AddWeak(old.TID1, old.TID2)
+		}
+	}
+	if fx.Strict {
+		if rebuilt.Leq(fx.TID2, fx.TID1) {
+			valid = false
+		} else {
+			rebuilt.AddStrict(fx.TID1, fx.TID2)
+		}
+	} else {
+		if rebuilt.Less(fx.TID2, fx.TID1) {
+			valid = false
+		} else {
+			rebuilt.AddWeak(fx.TID1, fx.TID2)
+		}
+	}
+	if !valid {
+		// The conflict is entailed transitively by other fixes; keep the
+		// existing order.
+		return false
+	}
+	e.u.ReplaceOrder(fx.Rel, fx.Attr, rebuilt)
+	e.orderLog[key] = append(kept, fx)
+	e.report.Applied = append(e.report.Applied, fx)
+	return true
+}
+
+// askOracle consults the user once per (rel, entity-class, attr): repeat
+// questions about the same cell replay the memoised answer without
+// counting as new manual effort.
+func (e *Engine) askOracle(rel, eid, attr string, candidates []data.Value) (data.Value, bool) {
+	if e.opts.Oracle == nil {
+		return data.Value{}, false
+	}
+	key := rel + "\x1f" + e.u.ClassMembers(eid)[0] + "\x1f" + attr
+	if v, ok := e.oracleMemo[key]; ok {
+		return v, true
+	}
+	e.report.OracleCalls++
+	answer, ok := e.opts.Oracle(rel, eid, attr, candidates)
+	if !ok {
+		return data.Value{}, false
+	}
+	e.oracleMemo[key] = answer
+	return answer, true
+}
+
+// resolveValuePair decides which of two conflicting values is correct when
+// a rule asserts t.A = s.B but both sides disagree. The decision cascade:
+//
+//  1. a side already validated in U (which includes Γ, the ground truth)
+//     wins — the fix is then a logical consequence of rules + ground truth;
+//  2. the correlation model M_c scores each candidate against both tuples'
+//     validated context; a clear margin decides;
+//  3. value rarity: the value that is drastically rarer in its column is
+//     the error (typos and corrupted numbers are near-unique);
+//  4. the user oracle (paper §4.2 case (1));
+//  5. otherwise the pair stays unresolved and is reported.
+func (e *Engine) resolveValuePair(bt predicate.Binding, attrT string, vt data.Value,
+	bs predicate.Binding, attrS string, vs data.Value) (data.Value, bool) {
+
+	_, validT := e.u.Cell(bt.Rel, bt.Tuple.EID, attrT)
+	_, validS := e.u.Cell(bs.Rel, bs.Tuple.EID, attrS)
+	switch {
+	case validT && !validS:
+		return vt, true
+	case validS && !validT:
+		return vs, true
+	}
+
+	// Correlation model: sum each candidate's strength over both tuples.
+	score := func(v data.Value) float64 {
+		s := 0.0
+		if mc := e.corrFor(bt.Rel); mc != nil {
+			if rel := e.env.DB.Rel(bt.Rel); rel != nil {
+				if ai := rel.Schema.Index(attrT); ai >= 0 {
+					s += mc.Strength(e.viewTuple(bt.Rel, bt.Tuple), nil, ai, v)
+				}
+			}
+		}
+		if mc := e.corrFor(bs.Rel); mc != nil {
+			if rel := e.env.DB.Rel(bs.Rel); rel != nil {
+				if ai := rel.Schema.Index(attrS); ai >= 0 {
+					s += mc.Strength(e.viewTuple(bs.Rel, bs.Tuple), nil, ai, v)
+				}
+			}
+		}
+		return s
+	}
+	st, ss := score(vt), score(vs)
+	// A wide margin: M_c only decides when the correlation evidence is
+	// unambiguous (deterministic associations like amount+fee→total or a
+	// clear witness majority); weakly separated candidates go to the user.
+	// No frequency guessing here — a fix must be justified by ground
+	// truth, correlation evidence, or the user, or it is not applied
+	// (certain-fix discipline, paper §4.1).
+	const margin = 0.25
+	if st-ss > margin {
+		e.report.ResolvedMI++
+		return vt, true
+	}
+	if ss-st > margin {
+		e.report.ResolvedMI++
+		return vs, true
+	}
+
+	if answer, ok := e.askOracle(bt.Rel, bt.Tuple.EID, attrT, []data.Value{vt, vs}); ok {
+		return answer, true
+	}
+	if answer, ok := e.askOracle(bs.Rel, bs.Tuple.EID, attrS, []data.Value{vt, vs}); ok {
+		return answer, true
+	}
+	e.report.Unresolved = append(e.report.Unresolved, UnresolvedConflict{
+		Conflict: &truth.Conflict{Kind: truth.ValueConflict, Rel: bt.Rel, Attr: attrT, EID: bt.Tuple.EID, Old: vt, New: vs},
+	})
+	return data.Value{}, false
+}
+
+// corrFor finds a correlation model trained for the relation's schema.
+func (e *Engine) corrFor(rel string) *ml.CorrelationModel {
+	r := e.env.DB.Rel(rel)
+	if r == nil {
+		return nil
+	}
+	for _, m := range e.env.Corr {
+		if m.Schema == r.Schema {
+			return m
+		}
+	}
+	return nil
+}
+
+// activate returns the rules whose precondition may newly fire given the
+// fix kinds just produced (paper §4.1: "an REE++ is activated if at least
+// one predicate in X is validated by the updated data").
+func (e *Engine) activate(all []*ree.Rule, fixes []Fix) []*ree.Rule {
+	cellTouched := map[string]bool{}  // rel.attr
+	orderTouched := map[string]bool{} // rel.attr
+	merged := false
+	for _, fx := range fixes {
+		switch fx.Kind {
+		case FixCell:
+			cellTouched[fx.Rel+"."+fx.Attr] = true
+		case FixOrder:
+			orderTouched[fx.Rel+"."+fx.Attr] = true
+		case FixMerge, FixSeparate:
+			merged = true
+		}
+	}
+	var out []*ree.Rule
+	for _, r := range all {
+		if e.ruleFeeds(r, cellTouched, orderTouched, merged) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (e *Engine) ruleFeeds(r *ree.Rule, cells, orders map[string]bool, merged bool) bool {
+	touchAttr := func(varName, attr string) bool {
+		rel := r.RelOf(varName)
+		return rel != "" && cells[rel+"."+attr]
+	}
+	for _, p := range r.X {
+		switch p.Kind {
+		case predicate.KEID:
+			if merged {
+				return true
+			}
+		case predicate.KTemporal:
+			rel := r.RelOf(p.T)
+			if rel != "" && orders[rel+"."+p.A] {
+				return true
+			}
+		case predicate.KConst, predicate.KNull, predicate.KNotNull, predicate.KMatch, predicate.KVal:
+			if touchAttr(p.T, p.A) {
+				return true
+			}
+		case predicate.KAttr:
+			if touchAttr(p.T, p.A) || touchAttr(p.S, p.B) {
+				return true
+			}
+		case predicate.KML:
+			for _, a := range p.As {
+				if touchAttr(p.T, a) {
+					return true
+				}
+			}
+			for _, b := range p.Bs {
+				if touchAttr(p.S, b) {
+					return true
+				}
+			}
+		case predicate.KCorr, predicate.KPredict:
+			// Correlation strength depends on the whole tuple.
+			if merged {
+				return true
+			}
+			rel := r.RelOf(p.T)
+			for key := range cells {
+				if len(key) > len(rel) && key[:len(rel)] == rel {
+					return true
+				}
+			}
+		case predicate.KHER, predicate.KRank:
+			if merged {
+				return true
+			}
+		}
+	}
+	// Merges also change cell visibility everywhere; be conservative when
+	// the rule reads attribute values at all.
+	if merged && len(r.X) > 0 {
+		return true
+	}
+	return false
+}
+
+// dirtySet computes which tuples the fixes touched: every tuple of every
+// entity class involved.
+func (e *Engine) dirtySet(fixes []Fix) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	mark := func(rel, eid string) {
+		for _, member := range e.u.ClassMembers(eid) {
+			for relName, idx := range e.tuplesByEID {
+				if rel != "" && relName != rel {
+					continue
+				}
+				for _, t := range idx[member] {
+					m := out[relName]
+					if m == nil {
+						m = make(map[int]bool)
+						out[relName] = m
+					}
+					m[t.TID] = true
+				}
+			}
+		}
+	}
+	for _, fx := range fixes {
+		switch fx.Kind {
+		case FixMerge, FixSeparate:
+			mark("", fx.EID1)
+			mark("", fx.EID2)
+		case FixCell:
+			mark(fx.Rel, fx.EID1)
+		case FixOrder:
+			mark(fx.Rel, fx.EID1)
+			mark(fx.Rel, fx.EID2)
+		}
+	}
+	return out
+}
+
+// Materialize writes validated cells back into the database (the
+// user-visible "corrected" dataset) and returns the number of changed
+// cells.
+func (e *Engine) Materialize() int {
+	n := 0
+	for relName, rel := range e.env.DB.Relations {
+		for _, t := range rel.Tuples {
+			for i, a := range rel.Schema.Attrs {
+				if v, ok := e.u.Cell(relName, t.EID, a.Name); ok && !v.Equal(t.Values[i]) {
+					t.Values[i] = v
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+// Package cluster simulates the n-worker compute cluster Rock runs on
+// (paper §6 uses 21 Kubernetes nodes): each worker is a goroutine with its
+// own work manager that drains the crystal scheduler, stealing from peers
+// when idle. The parallel-scalability experiments (Figures 4(h) and 4(l))
+// drive this package with varying n.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/rockclean/rock/internal/crystal"
+)
+
+// Cluster is a set of named workers sharing a ring and scheduler.
+type Cluster struct {
+	Ring  *crystal.Ring
+	Sched *crystal.Scheduler
+	nodes []string
+
+	mu       sync.Mutex
+	executed map[string]int // node -> units run
+}
+
+// New creates a cluster of n workers named node-0..node-(n-1).
+func New(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	ring := crystal.NewRing(64)
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%d", i)
+		ring.AddNode(nodes[i])
+	}
+	return &Cluster{
+		Ring:     ring,
+		Sched:    crystal.NewScheduler(nodes),
+		nodes:    nodes,
+		executed: make(map[string]int, n),
+	}
+}
+
+// Size returns the number of workers.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Nodes returns the worker names.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// Submit assigns a work unit by partition affinity.
+func (c *Cluster) Submit(u *crystal.WorkUnit) { c.Sched.Assign(c.Ring, u) }
+
+// SubmitBalanced assigns a work unit to the least-loaded worker.
+func (c *Cluster) SubmitBalanced(u *crystal.WorkUnit) { c.Sched.AssignBalanced(u) }
+
+// Options tunes a drain run.
+type Options struct {
+	// Steal enables work stealing (on by default in Rock; the ablation
+	// benchmark turns it off).
+	Steal bool
+}
+
+// Drain runs every queued unit to completion across all workers and
+// returns per-node unit counts. Each worker loops: pop (or steal) a unit,
+// run it, repeat until the scheduler is empty.
+func (c *Cluster) Drain(opts Options) map[string]int {
+	var wg sync.WaitGroup
+	for _, node := range c.nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			for {
+				u := c.Sched.Next(node, opts.Steal)
+				if u == nil {
+					return
+				}
+				if u.Run != nil {
+					u.Run()
+				}
+				c.mu.Lock()
+				c.executed[node]++
+				c.mu.Unlock()
+			}
+		}(node)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.executed))
+	for k, v := range c.executed {
+		out[k] = v
+	}
+	return out
+}
+
+// SimUnit is one executed work unit with its measured cost, used by the
+// makespan simulation.
+type SimUnit struct {
+	// Node is the affinity assignment (consistent-hash owner).
+	Node string
+	// Cost is the measured serial execution time.
+	Cost time.Duration
+}
+
+// SimulateMakespan schedules measured unit costs over the named workers —
+// affinity queues first, work stealing when idle — and returns the
+// parallel makespan. This is the discrete-event counterpart of Drain for
+// hosts whose physical core count cannot express the paper's cluster
+// sizes: per-unit costs are measured for real, only their overlap is
+// simulated, so the scheduling and balancing behaviour under evaluation
+// (Figures 4(h)/(l)) is exactly what determines the result.
+func SimulateMakespan(units []SimUnit, nodes []string, steal bool) time.Duration {
+	queues := make(map[string][]time.Duration, len(nodes))
+	remaining := make(map[string]time.Duration, len(nodes))
+	for _, n := range nodes {
+		queues[n] = nil
+		remaining[n] = 0
+	}
+	fallback := nodes[0]
+	for _, u := range units {
+		n := u.Node
+		if _, ok := queues[n]; !ok {
+			n = fallback
+		}
+		queues[n] = append(queues[n], u.Cost)
+		remaining[n] += u.Cost
+	}
+	clock := make(map[string]time.Duration, len(nodes))
+	pending := len(units)
+	for pending > 0 {
+		// The node with the earliest clock acts next.
+		var node string
+		first := true
+		for _, n := range nodes {
+			if first || clock[n] < clock[node] || (clock[n] == clock[node] && n < node) {
+				node, first = n, false
+			}
+		}
+		if q := queues[node]; len(q) > 0 {
+			cost := q[len(q)-1]
+			queues[node] = q[:len(q)-1]
+			remaining[node] -= cost
+			clock[node] += cost
+			pending--
+			continue
+		}
+		if !steal {
+			// Idle forever: jump its clock past everyone so it never acts
+			// again; find max busy clock + pending work upper bound.
+			var max time.Duration
+			for _, n := range nodes {
+				if c := clock[n] + remaining[n]; c > max {
+					max = c
+				}
+			}
+			clock[node] = max
+			continue
+		}
+		// Steal the costliest unit from the most loaded peer.
+		victim := ""
+		for _, n := range nodes {
+			if n != node && len(queues[n]) > 0 && (victim == "" || remaining[n] > remaining[victim]) {
+				victim = n
+			}
+		}
+		if victim == "" {
+			var max time.Duration
+			for _, n := range nodes {
+				if c := clock[n] + remaining[n]; c > max {
+					max = c
+				}
+			}
+			clock[node] = max
+			continue
+		}
+		q := queues[victim]
+		bi := 0
+		for i, c := range q {
+			if c > q[bi] {
+				bi = i
+			}
+		}
+		cost := q[bi]
+		queues[victim] = append(q[:bi], q[bi+1:]...)
+		remaining[victim] -= cost
+		// Stealing cannot happen before the victim enqueued the work; the
+		// thief resumes at its own clock.
+		clock[node] += cost
+		pending--
+	}
+	var makespan time.Duration
+	for _, n := range nodes {
+		if clock[n] > makespan {
+			makespan = clock[n]
+		}
+	}
+	return makespan
+}
+
+// ParallelMap partitions items into per-worker chunks and applies fn
+// concurrently; a convenience for data-parallel phases that don't go
+// through the scheduler. fn receives (workerIndex, item).
+func ParallelMap[T any](workers int, items []T, fn func(worker int, item T)) {
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan T, len(items))
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := range ch {
+				fn(w, it)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

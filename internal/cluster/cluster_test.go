@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rockclean/rock/internal/crystal"
+)
+
+func TestClusterDrainsAllUnits(t *testing.T) {
+	c := New(4)
+	var ran int64
+	for i := 0; i < 100; i++ {
+		c.Submit(&crystal.WorkUnit{
+			ID:      i,
+			Part:    fmt.Sprintf("p%d/b", i),
+			EstCost: 1,
+			Run:     func() { atomic.AddInt64(&ran, 1) },
+		})
+	}
+	per := c.Drain(Options{Steal: true})
+	if ran != 100 {
+		t.Fatalf("ran %d of 100", ran)
+	}
+	total := 0
+	for _, n := range per {
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("per-node accounting: %v", per)
+	}
+}
+
+func TestStealingBalancesSkew(t *testing.T) {
+	// All units hash-assigned to the same partition prefix land on one
+	// node; stealing must spread execution.
+	c := New(4)
+	var mu sync.Mutex
+	perWorker := map[string]int{}
+	for i := 0; i < 64; i++ {
+		c.Submit(&crystal.WorkUnit{
+			ID:      i,
+			Part:    "hot/block", // same partition => same owner
+			EstCost: 1,
+			Run: func() {
+				time.Sleep(200 * time.Microsecond)
+			},
+		})
+	}
+	counts := c.Drain(Options{Steal: true})
+	busy := 0
+	for _, n := range counts {
+		if n > 0 {
+			busy++
+		}
+	}
+	mu.Lock()
+	_ = perWorker
+	mu.Unlock()
+	if busy < 2 {
+		t.Errorf("stealing failed to spread hot partition: %v", counts)
+	}
+	// Without stealing, only the owner runs them.
+	c2 := New(4)
+	for i := 0; i < 16; i++ {
+		c2.Submit(&crystal.WorkUnit{ID: i, Part: "hot/block", EstCost: 1, Run: func() {}})
+	}
+	counts2 := c2.Drain(Options{Steal: false})
+	busy2 := 0
+	for _, n := range counts2 {
+		if n > 0 {
+			busy2++
+		}
+	}
+	if busy2 != 1 {
+		t.Errorf("without stealing exactly one node must run the hot partition: %v", counts2)
+	}
+}
+
+func TestParallelScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("wall-clock scaling needs >1 physical core; see SimulateMakespan tests")
+	}
+	// A CPU-bound workload must speed up with more workers.
+	work := func() {
+		x := 0.0
+		for i := 0; i < 200000; i++ {
+			x += float64(i) * 1.000001
+		}
+		_ = x
+	}
+	run := func(n int) time.Duration {
+		c := New(n)
+		for i := 0; i < 32; i++ {
+			c.SubmitBalanced(&crystal.WorkUnit{ID: i, EstCost: 1, Run: work})
+		}
+		start := time.Now()
+		c.Drain(Options{Steal: true})
+		return time.Since(start)
+	}
+	t1 := run(1)
+	t4 := run(4)
+	if t4 >= t1 {
+		t.Errorf("4 workers not faster than 1: %v vs %v", t4, t1)
+	}
+}
+
+func TestParallelMap(t *testing.T) {
+	var sum int64
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	ParallelMap(8, items, func(w, it int) { atomic.AddInt64(&sum, int64(it)) })
+	if sum != 4950 {
+		t.Errorf("sum=%d", sum)
+	}
+	// Degenerate worker counts.
+	sum = 0
+	ParallelMap(0, items[:3], func(w, it int) { atomic.AddInt64(&sum, 1) })
+	if sum != 3 {
+		t.Error("workers<1 must still process")
+	}
+}
+
+func TestClusterMinimumSize(t *testing.T) {
+	c := New(0)
+	if c.Size() != 1 {
+		t.Error("cluster clamps to 1 worker")
+	}
+	if len(c.Nodes()) != 1 {
+		t.Error("nodes list")
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSimulateMakespanSingleWorker(t *testing.T) {
+	units := []SimUnit{{Node: "a", Cost: ms(10)}, {Node: "a", Cost: ms(20)}, {Node: "a", Cost: ms(30)}}
+	got := SimulateMakespan(units, []string{"a"}, true)
+	if got != ms(60) {
+		t.Errorf("single worker makespan=%v want 60ms", got)
+	}
+}
+
+func TestSimulateMakespanPerfectSplit(t *testing.T) {
+	units := []SimUnit{
+		{Node: "a", Cost: ms(10)}, {Node: "a", Cost: ms(10)},
+		{Node: "b", Cost: ms(10)}, {Node: "b", Cost: ms(10)},
+	}
+	got := SimulateMakespan(units, []string{"a", "b"}, false)
+	if got != ms(20) {
+		t.Errorf("balanced makespan=%v want 20ms", got)
+	}
+}
+
+func TestSimulateMakespanStealingHelpsSkew(t *testing.T) {
+	// Everything assigned to node a; stealing must spread it.
+	var units []SimUnit
+	for i := 0; i < 8; i++ {
+		units = append(units, SimUnit{Node: "a", Cost: ms(10)})
+	}
+	noSteal := SimulateMakespan(units, []string{"a", "b", "c", "d"}, false)
+	steal := SimulateMakespan(units, []string{"a", "b", "c", "d"}, true)
+	if noSteal != ms(80) {
+		t.Errorf("no-steal makespan=%v want 80ms", noSteal)
+	}
+	if steal >= noSteal {
+		t.Errorf("stealing must shrink the makespan: %v vs %v", steal, noSteal)
+	}
+	if steal < ms(20) {
+		t.Errorf("4 workers cannot beat total/4: %v", steal)
+	}
+}
+
+func TestSimulateMakespanMoreWorkersNeverSlower(t *testing.T) {
+	f := func(costs []uint16) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		var units []SimUnit
+		nodeNames := func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = string(rune('a' + i))
+			}
+			return out
+		}
+		for i, c := range costs {
+			units = append(units, SimUnit{
+				Node: string(rune('a' + i%4)),
+				Cost: time.Duration(c%500+1) * time.Microsecond,
+			})
+		}
+		m2 := SimulateMakespan(units, nodeNames(2), true)
+		m8 := SimulateMakespan(units, nodeNames(8), true)
+		// With stealing, more workers never increase the makespan (units
+		// assigned to absent nodes fall back to the first node).
+		return m8 <= m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateMakespanLowerBound(t *testing.T) {
+	// Makespan >= max(total/n, max unit cost).
+	units := []SimUnit{
+		{Node: "a", Cost: ms(50)}, {Node: "b", Cost: ms(5)},
+		{Node: "a", Cost: ms(5)}, {Node: "b", Cost: ms(5)},
+	}
+	got := SimulateMakespan(units, []string{"a", "b", "c"}, true)
+	if got < ms(50) {
+		t.Errorf("makespan %v below the longest unit", got)
+	}
+}
+
+func TestSimulateMakespanUnknownNodeFallsBack(t *testing.T) {
+	units := []SimUnit{{Node: "ghost", Cost: ms(10)}}
+	got := SimulateMakespan(units, []string{"a", "b"}, false)
+	if got != ms(10) {
+		t.Errorf("fallback makespan=%v", got)
+	}
+}
+
+func TestSimulateMakespanEmpty(t *testing.T) {
+	if got := SimulateMakespan(nil, []string{"a"}, true); got != 0 {
+		t.Errorf("empty makespan=%v", got)
+	}
+}

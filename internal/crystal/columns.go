@@ -1,0 +1,135 @@
+package crystal
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+// Dictionary maps attribute values to unique ids (paper §5.1: Crystal
+// "transforms attribute values to unique ids"). Ids are assigned in sorted
+// value order, so similar values receive nearby ids and the
+// column-oriented copy gathers them together.
+type Dictionary struct {
+	ids    map[string]int
+	values []data.Value
+}
+
+// BuildDictionary builds the dictionary of one column's distinct values.
+func BuildDictionary(rel *data.Relation, attr string) (*Dictionary, error) {
+	ai := rel.Schema.Index(attr)
+	if ai < 0 {
+		return nil, fmt.Errorf("crystal: %s has no attribute %q", rel.Schema.Name, attr)
+	}
+	seen := make(map[string]data.Value)
+	for _, t := range rel.Tuples {
+		v := t.Values[ai]
+		seen[v.Key()] = v
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	d := &Dictionary{ids: make(map[string]int, len(keys))}
+	for i, k := range keys {
+		d.ids[k] = i
+		d.values = append(d.values, seen[k])
+	}
+	return d, nil
+}
+
+// ID returns the id of a value; ok is false for unseen values.
+func (d *Dictionary) ID(v data.Value) (int, bool) {
+	id, ok := d.ids[v.Key()]
+	return id, ok
+}
+
+// Value returns the value of an id.
+func (d *Dictionary) Value(id int) (data.Value, bool) {
+	if id < 0 || id >= len(d.values) {
+		return data.Value{}, false
+	}
+	return d.values[id], true
+}
+
+// Size returns the number of distinct values.
+func (d *Dictionary) Size() int { return len(d.values) }
+
+// Column is the column-oriented copy of one attribute: dictionary ids per
+// TID plus the posting lists that gather equal values together.
+type Column struct {
+	Attr string
+	Dict *Dictionary
+	// IDs maps tuple TID to value id.
+	IDs map[int]int
+	// Postings maps value id to the sorted TIDs carrying it — the
+	// "similar values gathered together" layout that accelerates hash
+	// joins and blocking.
+	Postings [][]int
+}
+
+// ColumnStore is the column-oriented copy of a relation (the row-oriented
+// copy is the relation itself).
+type ColumnStore struct {
+	Rel     string
+	Columns map[string]*Column
+}
+
+// BuildColumnStore encodes every attribute of the relation.
+func BuildColumnStore(rel *data.Relation) (*ColumnStore, error) {
+	cs := &ColumnStore{Rel: rel.Schema.Name, Columns: make(map[string]*Column)}
+	for _, a := range rel.Schema.Attrs {
+		dict, err := BuildDictionary(rel, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		ai := rel.Schema.Index(a.Name)
+		col := &Column{Attr: a.Name, Dict: dict, IDs: make(map[int]int, rel.Len()), Postings: make([][]int, dict.Size())}
+		for _, t := range rel.Tuples {
+			id, _ := dict.ID(t.Values[ai])
+			col.IDs[t.TID] = id
+			col.Postings[id] = append(col.Postings[id], t.TID)
+		}
+		for _, p := range col.Postings {
+			sort.Ints(p)
+		}
+		cs.Columns[a.Name] = col
+	}
+	return cs, nil
+}
+
+// TIDsWithValue returns the tuples carrying value v in attr, sorted.
+func (cs *ColumnStore) TIDsWithValue(attr string, v data.Value) []int {
+	col := cs.Columns[attr]
+	if col == nil {
+		return nil
+	}
+	id, ok := col.Dict.ID(v)
+	if !ok {
+		return nil
+	}
+	return col.Postings[id]
+}
+
+// StoreRelation serialises a relation into the block store under key
+// (CSV payload split into blocks); the owning node is returned.
+func StoreRelation(st *Store, key string, rel *data.Relation) (string, error) {
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf, rel); err != nil {
+		return "", err
+	}
+	return st.Put(key, buf.Bytes())
+}
+
+// LoadRelation fetches and parses a relation stored by StoreRelation. from
+// names the requesting node (cross-node fetches are counted).
+func LoadRelation(st *Store, key, name, from string) (*data.Relation, error) {
+	payload, err := st.Get(key, from)
+	if err != nil {
+		return nil, err
+	}
+	return data.ReadCSV(bytes.NewReader(payload), name)
+}

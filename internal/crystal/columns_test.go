@@ -1,0 +1,104 @@
+package crystal
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func sampleRel(t *testing.T) *data.Relation {
+	t.Helper()
+	rel := data.NewRelation(data.MustSchema("Store",
+		data.Attribute{Name: "city", Type: data.TString},
+		data.Attribute{Name: "sales", Type: data.TFloat},
+	))
+	rel.Insert("s1", data.S("Beijing"), data.F(15))
+	rel.Insert("s2", data.S("Shanghai"), data.F(10))
+	rel.Insert("s3", data.S("Beijing"), data.F(11))
+	rel.Insert("s4", data.Null(data.TString), data.F(9))
+	return rel
+}
+
+func TestDictionarySortedIDs(t *testing.T) {
+	rel := sampleRel(t)
+	d, err := BuildDictionary(rel, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 distinct: null, Beijing, Shanghai.
+	if d.Size() != 3 {
+		t.Fatalf("size=%d", d.Size())
+	}
+	bid, ok1 := d.ID(data.S("Beijing"))
+	sid, ok2 := d.ID(data.S("Shanghai"))
+	if !ok1 || !ok2 || bid >= sid {
+		t.Error("ids must follow sorted value order (Beijing < Shanghai)")
+	}
+	if _, ok := d.ID(data.S("Chengdu")); ok {
+		t.Error("unseen value must miss")
+	}
+	if v, ok := d.Value(bid); !ok || v.Str() != "Beijing" {
+		t.Error("value round trip")
+	}
+	if _, ok := d.Value(99); ok {
+		t.Error("bad id must miss")
+	}
+	if _, err := BuildDictionary(rel, "ghost"); err == nil {
+		t.Error("unknown attribute must error")
+	}
+}
+
+func TestColumnStorePostings(t *testing.T) {
+	rel := sampleRel(t)
+	cs, err := BuildColumnStore(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beijing := cs.TIDsWithValue("city", data.S("Beijing"))
+	if len(beijing) != 2 || beijing[0] != 0 || beijing[1] != 2 {
+		t.Errorf("postings=%v", beijing)
+	}
+	if got := cs.TIDsWithValue("city", data.S("Nowhere")); got != nil {
+		t.Error("unseen value yields nil")
+	}
+	if got := cs.TIDsWithValue("ghost", data.S("x")); got != nil {
+		t.Error("unknown attr yields nil")
+	}
+	// Null values also group.
+	nulls := cs.TIDsWithValue("city", data.Null(data.TString))
+	if len(nulls) != 1 || nulls[0] != 3 {
+		t.Errorf("null postings=%v", nulls)
+	}
+}
+
+func TestStoreLoadRelationRoundTrip(t *testing.T) {
+	ring := NewRing(16)
+	ring.AddNode("n1")
+	ring.AddNode("n2")
+	st := NewStore(ring, NewRegistry(), 64) // force multiple blocks
+	rel := sampleRel(t)
+	node, err := StoreRelation(st, "Store/part0", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksOf("Store/part0") < 2 {
+		t.Error("expected the CSV to span blocks")
+	}
+	back, err := LoadRelation(st, "Store/part0", "Store", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rel.Len() {
+		t.Fatalf("len=%d", back.Len())
+	}
+	for i, orig := range rel.Tuples {
+		for j := range orig.Values {
+			if !back.Tuples[i].Values[j].Equal(orig.Values[j]) {
+				t.Errorf("cell %d/%d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := LoadRelation(st, "missing", "X", node); err == nil {
+		t.Error("missing key must error")
+	}
+}

@@ -1,0 +1,240 @@
+package crystal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPlacementStable(t *testing.T) {
+	r := NewRing(32)
+	r.AddNode("node-a")
+	r.AddNode("node-b")
+	r.AddNode("node-c")
+	if r.AddNode("node-a") {
+		t.Error("duplicate add must report false")
+	}
+	// Same key, same owner.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("obj/%d", i)
+		if r.Owner(k) != r.Owner(k) {
+			t.Fatal("owner must be deterministic")
+		}
+	}
+	if got := r.Nodes(); len(got) != 3 {
+		t.Errorf("nodes=%v", got)
+	}
+}
+
+func TestRingMinimalRemapping(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 5; i++ {
+		r.AddNode(fmt.Sprintf("node-%d", i))
+	}
+	const n = 1000
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d/obj", i)
+		before[k] = r.Owner(k)
+	}
+	r.AddNode("node-new")
+	moved := 0
+	for k, old := range before {
+		if r.Owner(k) != old {
+			moved++
+		}
+	}
+	// Consistent hashing: roughly 1/6 of keys move; fail above 1/3.
+	if moved == 0 || moved > n/3 {
+		t.Errorf("moved %d of %d keys on node add", moved, n)
+	}
+	// Removing the new node restores every placement.
+	if !r.RemoveNode("node-new") {
+		t.Fatal("remove must succeed")
+	}
+	for k, old := range before {
+		if r.Owner(k) != old {
+			t.Fatal("placements must restore after symmetric churn")
+		}
+	}
+	if r.RemoveNode("node-new") {
+		t.Error("double remove must report false")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("x") != "" {
+		t.Error("empty ring owns nothing")
+	}
+}
+
+func TestRegistryPutGetWatch(t *testing.T) {
+	g := NewRegistry()
+	ch := g.Watch()
+	rev1 := g.Put("a", "1")
+	rev2 := g.Put("a", "2")
+	if rev2 <= rev1 {
+		t.Error("revisions must increase")
+	}
+	if v, ok := g.Get("a"); !ok || v != "2" {
+		t.Error("get after put")
+	}
+	ev := <-ch
+	if ev.Key != "a" || ev.Value != "1" {
+		t.Errorf("event=%+v", ev)
+	}
+	if !g.Delete("a") || g.Delete("a") {
+		t.Error("delete semantics")
+	}
+	if _, ok := g.Get("a"); ok {
+		t.Error("deleted key visible")
+	}
+	g.Put("p/x", "1")
+	g.Put("p/y", "1")
+	g.Put("q/z", "1")
+	if ks := g.Keys("p/"); len(ks) != 2 || ks[0] != "p/x" {
+		t.Errorf("prefix keys=%v", ks)
+	}
+}
+
+func TestStoreBlocksAndAddressing(t *testing.T) {
+	ring := NewRing(32)
+	ring.AddNode("n1")
+	ring.AddNode("n2")
+	reg := NewRegistry()
+	st := NewStore(ring, reg, 8) // tiny blocks to force splitting
+	payload := []byte("0123456789abcdefXYZ")
+	node, err := st.Put("tbl/part0", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksOf("tbl/part0") != 3 {
+		t.Errorf("blocks=%d want 3", st.BlocksOf("tbl/part0"))
+	}
+	got, err := st.Get("tbl/part0", node)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("round trip failed: %q %v", got, err)
+	}
+	if st.RemoteFetches() != 0 {
+		t.Error("local fetch must not count remote")
+	}
+	other := "n1"
+	if node == "n1" {
+		other = "n2"
+	}
+	if _, err := st.Get("tbl/part0", other); err != nil {
+		t.Fatal(err)
+	}
+	if st.RemoteFetches() != 1 {
+		t.Error("cross-node fetch must count")
+	}
+	if _, err := st.Get("missing", "n1"); err == nil {
+		t.Error("missing object must error")
+	}
+	// Placement is registered.
+	if v, ok := reg.Get("placement/tbl/part0"); !ok || v != node {
+		t.Error("placement not registered")
+	}
+}
+
+func TestStoreEmptyPayload(t *testing.T) {
+	ring := NewRing(8)
+	ring.AddNode("n1")
+	st := NewStore(ring, NewRegistry(), 8)
+	if _, err := st.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("empty", "n1")
+	if err != nil || len(got) != 0 {
+		t.Error("empty object must round trip")
+	}
+}
+
+func TestStoreRebalance(t *testing.T) {
+	ring := NewRing(32)
+	ring.AddNode("n1")
+	st := NewStore(ring, NewRegistry(), 64)
+	for i := 0; i < 50; i++ {
+		if _, err := st.Put(fmt.Sprintf("g%d/o", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.AddNode("n2")
+	moved := st.Rebalance()
+	if moved == 0 || moved == 50 {
+		t.Errorf("rebalance moved %d of 50", moved)
+	}
+	// All objects still readable from their new owners.
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("g%d/o", i)
+		owner, _ := st.Owner(key)
+		if _, err := st.Get(key, owner); err != nil {
+			t.Fatalf("object %s unreadable after rebalance: %v", key, err)
+		}
+	}
+}
+
+func TestStorePutNoNodes(t *testing.T) {
+	st := NewStore(NewRing(8), NewRegistry(), 8)
+	if _, err := st.Put("k", []byte("v")); err == nil {
+		t.Error("put with no nodes must fail")
+	}
+}
+
+func TestSchedulerAffinityAndStealing(t *testing.T) {
+	ring := NewRing(32)
+	nodes := []string{"n1", "n2", "n3"}
+	for _, n := range nodes {
+		ring.AddNode(n)
+	}
+	s := NewScheduler(nodes)
+	for i := 0; i < 30; i++ {
+		u := &WorkUnit{ID: i, Part: fmt.Sprintf("p%d/b", i), EstCost: float64(1 + i%3)}
+		s.Assign(ring, u)
+	}
+	if s.Pending() != 30 {
+		t.Fatalf("pending=%d", s.Pending())
+	}
+	// Drain everything from one node with stealing on: it must empty the
+	// whole system.
+	drained := 0
+	for u := s.Next("n1", true); u != nil; u = s.Next("n1", true) {
+		drained++
+	}
+	if drained != 30 {
+		t.Errorf("drained %d of 30", drained)
+	}
+	if s.Steals() == 0 {
+		t.Error("stealing must have occurred")
+	}
+	// Without stealing, an empty queue yields nil.
+	if u := s.Next("n1", false); u != nil {
+		t.Error("no-steal next on empty queue must be nil")
+	}
+}
+
+func TestSchedulerBalancedAssignment(t *testing.T) {
+	s := NewScheduler([]string{"a", "b"})
+	for i := 0; i < 10; i++ {
+		s.AssignBalanced(&WorkUnit{ID: i, EstCost: 1})
+	}
+	if la, lb := s.Load("a"), s.Load("b"); la != lb {
+		t.Errorf("balanced assign skewed: %f vs %f", la, lb)
+	}
+}
+
+// Property: the ring's owner function is total and consistent for any key.
+func TestRingOwnerTotal(t *testing.T) {
+	r := NewRing(16)
+	r.AddNode("n1")
+	r.AddNode("n2")
+	f := func(key string) bool {
+		o := r.Owner(key)
+		return (o == "n1" || o == "n2") && o == r.Owner(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package crystal simulates Crystal, Rock's distributed file system
+// (paper §5.1), in-process: a consistent hash ring assigning data objects
+// and compute nodes to positions on a virtual ring (nodes hashed by CRC-32
+// of their address), an ETCD-style registry mapping hash codes to nodes, a
+// block-partitioned object store with two-level addressing, and the
+// work-unit scheduler of §5.2 with cost estimation and work stealing.
+//
+// Substitution note (DESIGN.md): the real Crystal spans a Kubernetes
+// cluster; this in-process version preserves the placement and scheduling
+// behaviour — remapping minimality on node churn, block addressing, load
+// balancing — which is what the scalability experiments exercise.
+package crystal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent hash ring. Each node occupies `replicas` virtual
+// positions; objects map to the first node clockwise from their hash.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []uint32          // sorted virtual positions
+	owner    map[uint32]string // position -> node
+	nodes    map[string]bool
+}
+
+// NewRing creates a ring with the given number of virtual positions per
+// node (16–128 is typical; more positions smooth the distribution).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 32
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint32]string),
+		nodes:    make(map[string]bool),
+	}
+}
+
+// hashNode follows the paper: node addresses hash with standard CRC-32.
+func hashNode(addr string, i int) uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d", addr, i)))
+}
+
+// HashObject hashes a data-object key onto the ring. The paper uses a
+// self-defined function based on spectral clustering so that similar
+// objects co-locate; we approximate the co-location property by hashing
+// the object's cluster prefix (text before the first '/') rather than the
+// full key, so callers can group objects via key naming.
+func HashObject(key string) uint32 {
+	prefix := key
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			prefix = key[:i]
+			break
+		}
+	}
+	return crc32.ChecksumIEEE([]byte(prefix))<<8 ^ crc32.ChecksumIEEE([]byte(key))>>24
+}
+
+// AddNode registers a node; it reports whether the node was new.
+func (r *Ring) AddNode(addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[addr] {
+		return false
+	}
+	r.nodes[addr] = true
+	for i := 0; i < r.replicas; i++ {
+		p := hashNode(addr, i)
+		if _, taken := r.owner[p]; taken {
+			continue // vanishingly rare collision: first owner keeps it
+		}
+		r.owner[p] = addr
+		r.points = append(r.points, p)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+	return true
+}
+
+// RemoveNode unregisters a node; it reports whether the node existed.
+func (r *Ring) RemoveNode(addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[addr] {
+		return false
+	}
+	delete(r.nodes, addr)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if r.owner[p] == addr {
+			delete(r.owner, p)
+			continue
+		}
+		keep = append(keep, p)
+	}
+	r.points = keep
+	return true
+}
+
+// Owner returns the node owning the object key, or "" when the ring is
+// empty.
+func (r *Ring) Owner(key string) string {
+	return r.OwnerOfHash(HashObject(key))
+}
+
+// OwnerOfHash returns the node owning a precomputed hash position.
+func (r *Ring) OwnerOfHash(h uint32) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.owner[r.points[i]]
+}
+
+// Nodes returns the registered node addresses, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry is the ETCD stand-in: a consistent, watchable key-value store
+// where the ring's hash-to-node mapping (and any other metadata) is
+// registered (paper §5.1).
+type Registry struct {
+	mu       sync.RWMutex
+	kv       map[string]string
+	revision int64
+	watchers []chan Event
+}
+
+// Event is a registry change notification.
+type Event struct {
+	Key, Value string
+	Revision   int64
+	Deleted    bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{kv: make(map[string]string)} }
+
+// Put stores a key and notifies watchers; it returns the new revision.
+func (g *Registry) Put(key, value string) int64 {
+	g.mu.Lock()
+	g.revision++
+	rev := g.revision
+	g.kv[key] = value
+	ev := Event{Key: key, Value: value, Revision: rev}
+	watchers := append([]chan Event(nil), g.watchers...)
+	g.mu.Unlock()
+	for _, w := range watchers {
+		select {
+		case w <- ev:
+		default: // slow watcher: drop rather than block the store
+		}
+	}
+	return rev
+}
+
+// Get reads a key.
+func (g *Registry) Get(key string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.kv[key]
+	return v, ok
+}
+
+// Delete removes a key and notifies watchers.
+func (g *Registry) Delete(key string) bool {
+	g.mu.Lock()
+	_, ok := g.kv[key]
+	if ok {
+		g.revision++
+		delete(g.kv, key)
+	}
+	rev := g.revision
+	watchers := append([]chan Event(nil), g.watchers...)
+	g.mu.Unlock()
+	if ok {
+		for _, w := range watchers {
+			select {
+			case w <- Event{Key: key, Revision: rev, Deleted: true}:
+			default:
+			}
+		}
+	}
+	return ok
+}
+
+// Watch returns a channel of future events (buffered; slow consumers may
+// miss events, as with a real watch under compaction).
+func (g *Registry) Watch() <-chan Event {
+	ch := make(chan Event, 64)
+	g.mu.Lock()
+	g.watchers = append(g.watchers, ch)
+	g.mu.Unlock()
+	return ch
+}
+
+// Keys lists keys with the given prefix, sorted.
+func (g *Registry) Keys(prefix string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for k := range g.kv {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package crystal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Block is one storage block: data objects at each node are partitioned
+// into blocks stored as a linked list (paper §5.1). Payloads are opaque
+// byte slices; relations serialise through data.WriteCSV.
+type Block struct {
+	ID      int
+	Key     string // owning object key
+	Seq     int    // position within the object
+	Payload []byte
+	next    *Block
+}
+
+// Store is the block-partitioned object store with two-level addressing:
+// the first level (always in memory after start) maps object keys to the
+// owning node; the second maps (node, key) to the block list.
+type Store struct {
+	mu        sync.RWMutex
+	ring      *Ring
+	registry  *Registry
+	blockSize int
+	// level-1: object -> node (also mirrored in the registry)
+	placement map[string]string
+	// level-2: node -> key -> head block
+	blocks  map[string]map[string]*Block
+	nextBlk int
+	// transfer counters for tests/benches
+	remoteFetches int
+}
+
+// NewStore creates a store over a ring and registry with the given block
+// size in bytes.
+func NewStore(ring *Ring, registry *Registry, blockSize int) *Store {
+	if blockSize <= 0 {
+		blockSize = 1 << 16
+	}
+	return &Store{
+		ring:      ring,
+		registry:  registry,
+		blockSize: blockSize,
+		placement: make(map[string]string),
+		blocks:    make(map[string]map[string]*Block),
+	}
+}
+
+// Put stores an object, splitting it into blocks on the owning node, and
+// registers the placement.
+func (s *Store) Put(key string, payload []byte) (node string, err error) {
+	node = s.ring.Owner(key)
+	if node == "" {
+		return "", fmt.Errorf("crystal: no nodes in ring")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nm := s.blocks[node]
+	if nm == nil {
+		nm = make(map[string]*Block)
+		s.blocks[node] = nm
+	}
+	var head, tail *Block
+	for seq, off := 0, 0; off < len(payload) || seq == 0; seq++ {
+		end := off + s.blockSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		b := &Block{ID: s.nextBlk, Key: key, Seq: seq, Payload: append([]byte(nil), payload[off:end]...)}
+		s.nextBlk++
+		if head == nil {
+			head = b
+		} else {
+			tail.next = b
+		}
+		tail = b
+		off = end
+		if off >= len(payload) {
+			break
+		}
+	}
+	nm[key] = head
+	s.placement[key] = node
+	s.registry.Put("placement/"+key, node)
+	return node, nil
+}
+
+// Get fetches an object. from names the requesting node; a fetch from a
+// non-owning node counts as a remote fetch (the two-level addressing
+// lookup plus cross-node message of paper §5.1).
+func (s *Store) Get(key, from string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.placement[key]
+	if !ok {
+		return nil, fmt.Errorf("crystal: object %q not found", key)
+	}
+	if node != from {
+		s.remoteFetches++
+	}
+	var out []byte
+	for b := s.blocks[node][key]; b != nil; b = b.next {
+		out = append(out, b.Payload...)
+	}
+	return out, nil
+}
+
+// Owner returns the placement of an object.
+func (s *Store) Owner(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.placement[key]
+	return n, ok
+}
+
+// Keys lists stored object keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.placement))
+	for k := range s.placement {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoteFetches reports cross-node fetches since creation.
+func (s *Store) RemoteFetches() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.remoteFetches
+}
+
+// BlocksOf returns the number of blocks an object occupies.
+func (s *Store) BlocksOf(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	node, ok := s.placement[key]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for b := s.blocks[node][key]; b != nil; b = b.next {
+		n++
+	}
+	return n
+}
+
+// Rebalance re-places every object whose ring owner changed (after node
+// churn); it returns the number of objects moved. Consistent hashing keeps
+// this small relative to the object count.
+func (s *Store) Rebalance() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	moved := 0
+	for key, cur := range s.placement {
+		want := s.ring.Owner(key)
+		if want == "" || want == cur {
+			continue
+		}
+		head := s.blocks[cur][key]
+		delete(s.blocks[cur], key)
+		nm := s.blocks[want]
+		if nm == nil {
+			nm = make(map[string]*Block)
+			s.blocks[want] = nm
+		}
+		nm[key] = head
+		s.placement[key] = want
+		s.registry.Put("placement/"+key, want)
+		moved++
+	}
+	return moved
+}

@@ -1,0 +1,154 @@
+package crystal
+
+import (
+	"sort"
+	"sync"
+)
+
+// WorkUnit is T = (φ, D_T): a (partial) REE++ paired with a data partition
+// (paper §5.2). The scheduler treats it opaquely; RuleID and Part identify
+// the pieces, EstCost drives placement, and Run executes it.
+type WorkUnit struct {
+	ID      int
+	RuleID  string
+	Part    string // partition key, e.g. "Trans/block3"
+	EstCost float64
+	Run     func() // executed by a worker
+}
+
+// Scheduler distributes work units over nodes with the three load-balancing
+// strategies of paper §5.2: (1) block-granular partitions, (2) cost
+// estimation at generation time, and (3) non-centralised work
+// re-assignment — an idle node fetches units from the most loaded peer.
+type Scheduler struct {
+	mu     sync.Mutex
+	queues map[string][]*WorkUnit // node -> pending units (max-cost first)
+	loads  map[string]float64     // node -> pending cost
+	steals int
+}
+
+// NewScheduler creates a scheduler for the given nodes.
+func NewScheduler(nodes []string) *Scheduler {
+	s := &Scheduler{
+		queues: make(map[string][]*WorkUnit, len(nodes)),
+		loads:  make(map[string]float64, len(nodes)),
+	}
+	for _, n := range nodes {
+		s.queues[n] = nil
+		s.loads[n] = 0
+	}
+	return s
+}
+
+// Assign places a unit on the node owning its partition (by consistent
+// hash), falling back to the least-loaded node when the owner is unknown.
+func (s *Scheduler) Assign(ring *Ring, u *WorkUnit) string {
+	node := ring.Owner(u.Part)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queues[node]; !ok || node == "" {
+		node = s.leastLoadedLocked()
+	}
+	s.queues[node] = append(s.queues[node], u)
+	s.loads[node] += u.EstCost
+	return node
+}
+
+// AssignBalanced ignores placement and puts the unit on the least-loaded
+// node; used when partitions have no affinity.
+func (s *Scheduler) AssignBalanced(u *WorkUnit) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node := s.leastLoadedLocked()
+	s.queues[node] = append(s.queues[node], u)
+	s.loads[node] += u.EstCost
+	return node
+}
+
+func (s *Scheduler) leastLoadedLocked() string {
+	best, bestLoad := "", -1.0
+	// Deterministic tie-break by node name.
+	names := make([]string, 0, len(s.queues))
+	for n := range s.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if bestLoad < 0 || s.loads[n] < bestLoad {
+			best, bestLoad = n, s.loads[n]
+		}
+	}
+	return best
+}
+
+// Next pops a unit for the node. When the node's own queue is empty and
+// stealing is enabled, it fetches the costliest pending unit from the most
+// loaded peer (paper §5.2: "when a node finishes its assigned work units,
+// it evokes the work manager to fetch work units from other nodes").
+func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.queues[node]; len(q) > 0 {
+		u := q[len(q)-1]
+		s.queues[node] = q[:len(q)-1]
+		s.loads[node] -= u.EstCost
+		return u
+	}
+	if !steal {
+		return nil
+	}
+	// Find the most loaded peer.
+	victim, maxLoad := "", 0.0
+	names := make([]string, 0, len(s.queues))
+	for n := range s.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n != node && len(s.queues[n]) > 0 && s.loads[n] > maxLoad {
+			victim, maxLoad = n, s.loads[n]
+		}
+	}
+	if victim == "" {
+		return nil
+	}
+	// Steal the costliest unit (front of queue after sort-on-assign order
+	// is approximated by scanning).
+	q := s.queues[victim]
+	bi := 0
+	for i, u := range q {
+		if u.EstCost > q[bi].EstCost {
+			bi = i
+		}
+	}
+	u := q[bi]
+	s.queues[victim] = append(q[:bi], q[bi+1:]...)
+	s.loads[victim] -= u.EstCost
+	s.steals++
+	return u
+}
+
+// Pending reports the number of queued units across nodes.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Steals reports how many units were re-assigned by stealing.
+func (s *Scheduler) Steals() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steals
+}
+
+// Load reports a node's pending estimated cost.
+func (s *Scheduler) Load(node string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads[node]
+}

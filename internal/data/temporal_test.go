@@ -1,0 +1,156 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTemporalRelationStamps(t *testing.T) {
+	r := NewRelation(MustSchema("R", Attribute{"A", TString}))
+	tp := r.Insert("e1", S("v"))
+	tr := NewTemporalRelation(r)
+	if _, ok := tr.Timestamp(tp.TID, "A"); ok {
+		t.Error("no stamp yet")
+	}
+	tr.Stamp(tp.TID, "A", 100)
+	if ts, ok := tr.Timestamp(tp.TID, "A"); !ok || ts != 100 {
+		t.Error("stamp lost")
+	}
+}
+
+func TestTemporalOrderTransitivity(t *testing.T) {
+	o := NewTemporalOrder("R", "A")
+	o.AddWeak(1, 2)
+	o.AddWeak(2, 3)
+	if !o.Leq(1, 3) {
+		t.Error("transitive Leq failed")
+	}
+	if o.Leq(3, 1) {
+		t.Error("reverse must not hold")
+	}
+	if !o.Leq(5, 5) {
+		t.Error("Leq must be reflexive")
+	}
+	if o.Less(1, 3) {
+		t.Error("no strict edge, Less must be false")
+	}
+	o.AddStrict(3, 4)
+	if !o.Less(1, 4) {
+		t.Error("weak path + strict edge must give Less")
+	}
+	if !o.Leq(1, 4) {
+		t.Error("strict implies weak")
+	}
+	if o.Less(4, 4) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestTemporalOrderCycleDetection(t *testing.T) {
+	o := NewTemporalOrder("R", "A")
+	o.AddWeak(1, 2)
+	o.AddWeak(2, 1) // ties are fine
+	if o.HasCycleOfStrict() {
+		t.Error("weak cycle alone is valid (a tie)")
+	}
+	o.AddStrict(1, 2)
+	if !o.HasCycleOfStrict() {
+		t.Error("strict edge inside weak cycle must be invalid")
+	}
+}
+
+func TestTemporalOrderLatest(t *testing.T) {
+	o := NewTemporalOrder("R", "A")
+	o.AddStrict(1, 2)
+	o.AddStrict(2, 3)
+	got := o.Latest([]int{1, 2, 3})
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("latest=%v want [3]", got)
+	}
+	// Incomparable elements are all maximal.
+	got = o.Latest([]int{3, 9})
+	if len(got) != 2 {
+		t.Errorf("latest=%v want both", got)
+	}
+}
+
+func TestSeedFromTimestamps(t *testing.T) {
+	db := NewDatabase()
+	r := NewRelation(MustSchema("R", Attribute{"A", TString}))
+	t1 := r.Insert("e1", S("old"))
+	t2 := r.Insert("e2", S("new"))
+	t3 := r.Insert("e3", S("tie"))
+	db.Add(r)
+	ti := NewTemporalInstance(db)
+	tr := ti.Stamps["R"]
+	tr.Stamp(t1.TID, "A", 10)
+	tr.Stamp(t2.TID, "A", 20)
+	tr.Stamp(t3.TID, "A", 20)
+	ti.SeedFromTimestamps()
+	o := ti.Order("R", "A")
+	if !o.Less(t1.TID, t2.TID) {
+		t.Error("earlier stamp must be strictly older")
+	}
+	if !o.Leq(t2.TID, t3.TID) || !o.Leq(t3.TID, t2.TID) {
+		t.Error("equal stamps must be weakly ordered both ways")
+	}
+	if o.Less(t2.TID, t3.TID) {
+		t.Error("equal stamps must not be strict")
+	}
+	if o.HasCycleOfStrict() {
+		t.Error("seeding must produce a valid order")
+	}
+}
+
+// Property: seeding from any set of timestamps never creates an invalid
+// (strict-cyclic) order, because strict edges always follow strictly
+// increasing timestamps.
+func TestSeedFromTimestampsAlwaysValid(t *testing.T) {
+	f := func(stamps []int8) bool {
+		db := NewDatabase()
+		r := NewRelation(MustSchema("R", Attribute{"A", TString}))
+		for range stamps {
+			r.Insert("e", S("v"))
+		}
+		db.Add(r)
+		ti := NewTemporalInstance(db)
+		for i, s := range stamps {
+			ti.Stamps["R"].Stamp(r.Tuples[i].TID, "A", int64(s))
+		}
+		ti.SeedFromTimestamps()
+		return !ti.Order("R", "A").HasCycleOfStrict()
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemporalOrderCloneAndPairs(t *testing.T) {
+	o := NewTemporalOrder("R", "A")
+	o.AddWeak(1, 2)
+	o.AddStrict(2, 3)
+	c := o.Clone()
+	c.AddStrict(3, 1) // mutate the clone only
+	if o.Less(3, 1) {
+		t.Error("clone mutated the original")
+	}
+	if !c.Less(2, 3) || !c.Leq(1, 2) {
+		t.Error("clone lost edges")
+	}
+	pairs := o.Pairs()
+	if len(pairs) != 2 {
+		t.Errorf("pairs=%v", pairs)
+	}
+	strict := o.StrictPairs()
+	if len(strict) != 1 || strict[0] != [2]int{2, 3} {
+		t.Errorf("strict pairs=%v", strict)
+	}
+}
+
+func TestCellRefString(t *testing.T) {
+	c := CellRef{Rel: "Person", TID: 7, Attr: "home"}
+	if c.String() != "Person[7].home" {
+		t.Errorf("cellref string=%q", c.String())
+	}
+}

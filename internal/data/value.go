@@ -1,0 +1,266 @@
+// Package data defines the relational substrate underlying Rock: typed
+// values with nulls, schemas, tuples carrying entity identifiers (EIDs),
+// relations, databases, and temporal relations that attach per-cell
+// timestamps and partial currency orders (paper §2, "Preliminaries").
+package data
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the attribute types supported by Rock schemas.
+type Type int
+
+const (
+	// TString is a textual attribute.
+	TString Type = iota
+	// TInt is a 64-bit integer attribute.
+	TInt
+	// TFloat is a 64-bit floating point attribute.
+	TFloat
+	// TBool is a Boolean attribute.
+	TBool
+	// TTime is a timestamp attribute (stored as Unix seconds).
+	TTime
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TString:
+		return "string"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TTime:
+		return "time"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a single attribute value. The zero Value is null.
+// Values are small and passed by value throughout.
+type Value struct {
+	kind  Type
+	null  bool
+	s     string
+	i     int64
+	f     float64
+	b     bool
+	valid bool // distinguishes the zero Value (null) from constructed ones
+}
+
+// Null returns a null value of the given type.
+func Null(t Type) Value { return Value{kind: t, null: true, valid: true} }
+
+// S constructs a string value.
+func S(v string) Value { return Value{kind: TString, s: v, valid: true} }
+
+// I constructs an integer value.
+func I(v int64) Value { return Value{kind: TInt, i: v, valid: true} }
+
+// F constructs a float value.
+func F(v float64) Value { return Value{kind: TFloat, f: v, valid: true} }
+
+// B constructs a Boolean value.
+func B(v bool) Value { return Value{kind: TBool, b: v, valid: true} }
+
+// TS constructs a timestamp value from Unix seconds.
+func TS(unix int64) Value { return Value{kind: TTime, i: unix, valid: true} }
+
+// Time constructs a timestamp value from a time.Time.
+func Time(t time.Time) Value { return TS(t.Unix()) }
+
+// Kind reports the type of the value.
+func (v Value) Kind() Type { return v.kind }
+
+// IsNull reports whether the value is null. The zero Value is null.
+func (v Value) IsNull() bool { return v.null || !v.valid }
+
+// Str returns the string payload; only meaningful for TString values.
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer payload; meaningful for TInt and TTime values.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the numeric payload as float64 for TInt, TFloat and TTime.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case TInt, TTime:
+		return float64(v.i)
+	case TFloat:
+		return v.f
+	default:
+		return 0
+	}
+}
+
+// Bool returns the Boolean payload; only meaningful for TBool values.
+func (v Value) Bool() bool { return v.b }
+
+// Unix returns the timestamp payload in Unix seconds for TTime values.
+func (v Value) Unix() int64 { return v.i }
+
+// Equal reports deep equality between two values. Nulls are equal only to
+// nulls of any type (SQL users beware: Rock treats null = null as true when
+// comparing fix candidates, and the chase never equates a null with a
+// non-null).
+func (v Value) Equal(w Value) bool {
+	if v.IsNull() || w.IsNull() {
+		return v.IsNull() && w.IsNull()
+	}
+	if v.kind != w.kind {
+		// Numeric cross-type comparison.
+		if isNumeric(v.kind) && isNumeric(w.kind) {
+			return v.Float() == w.Float()
+		}
+		return false
+	}
+	switch v.kind {
+	case TString:
+		return v.s == w.s
+	case TInt, TTime:
+		return v.i == w.i
+	case TFloat:
+		return v.f == w.f
+	case TBool:
+		return v.b == w.b
+	}
+	return false
+}
+
+// Compare orders two non-null values: -1 if v<w, 0 if equal, +1 if v>w.
+// Null values sort before everything; two nulls compare equal.
+func (v Value) Compare(w Value) int {
+	switch {
+	case v.IsNull() && w.IsNull():
+		return 0
+	case v.IsNull():
+		return -1
+	case w.IsNull():
+		return 1
+	}
+	if isNumeric(v.kind) && isNumeric(w.kind) {
+		a, b := v.Float(), w.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind == TString && w.kind == TString {
+		return strings.Compare(v.s, w.s)
+	}
+	if v.kind == TBool && w.kind == TBool {
+		switch {
+		case v.b == w.b:
+			return 0
+		case w.b:
+			return -1
+		default:
+			return 1
+		}
+	}
+	// Incomparable kinds order by kind for determinism.
+	switch {
+	case v.kind < w.kind:
+		return -1
+	case v.kind > w.kind:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func isNumeric(t Type) bool { return t == TInt || t == TFloat || t == TTime }
+
+// String renders the value for display and CSV round-tripping.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "null"
+	}
+	switch v.kind {
+	case TString:
+		return v.s
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TBool:
+		return strconv.FormatBool(v.b)
+	case TTime:
+		return time.Unix(v.i, 0).UTC().Format("2006-01-02T15:04:05Z")
+	}
+	return ""
+}
+
+// Parse converts text into a value of type t. The literal "null" (and the
+// empty string for non-string types) parses as null.
+func Parse(t Type, text string) (Value, error) {
+	if text == "null" || (text == "" && t != TString) {
+		return Null(t), nil
+	}
+	switch t {
+	case TString:
+		return S(text), nil
+	case TInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse int %q: %w", text, err)
+		}
+		return I(n), nil
+	case TFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse float %q: %w", text, err)
+		}
+		return F(f), nil
+	case TBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse bool %q: %w", text, err)
+		}
+		return B(b), nil
+	case TTime:
+		if ts, err := time.Parse("2006-01-02T15:04:05Z", text); err == nil {
+			return TS(ts.Unix()), nil
+		}
+		if ts, err := time.Parse("2006-01-02", text); err == nil {
+			return TS(ts.Unix()), nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse time %q: %w", text, err)
+		}
+		return TS(n), nil
+	}
+	return Value{}, fmt.Errorf("unknown type %v", t)
+}
+
+// MustParse is Parse that panics on error; for literals in tests and examples.
+func MustParse(t Type, text string) Value {
+	v, err := Parse(t, text)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Key returns a canonical string usable as a map key, prefixed by kind so
+// values of different kinds never collide.
+func (v Value) Key() string {
+	if v.IsNull() {
+		return "\x00null"
+	}
+	return string(rune('0'+int(v.kind))) + "\x1f" + v.String()
+}

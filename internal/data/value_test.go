@@ -1,0 +1,193 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueNullness(t *testing.T) {
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be null")
+	}
+	if !Null(TInt).IsNull() {
+		t.Fatal("Null(TInt) must be null")
+	}
+	if S("x").IsNull() {
+		t.Fatal("S must not be null")
+	}
+	if S("").IsNull() {
+		t.Fatal("empty string is a value, not null")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{S("a"), S("a"), true},
+		{S("a"), S("b"), false},
+		{I(3), I(3), true},
+		{I(3), F(3), true}, // numeric cross-type
+		{I(3), F(3.5), false},
+		{B(true), B(true), true},
+		{B(true), B(false), false},
+		{Null(TString), Null(TInt), true}, // null equals null
+		{Null(TString), S(""), false},
+		{TS(100), TS(100), true},
+		{TS(100), I(100), true},
+		{S("3"), I(3), false}, // no string/number coercion
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: %v == %v: got %v want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("case %d (sym): %v == %v: got %v want %v", i, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{I(1), I(2), -1},
+		{I(2), I(1), 1},
+		{F(1.5), I(2), -1},
+		{S("a"), S("b"), -1},
+		{S("b"), S("a"), 1},
+		{S("a"), S("a"), 0},
+		{Null(TInt), I(0), -1},
+		{I(0), Null(TInt), 1},
+		{Null(TInt), Null(TString), 0},
+		{B(false), B(true), -1},
+		{TS(5), TS(9), -1},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: cmp(%v,%v)=%d want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return I(a).Compare(I(b)) == -I(b).Compare(I(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return S(a).Compare(S(b)) == -S(b).Compare(S(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	vals := []Value{S("hello world"), I(-42), F(3.25), B(true), TS(1700000000), Null(TInt), Null(TString)}
+	types := []Type{TString, TInt, TFloat, TBool, TTime, TInt, TString}
+	for i, v := range vals {
+		if v.IsNull() && types[i] == TString {
+			// "null" string round-trips as the literal string; skip.
+			continue
+		}
+		got, err := Parse(types[i], v.String())
+		if err != nil {
+			t.Fatalf("parse %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestParseRoundTripQuick(t *testing.T) {
+	f := func(n int64) bool {
+		v, err := Parse(TInt, I(n).String())
+		return err == nil && v.Equal(I(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := Parse(TTime, "2021-11-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsNull() || v.Kind() != TTime {
+		t.Fatalf("bad date value: %v", v)
+	}
+	v2 := MustParse(TTime, "2023-08-12")
+	if v.Compare(v2) != -1 {
+		t.Error("2021-11-11 should be before 2023-08-12")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(TInt, "abc"); err == nil {
+		t.Error("expected int parse error")
+	}
+	if _, err := Parse(TFloat, "xx"); err == nil {
+		t.Error("expected float parse error")
+	}
+	if _, err := Parse(TBool, "yes?no"); err == nil {
+		t.Error("expected bool parse error")
+	}
+	if _, err := Parse(TTime, "not-a-date"); err == nil {
+		t.Error("expected time parse error")
+	}
+}
+
+func TestValueKeyDistinct(t *testing.T) {
+	// Values of different kinds must never share a key.
+	pairs := [][2]Value{
+		{S("3"), I(3)},
+		{S("true"), B(true)},
+		{I(0), B(false)},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision between %v and %v", p[0], p[1])
+		}
+	}
+	if S("x").Key() != S("x").Key() {
+		t.Error("same value must have same key")
+	}
+	if Null(TInt).Key() != Null(TString).Key() {
+		t.Error("nulls share one key")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if S("abc").Str() != "abc" {
+		t.Error("Str")
+	}
+	if I(42).Int() != 42 {
+		t.Error("Int")
+	}
+	if !B(true).Bool() {
+		t.Error("Bool")
+	}
+	if TS(99).Unix() != 99 {
+		t.Error("Unix")
+	}
+	when := Time(time.Unix(12345, 0))
+	if when.Kind() != TTime || when.Unix() != 12345 {
+		t.Error("Time constructor")
+	}
+	// Float accessor across kinds.
+	if I(3).Float() != 3 || F(2.5).Float() != 2.5 || TS(7).Float() != 7 || S("x").Float() != 0 {
+		t.Error("Float")
+	}
+	if B(true).String() != "true" {
+		t.Error("bool String")
+	}
+}

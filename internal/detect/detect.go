@@ -1,0 +1,504 @@
+// Package detect implements Rock's error-detection module (paper §3 and
+// §5.3): given a set Σ of REE++s and a dataset D, it catches the errors in
+// D as violations of the rules. For data-partitioned parallelism it
+// extends the HyperCube partitioning of [41]: the data is divided into
+// virtual blocks and each rule gets one work unit per block combination,
+// distributed over the simulated cluster with consistent hashing and work
+// stealing. A batch mode scans all of D; an incremental mode restricts to
+// valuations touching changed tuples (ΔD).
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rockclean/rock/internal/cluster"
+	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/exec"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Error is one detected error: a rule violation with the cells (or the
+// duplicate pair) it implicates.
+type Error struct {
+	RuleID string
+	Task   ree.Task
+	// Cells are the attribute cells the violation implicates (CR/TD/MI).
+	Cells []data.CellRef
+	// DupEIDs is the unidentified duplicate pair (ER), lexicographically
+	// ordered.
+	DupEIDs [2]string
+}
+
+// Key returns a deduplication key covering the implicated evidence (not
+// the rule), so the same underlying error found by two rules counts once.
+func (e *Error) Key() string {
+	if e.Task == ree.TaskER {
+		return "dup:" + e.DupEIDs[0] + "|" + e.DupEIDs[1]
+	}
+	s := "cell:"
+	ks := make([]string, len(e.Cells))
+	for i, c := range e.Cells {
+		ks[i] = c.String()
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		s += k + ";"
+	}
+	return s
+}
+
+// Options tunes a detection run.
+type Options struct {
+	// Workers is the simulated cluster size n (paper Figure 4(h)).
+	Workers int
+	// Blocks is the HyperCube block count per dimension; 0 picks
+	// max(Workers, 4).
+	Blocks int
+	// UseBlocking enables LSH blocking for ML predicates.
+	UseBlocking bool
+	// Steal enables work stealing between workers.
+	Steal bool
+}
+
+// DefaultOptions is Rock's shipped configuration.
+func DefaultOptions() Options {
+	return Options{Workers: 4, UseBlocking: true, Steal: true}
+}
+
+// Detector detects violations of a rule set over a database.
+type Detector struct {
+	env   *predicate.Env
+	rules []*ree.Rule
+	opts  Options
+}
+
+// New creates a detector.
+func New(env *predicate.Env, rules []*ree.Rule, opts Options) *Detector {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Blocks <= 0 {
+		opts.Blocks = opts.Workers
+		if opts.Blocks < 4 {
+			opts.Blocks = 4
+		}
+	}
+	return &Detector{env: env, rules: rules, opts: opts}
+}
+
+// Detect runs batch detection over the whole database and returns the
+// deduplicated errors.
+func (d *Detector) Detect() ([]*Error, error) {
+	return d.run(nil)
+}
+
+// DetectIncremental runs incremental detection: only violations involving
+// at least one dirty tuple are found (paper §3, "incrementally detects
+// errors in response to updates"). dirty maps relation name to changed
+// TIDs.
+func (d *Detector) DetectIncremental(dirty map[string]map[int]bool) ([]*Error, error) {
+	return d.run(dirty)
+}
+
+func (d *Detector) run(dirty map[string]map[int]bool) ([]*Error, error) {
+	errs, _, err := d.runMode(dirty, false)
+	return errs, err
+}
+
+// DetectSimulated runs batch detection measuring each work unit's cost
+// serially, then returns the detected errors together with the simulated
+// parallel makespan over the configured worker count (see
+// cluster.SimulateMakespan — the substitution used on hosts without
+// enough physical cores to express the paper's cluster sizes).
+func (d *Detector) DetectSimulated() ([]*Error, time.Duration, error) {
+	return d.runMode(nil, true)
+}
+
+func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Error, time.Duration, error) {
+	cl := cluster.New(d.opts.Workers)
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	var out []*Error
+	var firstErr error
+
+	blocks := d.partition()
+	var all []*crystal.WorkUnit
+	for _, r := range d.rules {
+		units, err := d.unitsFor(r, blocks, dirty, func(errs []*Error) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, e := range errs {
+				if !seen[e.Key()] {
+					seen[e.Key()] = true
+					out = append(out, e)
+				}
+			}
+		}, &mu, &firstErr)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, units...)
+	}
+	var makespan time.Duration
+	if simulate {
+		sims := make([]cluster.SimUnit, 0, len(all))
+		for _, u := range all {
+			start := time.Now()
+			u.Run()
+			sims = append(sims, cluster.SimUnit{Node: cl.Ring.Owner(u.Part), Cost: time.Since(start)})
+		}
+		makespan = cluster.SimulateMakespan(sims, cl.Nodes(), d.opts.Steal)
+	} else {
+		for _, u := range all {
+			cl.Submit(u)
+		}
+		cl.Drain(cluster.Options{Steal: d.opts.Steal})
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	out = AttributeCulpritsFreq(out, d.culpritScore())
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, makespan, nil
+}
+
+// culpritScore returns the tie-break signal for culprit attribution: the
+// cell's column value frequency plus a character-bigram plausibility term
+// in [0, 1). Typos and corrupted numbers are rare in their columns and
+// contain bigrams the column has never seen elsewhere, so lower scores
+// mark the likelier culprit.
+func (d *Detector) culpritScore() func(data.CellRef) float64 {
+	return CulpritScoreFn(d.env.DB)
+}
+
+// CulpritScoreFn builds the culprit tie-break score over one database
+// (shared with the SQL-engine baselines, which run the same rules).
+func CulpritScoreFn(db *data.Database) func(data.CellRef) float64 {
+	type colKey struct{ rel, attr string }
+	type colStats struct {
+		freq    map[string]int
+		bigrams map[string]int
+		total   int
+	}
+	cache := map[colKey]*colStats{}
+	stats := func(c data.CellRef) *colStats {
+		k := colKey{c.Rel, c.Attr}
+		st := cache[k]
+		if st != nil {
+			return st
+		}
+		rel := db.Rel(c.Rel)
+		if rel == nil {
+			return &colStats{}
+		}
+		ai := rel.Schema.Index(c.Attr)
+		if ai < 0 {
+			return &colStats{}
+		}
+		st = &colStats{freq: map[string]int{}, bigrams: map[string]int{}}
+		for _, t := range rel.Tuples {
+			v := t.Values[ai]
+			st.freq[v.Key()]++
+			s := v.String()
+			for i := 0; i+2 <= len(s); i++ {
+				st.bigrams[s[i:i+2]]++
+				st.total++
+			}
+		}
+		cache[k] = st
+		return st
+	}
+	return func(c data.CellRef) float64 {
+		rel := db.Rel(c.Rel)
+		if rel == nil {
+			return 0
+		}
+		v, ok := rel.Value(c.TID, c.Attr)
+		if !ok {
+			return 0
+		}
+		if v.IsNull() {
+			// A null participating in a violation is the error by
+			// definition (the MI case): absolute culprit priority.
+			return -1
+		}
+		st := stats(c)
+		score := float64(st.freq[v.Key()])
+		// Bigram plausibility in [0, 1): the mean relative frequency of the
+		// value's bigrams within its column.
+		s := v.String()
+		if st.total > 0 && len(s) >= 2 {
+			sum, n := 0.0, 0.0
+			max := 0
+			for _, cnt := range st.bigrams {
+				if cnt > max {
+					max = cnt
+				}
+			}
+			for i := 0; i+2 <= len(s); i++ {
+				sum += float64(st.bigrams[s[i:i+2]]) / float64(max)
+				n++
+			}
+			if n > 0 {
+				score += 0.99 * (sum / n)
+			}
+		}
+		return score
+	}
+}
+
+// AttributeCulprits refines two-cell violations into single-cell errors by
+// greedy vertex cover over the violation graph (see AttributeCulpritsFreq,
+// which it calls without a frequency tie-break).
+func AttributeCulprits(errs []*Error) []*Error {
+	return AttributeCulpritsFreq(errs, nil)
+}
+
+// AttributeCulpritsFreq refines two-cell violations into single-cell errors
+// by greedy vertex cover over the violation graph: a truly erroneous cell
+// conflicts with every clean witness in its group, so it covers many
+// violations, while each clean cell conflicts only with the few erroneous
+// ones. Repeatedly flagging the highest-degree cell until all two-cell
+// violations are covered pins the blame precisely (the standard
+// hypergraph-cover heuristic for dependency violations). Degree ties —
+// e.g. a group with exactly one clean and one dirty member — are broken by
+// value rarity when freq is supplied: the cell whose value is rarer in its
+// column is the culprit. One-cell and ER errors pass through unchanged.
+func AttributeCulpritsFreq(errs []*Error, freq func(data.CellRef) float64) []*Error {
+	var out []*Error
+	type edge struct{ a, b string }
+	var edges []edge
+	meta := map[string]data.CellRef{}
+	byCellErr := map[string]*Error{}
+	for _, e := range errs {
+		if e.Task != ree.TaskER && len(e.Cells) == 2 {
+			a, b := e.Cells[0], e.Cells[1]
+			edges = append(edges, edge{a.String(), b.String()})
+			meta[a.String()] = a
+			meta[b.String()] = b
+			if byCellErr[a.String()] == nil {
+				byCellErr[a.String()] = e
+			}
+			if byCellErr[b.String()] == nil {
+				byCellErr[b.String()] = e
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	covered := make([]bool, len(edges))
+	remaining := len(edges)
+	// Pre-pass: null cells (score < 0) are culprits outright.
+	if freq != nil {
+		flagged := map[string]bool{}
+		for i, ed := range edges {
+			if covered[i] {
+				continue
+			}
+			for _, cellKey := range []string{ed.a, ed.b} {
+				if !flagged[cellKey] && freq(meta[cellKey]) < 0 {
+					flagged[cellKey] = true
+				}
+			}
+		}
+		for cellKey := range flagged {
+			for i, ed := range edges {
+				if !covered[i] && (ed.a == cellKey || ed.b == cellKey) {
+					covered[i] = true
+					remaining--
+				}
+			}
+			src := byCellErr[cellKey]
+			out = append(out, &Error{RuleID: src.RuleID, Task: src.Task, Cells: []data.CellRef{meta[cellKey]}})
+		}
+	}
+	for remaining > 0 {
+		// Pick the cell covering the most uncovered edges; ties prefer the
+		// rarer value, then the key, for determinism.
+		best, bestDeg := "", 0
+		bestFreq := 0.0
+		deg := map[string]int{}
+		for i, ed := range edges {
+			if covered[i] {
+				continue
+			}
+			deg[ed.a]++
+			deg[ed.b]++
+		}
+		keys := make([]string, 0, len(deg))
+		for k := range deg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f := 0.0
+			if freq != nil {
+				f = freq(meta[k])
+			}
+			if deg[k] > bestDeg || (deg[k] == bestDeg && freq != nil && f < bestFreq) {
+				best, bestDeg, bestFreq = k, deg[k], f
+			}
+		}
+		if best == "" {
+			break
+		}
+		for i, ed := range edges {
+			if !covered[i] && (ed.a == best || ed.b == best) {
+				covered[i] = true
+				remaining--
+			}
+		}
+		src := byCellErr[best]
+		out = append(out, &Error{RuleID: src.RuleID, Task: src.Task, Cells: []data.CellRef{meta[best]}})
+	}
+	return out
+}
+
+// partition divides each relation into virtual blocks by TID hash.
+func (d *Detector) partition() map[string][][]*data.Tuple {
+	blocks := make(map[string][][]*data.Tuple)
+	for name, rel := range d.env.DB.Relations {
+		bs := make([][]*data.Tuple, d.opts.Blocks)
+		for _, t := range rel.Tuples {
+			i := t.TID % d.opts.Blocks
+			bs[i] = append(bs[i], t)
+		}
+		blocks[name] = bs
+	}
+	return blocks
+}
+
+// unitsFor builds the HyperCube work units of rule r: one per block
+// combination of its first two tuple variables (or per block for
+// single-variable rules). Each unit runs the local executor on its
+// partition and reports implicated errors through sink.
+func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
+	dirty map[string]map[int]bool, sink func([]*Error), mu *sync.Mutex, firstErr *error) ([]*crystal.WorkUnit, error) {
+
+	if err := r.Validate(d.env.DB); err != nil {
+		return nil, err
+	}
+	ex := exec.New(d.env)
+	mkRun := func(restrictVar map[string][]*data.Tuple, estRows int) func() {
+		return func() {
+			var local []*Error
+			_, err := ex.Run(r, exec.Options{
+				UseBlocking: d.opts.UseBlocking,
+				Dirty:       dirty,
+				RestrictVar: restrictVar,
+			}, func(h *predicate.Valuation) bool {
+				ok, evalErr := r.P0.Eval(d.env, h)
+				if evalErr != nil {
+					mu.Lock()
+					if *firstErr == nil {
+						*firstErr = evalErr
+					}
+					mu.Unlock()
+					return false
+				}
+				if !ok {
+					local = append(local, implicate(r, h))
+				}
+				return true
+			})
+			if err != nil {
+				mu.Lock()
+				if *firstErr == nil {
+					*firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			if len(local) > 0 {
+				sink(local)
+			}
+		}
+	}
+
+	var units []*crystal.WorkUnit
+	uid := 0
+	switch len(r.Atoms) {
+	case 0:
+		return nil, fmt.Errorf("detect: rule %s has no tuple atoms", r.ID)
+	case 1:
+		a := r.Atoms[0]
+		for i, blk := range blocks[a.Rel] {
+			if len(blk) == 0 {
+				continue
+			}
+			units = append(units, &crystal.WorkUnit{
+				ID:      uid,
+				RuleID:  r.ID,
+				Part:    fmt.Sprintf("%s/b%d", a.Rel, i),
+				EstCost: float64(len(blk)),
+				Run:     mkRun(map[string][]*data.Tuple{a.Var: blk}, len(blk)),
+			})
+			uid++
+		}
+	default:
+		a1, a2 := r.Atoms[0], r.Atoms[1]
+		for i, b1 := range blocks[a1.Rel] {
+			if len(b1) == 0 {
+				continue
+			}
+			for j, b2 := range blocks[a2.Rel] {
+				if len(b2) == 0 {
+					continue
+				}
+				units = append(units, &crystal.WorkUnit{
+					ID:      uid,
+					RuleID:  r.ID,
+					Part:    fmt.Sprintf("%s-%s/b%d-%d", a1.Rel, a2.Rel, i, j),
+					EstCost: float64(len(b1) * len(b2)),
+					Run: mkRun(map[string][]*data.Tuple{
+						a1.Var: b1,
+						a2.Var: b2,
+					}, len(b1)*len(b2)),
+				})
+				uid++
+			}
+		}
+	}
+	return units, nil
+}
+
+// implicate derives the error evidence from a violation of r under h
+// (which cells are wrong, or which pair is an uncaught duplicate).
+func implicate(r *ree.Rule, h *predicate.Valuation) *Error {
+	p := r.P0
+	e := &Error{RuleID: r.ID, Task: r.TaskOf()}
+	cell := func(varName, attr string) {
+		b, ok := h.Tuples[varName]
+		if !ok {
+			return
+		}
+		e.Cells = append(e.Cells, data.CellRef{Rel: b.Rel, TID: b.Tuple.TID, Attr: attr})
+	}
+	switch p.Kind {
+	case predicate.KEID:
+		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
+		a, b := bt.Tuple.EID, bs.Tuple.EID
+		if a > b {
+			a, b = b, a
+		}
+		e.DupEIDs = [2]string{a, b}
+	case predicate.KConst:
+		cell(p.T, p.A)
+	case predicate.KAttr:
+		cell(p.T, p.A)
+		cell(p.S, p.B)
+	case predicate.KTemporal, predicate.KRank:
+		cell(p.T, p.A)
+		cell(p.S, p.A)
+	case predicate.KVal, predicate.KML:
+		cell(p.T, p.A)
+	case predicate.KPredict, predicate.KCorr:
+		cell(p.T, p.B)
+	}
+	return e
+}

@@ -1,0 +1,456 @@
+package discovery
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// storeEnv builds a Store relation where location determines area_code and
+// near-duplicate names mark identical entities.
+func storeEnv(t *testing.T, n int) (*predicate.Env, *data.Relation) {
+	t.Helper()
+	schema := data.MustSchema("Store",
+		data.Attribute{Name: "name", Type: data.TString},
+		data.Attribute{Name: "location", Type: data.TString},
+		data.Attribute{Name: "area_code", Type: data.TString},
+		data.Attribute{Name: "accu_sales", Type: data.TFloat},
+	)
+	rel := data.NewRelation(schema)
+	cities := []struct{ city, code string }{{"Beijing", "010"}, {"Shanghai", "021"}, {"Shenzhen", "0755"}}
+	for i := 0; i < n; i++ {
+		c := cities[i%3]
+		rel.Insert(fmt.Sprintf("s%d", i),
+			data.S(fmt.Sprintf("store brand %d", i%6)),
+			data.S(c.city), data.S(c.code), data.F(float64(i)))
+	}
+	db := data.NewDatabase()
+	db.Add(rel)
+	return predicate.NewEnv(db), rel
+}
+
+func TestDiscoverFindsFunctionalRules(t *testing.T) {
+	env, _ := storeEnv(t, 60)
+	m := NewMiner(env, "Store", DefaultOptions())
+	rules, st, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules discovered")
+	}
+	if st.RulesEmitted != len(rules) || st.EvidenceRows == 0 {
+		t.Error("stats inconsistent")
+	}
+	// The location→area_code dependency must appear in some form.
+	found := false
+	for _, r := range rules {
+		s := r.String()
+		if strings.Contains(s, "location") && strings.Contains(s, "area_code") &&
+			strings.Contains(s, "->") && strings.Index(s, "area_code") > strings.Index(s, "->") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		for _, r := range rules[:min(5, len(rules))] {
+			t.Logf("rule: %s (conf %.2f)", r, r.Confidence)
+		}
+		t.Error("location→area_code dependency not discovered")
+	}
+	// All discovered rules meet the confidence threshold.
+	for _, r := range rules {
+		if r.Confidence < 0.9 {
+			t.Errorf("rule below confidence threshold: %s (%f)", r, r.Confidence)
+		}
+		if err := r.Validate(env.DB); err != nil {
+			t.Errorf("invalid rule discovered: %v", err)
+		}
+	}
+}
+
+func TestDiscoverWithMLPredicates(t *testing.T) {
+	env, rel := storeEnv(t, 40)
+	// Make same-brand names near-duplicates and same entity EIDs so an
+	// ML-ER rule is learnable.
+	for i, tp := range rel.Tuples {
+		tp.EID = fmt.Sprintf("brand%d", i%6)
+	}
+	env.Models.Register(ml.NewSimilarityMatcher("M_ER", 0.85))
+	opts := DefaultOptions()
+	opts.MLModels = []string{"M_ER"}
+	m := NewMiner(env, "Store", opts)
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasML := false
+	for _, r := range rules {
+		if r.HasML() {
+			hasML = true
+			break
+		}
+	}
+	if !hasML {
+		t.Error("no ML-predicate rules discovered despite learnable matcher")
+	}
+}
+
+func TestDiscoverTemporalRules(t *testing.T) {
+	schema := data.MustSchema("Person",
+		data.Attribute{Name: "status", Type: data.TString},
+	)
+	rel := data.NewRelation(schema)
+	db := data.NewDatabase()
+	db.Add(rel)
+	env := predicate.NewEnv(db)
+	order := data.NewTemporalOrder("Person", "status")
+	for i := 0; i < 20; i++ {
+		st := "single"
+		if i%2 == 1 {
+			st = "married"
+		}
+		rel.Insert(fmt.Sprintf("p%d", i), data.S(st))
+	}
+	// Seed the order: all single tuples precede all married ones.
+	for _, a := range rel.Tuples {
+		for _, b := range rel.Tuples {
+			if a.Values[0].Str() == "single" && b.Values[0].Str() == "married" {
+				order.AddWeak(a.TID, b.TID)
+			}
+		}
+	}
+	env.Orders = func(r, attr string) *data.TemporalOrder {
+		if r == "Person" && attr == "status" {
+			return order
+		}
+		return nil
+	}
+	opts := DefaultOptions()
+	opts.TemporalAttrs = []string{"status"}
+	m := NewMiner(env, "Person", opts)
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if r.TaskOf() == ree.TaskTD && strings.Contains(r.String(), "<=[status]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ϕ4-style temporal rule not discovered among %d rules", len(rules))
+	}
+}
+
+func TestSamplingStillFindsStrongRules(t *testing.T) {
+	env, _ := storeEnv(t, 120)
+	opts := DefaultOptions()
+	opts.SampleRatio = 0.4
+	opts.Rounds = 2
+	opts.Seed = 3
+	m := NewMiner(env, "Store", opts)
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		s := r.String()
+		if strings.Contains(s, "t.location = s.location -> t.area_code = s.area_code") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sampling lost the deterministic dependency")
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	env, _ := storeEnv(t, 40)
+	pruned := DefaultOptions()
+	m1 := NewMiner(env, "Store", pruned)
+	_, st1, err := m1.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned := DefaultOptions()
+	unpruned.Prune = false
+	m2 := NewMiner(env, "Store", unpruned)
+	_, st2, err := m2.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CandidatesExplored >= st2.CandidatesExplored {
+		t.Errorf("pruning must reduce explored candidates: %d vs %d",
+			st1.CandidatesExplored, st2.CandidatesExplored)
+	}
+}
+
+func TestTopKRankingAndDiversity(t *testing.T) {
+	env, _ := storeEnv(t, 60)
+	m := NewMiner(env, "Store", DefaultOptions())
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 4 {
+		t.Skipf("need >=4 rules, got %d", len(rules))
+	}
+	k := 3
+	top := TopK(rules, nil, RankOptions{K: k})
+	if len(top) != k {
+		t.Fatalf("topk=%d", len(top))
+	}
+	// Scores non-increasing.
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("topk not sorted by score")
+		}
+	}
+	div := TopK(rules, nil, RankOptions{K: k, Diversify: true})
+	if len(div) != k {
+		t.Error("diversified topk size")
+	}
+	// Diversified pick must not have more same-consequence repeats than
+	// plain pick.
+	repeats := func(rs []*ree.Rule) int {
+		seen := map[string]int{}
+		n := 0
+		for _, r := range rs {
+			seen[consKey(r)]++
+			if seen[consKey(r)] > 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if repeats(div) > repeats(top) {
+		t.Error("diversification increased repeats")
+	}
+}
+
+func TestPreferenceLearning(t *testing.T) {
+	env, _ := storeEnv(t, 60)
+	m := NewMiner(env, "Store", DefaultOptions())
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 4 {
+		t.Skip("need more rules")
+	}
+	pref := NewPreference()
+	if pref.Score(rules[0]) != 0.5 {
+		t.Error("untrained preference must be neutral")
+	}
+	// User likes ER rules only.
+	var labels []bool
+	for _, r := range rules {
+		labels = append(labels, r.TaskOf() == ree.TaskER)
+	}
+	hasER := false
+	for _, l := range labels {
+		if l {
+			hasER = true
+		}
+	}
+	if !hasER {
+		t.Skip("no ER rules to prefer")
+	}
+	pref.Learn(rules, labels)
+	// Under full subjective weight, the top rule should be ER.
+	top := TopK(rules, pref, RankOptions{K: 1, SubjectiveWeight: 1.0})
+	if top[0].TaskOf() != ree.TaskER {
+		t.Errorf("preference ranking ignored labels: top task=%s", top[0].TaskOf())
+	}
+}
+
+func TestAnytimeIterator(t *testing.T) {
+	env, _ := storeEnv(t, 60)
+	m := NewMiner(env, "Store", DefaultOptions())
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewAnytime(rules, nil, 2, 0.5)
+	total := 0
+	batches := 0
+	seen := map[string]bool{}
+	for batch := it.Next(); batch != nil; batch = it.Next() {
+		batches++
+		for _, r := range batch {
+			if seen[r.String()] {
+				t.Fatal("anytime returned a duplicate")
+			}
+			seen[r.String()] = true
+		}
+		total += len(batch)
+		if batches == 1 && len(batch) > 0 {
+			labels := make([]bool, len(batch))
+			it.Feedback(batch, labels) // user dislikes the first batch style
+		}
+	}
+	if total != len(rules) {
+		t.Errorf("anytime yielded %d of %d", total, len(rules))
+	}
+}
+
+func TestFDXPruneKeepsAssociatedOnly(t *testing.T) {
+	env, rel := storeEnv(t, 60)
+	mc := ml.NewCorrelationModel("M_c", rel.Schema)
+	mc.Train(rel.Tuples)
+	env.Corr["M_c"] = mc
+	opts := DefaultOptions()
+	opts.FDXPrune = true
+	opts.TargetAttrs = []string{"area_code"}
+	m := NewMiner(env, "Store", opts)
+	rules, st, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFDX := DefaultOptions()
+	noFDX.TargetAttrs = []string{"area_code"}
+	m2 := NewMiner(env, "Store", noFDX)
+	_, st2, err := m2.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CandidatesExplored > st2.CandidatesExplored {
+		t.Errorf("FDX pruning must not explore more: %d vs %d", st.CandidatesExplored, st2.CandidatesExplored)
+	}
+	// The core dependency must survive pruning.
+	found := false
+	for _, r := range rules {
+		if strings.Contains(r.String(), "t.location = s.location -> t.area_code = s.area_code") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("FDX pruning removed the true dependency")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestNoviceFeedback(t *testing.T) {
+	env, rel := storeEnv(t, 60)
+	m := NewMiner(env, "Store", DefaultOptions())
+	rules, _, err := m.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a few area codes afterwards so the mined dependency rules
+	// find violations on the "sample" the novice inspects.
+	for i, tp := range rel.Tuples {
+		if i%9 == 0 {
+			rel.SetValue(tp.TID, "area_code", data.S("999"))
+		}
+	}
+	if len(rules) == 0 {
+		t.Skip("no rules to label")
+	}
+	pref := NewPreference()
+	// The "user" confirms only errors found by rules whose consequence
+	// touches the area code.
+	confirmed := 0
+	precision, err := NoviceFeedback(env, rules, 3, func(r *ree.Rule, h *predicate.Valuation) bool {
+		ok := strings.Contains(r.P0.String(), "area_code")
+		if ok {
+			confirmed++
+		}
+		return ok
+	}, pref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confirmed == 0 || len(precision) == 0 {
+		t.Fatal("workflow asked no questions")
+	}
+	if pref.Labeled == 0 {
+		t.Fatal("preference model must be trained from the feedback")
+	}
+	// Re-ranking under the learned preference favours area-code rules.
+	top := TopK(rules, pref, RankOptions{K: 3, SubjectiveWeight: 1.0})
+	hits := 0
+	for _, r := range top {
+		if strings.Contains(r.P0.String(), "area_code") {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("learned preference did not surface the confirmed rule family")
+	}
+}
+
+func TestDiscoverCrossRelation(t *testing.T) {
+	// Customer.company references Company.cname; the company's city
+	// determines the customer's city — the mi-city archetype.
+	customer := data.NewRelation(data.MustSchema("Customer",
+		data.Attribute{Name: "company", Type: data.TString},
+		data.Attribute{Name: "city", Type: data.TString},
+	))
+	company := data.NewRelation(data.MustSchema("Company",
+		data.Attribute{Name: "cname", Type: data.TString},
+		data.Attribute{Name: "hq", Type: data.TString},
+	))
+	comps := []struct{ name, city string }{{"Acme Co", "Beijing"}, {"Globex", "Shanghai"}, {"Initech", "Shenzhen"}}
+	for _, c := range comps {
+		company.Insert("co", data.S(c.name), data.S(c.city))
+	}
+	for i := 0; i < 45; i++ {
+		c := comps[i%3]
+		customer.Insert(fmt.Sprintf("cu%d", i), data.S(c.name), data.S(c.city))
+	}
+	db := data.NewDatabase()
+	db.Add(customer)
+	db.Add(company)
+	env := predicate.NewEnv(db)
+
+	rules, st, err := DiscoverCross(env, "Customer", "Company", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EvidenceRows == 0 || len(rules) == 0 {
+		t.Fatal("cross mining found nothing")
+	}
+	found := false
+	for _, r := range rules {
+		s := r.String()
+		if strings.Contains(s, "Customer(t) ^ Company(s)") &&
+			strings.Contains(s, "t.company = s.cname") &&
+			strings.Contains(s, "-> t.city = s.hq") {
+			found = true
+			if err := r.Validate(db); err != nil {
+				t.Errorf("cross rule invalid: %v", err)
+			}
+		}
+	}
+	if !found {
+		for i, r := range rules {
+			if i > 5 {
+				break
+			}
+			t.Logf("rule: %s (conf %.2f)", r, r.Confidence)
+		}
+		t.Error("company->city cross dependency not mined")
+	}
+	// Error paths.
+	if _, _, err := DiscoverCross(env, "Ghost", "Company", DefaultOptions()); err == nil {
+		t.Error("unknown left relation must fail")
+	}
+	if _, _, err := DiscoverCross(env, "Customer", "Ghost", DefaultOptions()); err == nil {
+		t.Error("unknown right relation must fail")
+	}
+}

@@ -1,0 +1,163 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclean/rock/internal/exec"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Site is one private data holder in federated discovery (paper §8(a),
+// the planned extension: "federated learning across multiple private data
+// sources"). A site exposes only its evaluation environment; raw tuples
+// never leave it — the coordinator sees rule texts and aggregate counts.
+type Site struct {
+	Name string
+	Env  *predicate.Env
+}
+
+// siteCounts are the only values a site reports for a candidate rule.
+type siteCounts struct {
+	matchX, matchBoth, total int
+}
+
+// countRule measures one rule locally: valuation totals and X/X∧p0 match
+// counts (the inputs to support/confidence), via the optimized executor.
+func countRule(env *predicate.Env, r *ree.Rule) (siteCounts, error) {
+	var c siteCounts
+	if err := r.Validate(env.DB); err != nil {
+		return c, err
+	}
+	// Total valuations: product of candidate relation sizes (ordered,
+	// self-pairs excluded for same-relation pairs).
+	total := 1
+	counted := map[string]int{}
+	for _, a := range r.Atoms {
+		rel := env.DB.Rel(a.Rel)
+		if rel == nil {
+			return c, fmt.Errorf("federated: site lacks relation %q", a.Rel)
+		}
+		n := rel.Len() - counted[a.Rel]
+		if n < 0 {
+			n = 0
+		}
+		total *= n
+		counted[a.Rel]++
+	}
+	c.total = total
+	ex := exec.New(env)
+	_, err := ex.Run(r, exec.Options{UseBlocking: true}, func(h *predicate.Valuation) bool {
+		c.matchX++
+		ok, evalErr := r.P0.Eval(env, h)
+		if evalErr == nil && ok {
+			c.matchBoth++
+		}
+		return true
+	})
+	return c, err
+}
+
+// FederatedOptions tunes a federated discovery round.
+type FederatedOptions struct {
+	// Mining are the per-site local mining options.
+	Mining Options
+	// MinGlobalSupport / MinGlobalConfidence are the aggregate thresholds
+	// a candidate must clear over the union of all sites' data.
+	MinGlobalSupport    float64
+	MinGlobalConfidence float64
+	// MaxCandidates caps the merged candidate pool (ranked by local
+	// confidence) before the verification round, bounding cross-site work.
+	MaxCandidates int
+}
+
+// DefaultFederatedOptions mirrors the single-site defaults.
+func DefaultFederatedOptions() FederatedOptions {
+	return FederatedOptions{
+		Mining:              DefaultOptions(),
+		MinGlobalSupport:    1e-4,
+		MinGlobalConfidence: 0.9,
+		MaxCandidates:       200,
+	}
+}
+
+// FederatedDiscover mines REE++s over private sites without moving raw
+// data: (1) each site mines candidates locally; (2) the coordinator
+// merges the candidate texts; (3) every site reports aggregate counts for
+// every candidate; (4) candidates clearing the global thresholds survive,
+// with support/confidence recomputed from the summed counts. A rule that
+// holds on one site but is contradicted elsewhere is filtered by the
+// global confidence — the coordinator never learns which site
+// contradicted it.
+func FederatedDiscover(sites []Site, rel string, opts FederatedOptions) ([]*ree.Rule, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("federated: no sites")
+	}
+	// Round 1: local mining.
+	seen := map[string]*ree.Rule{}
+	for _, s := range sites {
+		m := NewMiner(s.Env, rel, opts.Mining)
+		rules, _, err := m.Discover()
+		if err != nil {
+			return nil, fmt.Errorf("site %s: %w", s.Name, err)
+		}
+		for _, r := range rules {
+			key := r.String()
+			if prev, ok := seen[key]; !ok || r.Confidence > prev.Confidence {
+				seen[key] = r
+			}
+		}
+	}
+	candidates := make([]*ree.Rule, 0, len(seen))
+	for _, r := range seen {
+		candidates = append(candidates, r)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Confidence != candidates[j].Confidence {
+			return candidates[i].Confidence > candidates[j].Confidence
+		}
+		return candidates[i].String() < candidates[j].String()
+	})
+	if opts.MaxCandidates > 0 && len(candidates) > opts.MaxCandidates {
+		candidates = candidates[:opts.MaxCandidates]
+	}
+	// Round 2: aggregate verification.
+	var out []*ree.Rule
+	for _, r := range candidates {
+		var agg siteCounts
+		ok := true
+		for _, s := range sites {
+			c, err := countRule(s.Env, r)
+			if err != nil {
+				ok = false
+				break // a site lacking the schema abstains from the rule
+			}
+			agg.matchX += c.matchX
+			agg.matchBoth += c.matchBoth
+			agg.total += c.total
+		}
+		if !ok || agg.total == 0 || agg.matchX == 0 {
+			continue
+		}
+		support := float64(agg.matchBoth) / float64(agg.total)
+		confidence := float64(agg.matchBoth) / float64(agg.matchX)
+		if support < opts.MinGlobalSupport || confidence < opts.MinGlobalConfidence {
+			continue
+		}
+		kept := r.Clone()
+		kept.Support = support
+		kept.Confidence = confidence
+		out = append(out, kept)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].String() < out[j].String()
+	})
+	for i, r := range out {
+		r.ID = fmt.Sprintf("f%d", i+1)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package discovery
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/predicate"
+)
+
+// siteEnv builds a Store site; when contradict is true, the site's data
+// violates the location→area_code dependency the other sites exhibit.
+func siteEnv(t *testing.T, n int, contradict bool) *predicate.Env {
+	t.Helper()
+	schema := data.MustSchema("Store",
+		data.Attribute{Name: "location", Type: data.TString},
+		data.Attribute{Name: "area_code", Type: data.TString},
+		data.Attribute{Name: "kind", Type: data.TString},
+	)
+	rel := data.NewRelation(schema)
+	for i := 0; i < n; i++ {
+		city, code := "Beijing", "010"
+		if i%2 == 1 {
+			city, code = "Shanghai", "021"
+		}
+		if contradict {
+			code = fmt.Sprintf("%03d", i%7) // no dependency on this site
+		}
+		rel.Insert("e", data.S(city), data.S(code), data.S([]string{"retail", "food"}[i%2]))
+	}
+	db := data.NewDatabase()
+	db.Add(rel)
+	return predicate.NewEnv(db)
+}
+
+func TestFederatedDiscoverAgreesAcrossSites(t *testing.T) {
+	sites := []Site{
+		{Name: "s1", Env: siteEnv(t, 40, false)},
+		{Name: "s2", Env: siteEnv(t, 60, false)},
+		{Name: "s3", Env: siteEnv(t, 30, false)},
+	}
+	rules, err := FederatedDiscover(sites, "Store", DefaultFederatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if strings.Contains(r.String(), "t.location = s.location -> t.area_code = s.area_code") {
+			found = true
+			if r.Confidence < 0.99 {
+				t.Errorf("global confidence too low: %f", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("shared dependency not federated among %d rules", len(rules))
+	}
+}
+
+func TestFederatedDiscoverFiltersLocalOnlyRules(t *testing.T) {
+	sites := []Site{
+		{Name: "clean", Env: siteEnv(t, 60, false)},
+		{Name: "dirty", Env: siteEnv(t, 60, true)}, // contradicts the FD
+	}
+	rules, err := FederatedDiscover(sites, "Store", DefaultFederatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if strings.Contains(r.String(), "t.location = s.location -> t.area_code = s.area_code") {
+			t.Errorf("rule contradicted by one site must not survive globally: %s (conf %f)", r, r.Confidence)
+		}
+	}
+}
+
+func TestFederatedDiscoverErrors(t *testing.T) {
+	if _, err := FederatedDiscover(nil, "Store", DefaultFederatedOptions()); err == nil {
+		t.Error("no sites must fail")
+	}
+	if _, err := FederatedDiscover([]Site{{Name: "x", Env: siteEnv(t, 10, false)}}, "Ghost", DefaultFederatedOptions()); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}
+
+func TestFederatedSingleSiteMatchesLocal(t *testing.T) {
+	env := siteEnv(t, 50, false)
+	fed, err := FederatedDiscover([]Site{{Name: "only", Env: env}}, "Store", DefaultFederatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := NewMiner(env, "Store", DefaultOptions()).Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every federated rule must appear among local rules (the aggregate
+	// thresholds only filter).
+	localSet := map[string]bool{}
+	for _, r := range local {
+		localSet[r.String()] = true
+	}
+	for _, r := range fed {
+		if !localSet[r.String()] {
+			t.Errorf("federated invented a rule: %s", r)
+		}
+	}
+	if len(fed) == 0 {
+		t.Error("single-site federation must keep the strong rules")
+	}
+}

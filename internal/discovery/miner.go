@@ -1,0 +1,361 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Options tunes the miner.
+type Options struct {
+	// MinSupport and MinConfidence are the objective thresholds; the paper
+	// runs with support 1e-8 and confidence 0.9.
+	MinSupport    float64
+	MinConfidence float64
+	// MaxLHS bounds the precondition size.
+	MaxLHS int
+	// SampleRatio mines on a tuple sample (paper §5.2); 1.0 uses all data.
+	SampleRatio float64
+	// Rounds is the number of sampling rounds; rules surviving any round
+	// are verified on a fresh sample (multi-round sampling of [36]).
+	Rounds int
+	// Seed drives sampling.
+	Seed int64
+	// MaxPairs caps evidence rows per round.
+	MaxPairs int
+	// EnableML offers ML predicates in the space (RockNoML turns it off).
+	MLModels []string
+	// TemporalAttrs enables TD-rule discovery on these attributes.
+	TemporalAttrs []string
+	// TargetAttrs restricts consequences (FDX-style focus); nil = all.
+	TargetAttrs []string
+	// Prune disables the support-based pruning when false — the ES
+	// baseline configuration, which explores the whole lattice.
+	Prune bool
+	// FDXPrune drops precondition predicates whose attribute shows no
+	// statistical association with the consequence attribute (paper §5.4).
+	FDXPrune bool
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MinSupport:    1e-8,
+		MinConfidence: 0.9,
+		MaxLHS:        3,
+		SampleRatio:   1.0,
+		Rounds:        1,
+		Prune:         true,
+	}
+}
+
+// Stats reports discovery work for benches.
+type Stats struct {
+	CandidatesExplored int
+	RulesEmitted       int
+	EvidenceRows       int
+}
+
+// Miner mines REE++s over a single relation.
+type Miner struct {
+	env  *predicate.Env
+	rel  string
+	opts Options
+}
+
+// NewMiner creates a miner for the named relation.
+func NewMiner(env *predicate.Env, rel string, opts Options) *Miner {
+	if opts.MaxLHS <= 0 {
+		opts.MaxLHS = 3
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 1
+	}
+	return &Miner{env: env, rel: rel, opts: opts}
+}
+
+// Discover mines pair rules and single-tuple rules, deduplicated across
+// sampling rounds, with support/confidence attached.
+func (m *Miner) Discover() ([]*ree.Rule, Stats, error) {
+	var st Stats
+	rel := m.env.DB.Rel(m.rel)
+	if rel == nil {
+		return nil, st, errUnknownRel(m.rel)
+	}
+	spOpts := DefaultSpaceOptions()
+	spOpts.MLModels = m.opts.MLModels
+	spOpts.TemporalAttrs = m.opts.TemporalAttrs
+	spOpts.TargetAttrs = m.opts.TargetAttrs
+
+	seen := map[string]*ree.Rule{}
+	var out []*ree.Rule
+	for round := 0; round < m.opts.Rounds; round++ {
+		seed := m.opts.Seed + int64(round)*7919
+		for _, pair := range []bool{true, false} {
+			var sp *Space
+			if pair {
+				sp = BuildPairSpace(rel, spOpts)
+			} else {
+				sp = BuildSingleSpace(rel, spOpts)
+			}
+			if len(sp.Cons) == 0 || len(sp.Pre) == 0 {
+				continue
+			}
+			ev, err := BuildEvidence(m.env, sp, pair, BuildOptions{
+				SampleRatio: m.opts.SampleRatio,
+				MaxPairs:    m.opts.MaxPairs,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, st, err
+			}
+			st.EvidenceRows += ev.NumRows()
+			rules := m.mine(ev, &st)
+			for _, r := range rules {
+				key := r.String()
+				if prev, dup := seen[key]; dup {
+					// Keep the better-supported estimate across rounds.
+					if r.Support > prev.Support {
+						prev.Support, prev.Confidence = r.Support, r.Confidence
+					}
+					continue
+				}
+				seen[key] = r
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].String() < out[j].String()
+	})
+	for i, r := range out {
+		r.ID = fmt.Sprintf("d%d", i+1)
+	}
+	st.RulesEmitted = len(out)
+	return out, st, nil
+}
+
+// mine runs the levelwise search over one evidence matrix.
+func (m *Miner) mine(ev *Evidence, st *Stats) []*ree.Rule {
+	sp := ev.Space
+	nRows := ev.NumRows()
+	if nRows == 0 {
+		return nil
+	}
+	minRows := int(m.opts.MinSupport * float64(nRows))
+	if minRows < 1 {
+		minRows = 1
+	}
+	var out []*ree.Rule
+
+	for cj, cons := range sp.Cons {
+		preIdx := m.candidatePreds(sp, cons)
+		// Levelwise BFS: frontier holds itemsets (ascending index order).
+		type node struct {
+			items []int
+			last  int
+		}
+		frontier := make([]node, 0, len(preIdx))
+		for _, i := range preIdx {
+			frontier = append(frontier, node{items: []int{i}, last: i})
+		}
+		for level := 1; level <= m.opts.MaxLHS && len(frontier) > 0; level++ {
+			var next []node
+			for _, nd := range frontier {
+				st.CandidatesExplored++
+				matchX, matchBoth := ev.CountXAndCons(nd.items, cj)
+				if m.opts.Prune && matchBoth < minRows {
+					continue // support monotonicity: no superset can recover
+				}
+				conf := 0.0
+				if matchX > 0 {
+					conf = float64(matchBoth) / float64(matchX)
+				}
+				supp := float64(matchBoth) / float64(nRows)
+				if matchX >= minRows && matchBoth >= minRows && conf >= m.opts.MinConfidence {
+					pre := make([]*predicate.Predicate, len(nd.items))
+					for k, idx := range nd.items {
+						pre[k] = sp.Pre[idx]
+					}
+					r := ruleFromItems(sp, ev.Pair, pre, cons, "")
+					r.Support = supp * ev.SampledFraction
+					r.Confidence = conf
+					out = append(out, r)
+					continue // minimality: don't extend confirmed rules
+				}
+				if level == m.opts.MaxLHS {
+					continue
+				}
+				for _, j := range preIdx {
+					if j <= nd.last {
+						continue
+					}
+					if m.conflicts(sp, nd.items, j) {
+						continue
+					}
+					items := append(append([]int(nil), nd.items...), j)
+					next = append(next, node{items: items, last: j})
+				}
+			}
+			frontier = next
+		}
+	}
+	return out
+}
+
+// candidatePreds lists precondition indices usable for a consequence:
+// never the consequence itself, nothing on the same (var, attr) with Eq
+// constants contradicting it, and — under FDX pruning — only predicates
+// whose attribute associates with the consequence attribute.
+func (m *Miner) candidatePreds(sp *Space, cons *predicate.Predicate) []int {
+	consKey := spaceFingerprint(cons)
+	var out []int
+	for i, p := range sp.Pre {
+		if spaceFingerprint(p) == consKey {
+			continue
+		}
+		// A precondition equal to the consequence attribute comparison
+		// makes the rule trivially confident; skip same-attr same-form.
+		if p.Kind == cons.Kind && p.Kind == predicate.KAttr && p.A == cons.A && p.B == cons.B {
+			continue
+		}
+		if p.Kind == predicate.KConst && cons.Kind == predicate.KConst && p.T == cons.T && p.A == cons.A {
+			continue
+		}
+		// Constant preconditions on the consequence attribute breed
+		// tautologies (t.A='x' ^ s.A='x' → t.A = s.A) — exclude them for
+		// attribute-equality consequences. (Temporal consequences keep
+		// them: ϕ4-style rules pin different constants on each side.)
+		if p.Kind == predicate.KConst && cons.Kind == predicate.KAttr &&
+			cons.A == cons.B && p.A == cons.A {
+			continue
+		}
+		if m.opts.FDXPrune && !m.associated(p, cons) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// associated is the FDX-style unsupervised filter: a precondition on
+// attribute A is kept for a consequence on attribute B when A and B show
+// non-trivial statistical association (estimated via a trained correlation
+// model when present, else by attribute-name identity fallback).
+func (m *Miner) associated(p, cons *predicate.Predicate) bool {
+	pa := attrOf(p)
+	ca := attrOf(cons)
+	if pa == "" || ca == "" || pa == ca {
+		return true
+	}
+	rel := m.env.DB.Rel(m.rel)
+	if rel == nil {
+		return true
+	}
+	for _, mc := range m.env.Corr {
+		if mc.Schema != rel.Schema {
+			continue
+		}
+		ai, bi := rel.Schema.Index(pa), rel.Schema.Index(ca)
+		if ai < 0 || bi < 0 {
+			return true
+		}
+		// Probe association with the most frequent value pair.
+		strength := 0.0
+		n := 0
+		for _, t := range rel.Tuples {
+			if t.Values[ai].IsNull() || t.Values[bi].IsNull() {
+				continue
+			}
+			strength += mc.Strength(t, []int{ai}, bi, t.Values[bi])
+			n++
+			if n >= 50 {
+				break
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		return strength/float64(n) >= 0.2
+	}
+	return true
+}
+
+func attrOf(p *predicate.Predicate) string {
+	switch p.Kind {
+	case predicate.KConst, predicate.KAttr, predicate.KTemporal:
+		return p.A
+	case predicate.KML:
+		if len(p.As) == 1 {
+			return p.As[0]
+		}
+	}
+	return ""
+}
+
+// conflicts prunes itemsets with contradictory constant predicates on the
+// same variable and attribute (t.A = 'x' ∧ t.A = 'y' can never match).
+func (m *Miner) conflicts(sp *Space, items []int, j int) bool {
+	pj := sp.Pre[j]
+	if pj.Kind != predicate.KConst {
+		return false
+	}
+	for _, i := range items {
+		pi := sp.Pre[i]
+		if pi.Kind == predicate.KConst && pi.T == pj.T && pi.A == pj.A && !pi.C.Equal(pj.C) {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscoverCross mines cross-relation rules R(t) ^ S(s) ^ X → p0 (e.g. the
+// Bank mi-city rule: a Customer's null city is determined by the employer
+// Company's city). The same levelwise machinery runs over a cross-relation
+// evidence matrix.
+func DiscoverCross(env *predicate.Env, relT, relS string, opts Options) ([]*ree.Rule, Stats, error) {
+	var st Stats
+	rT, rS := env.DB.Rel(relT), env.DB.Rel(relS)
+	if rT == nil {
+		return nil, st, errUnknownRel(relT)
+	}
+	if rS == nil {
+		return nil, st, errUnknownRel(relS)
+	}
+	m := NewMiner(env, relT, opts)
+	spOpts := DefaultSpaceOptions()
+	spOpts.TargetAttrs = opts.TargetAttrs
+	sp := BuildCrossSpace(rT, rS, spOpts)
+	if len(sp.Cons) == 0 || len(sp.Pre) == 0 {
+		return nil, st, nil
+	}
+	ev, err := BuildCrossEvidence(env, sp, BuildOptions{
+		SampleRatio: opts.SampleRatio,
+		MaxPairs:    opts.MaxPairs,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.EvidenceRows = ev.NumRows()
+	rules := m.mine(ev, &st)
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	for i, r := range rules {
+		r.ID = fmt.Sprintf("x%d", i+1)
+	}
+	st.RulesEmitted = len(rules)
+	return rules, st, nil
+}

@@ -1,0 +1,272 @@
+package discovery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/ml"
+)
+
+// Polynomial is an arithmetical correlation among numerical attributes
+// discovered per paper §5.4: target ≈ Σ w_i · term_i + intercept, where a
+// term is an attribute or a pairwise product of attributes. The expression
+// is interpretable (zero-weight terms are dropped by LASSO) and usable as
+// an error detector: a tuple whose target deviates from the expression by
+// more than Tolerance is flagged.
+type Polynomial struct {
+	Rel       string
+	Target    string
+	Terms     []PolyTerm
+	Intercept float64
+	// Tolerance is the residual bound for violation checks (derived from
+	// the training residuals).
+	Tolerance float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+}
+
+// PolyTerm is one weighted term of the expression.
+type PolyTerm struct {
+	// Attrs holds one attribute (linear) or two (pairwise product).
+	Attrs  []string
+	Weight float64
+}
+
+// String renders the learned expression.
+func (p *Polynomial) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.%s ≈ ", p.Rel, p.Target)
+	for i, t := range p.Terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%.4g·%s", t.Weight, strings.Join(t.Attrs, "·"))
+	}
+	if p.Intercept != 0 || len(p.Terms) == 0 {
+		fmt.Fprintf(&b, " + %.4g", p.Intercept)
+	}
+	return b.String()
+}
+
+// Eval computes the expression for one tuple; ok is false when a needed
+// attribute is null.
+func (p *Polynomial) Eval(rel *data.Relation, t *data.Tuple) (float64, bool) {
+	y := p.Intercept
+	for _, term := range p.Terms {
+		v := term.Weight
+		for _, a := range term.Attrs {
+			i := rel.Schema.Index(a)
+			if i < 0 || t.Values[i].IsNull() {
+				return 0, false
+			}
+			v *= t.Values[i].Float()
+		}
+		y += v
+	}
+	return y, true
+}
+
+// Violates reports whether the tuple's target deviates beyond tolerance;
+// ok is false when target or inputs are null.
+func (p *Polynomial) Violates(rel *data.Relation, t *data.Tuple) (violates, ok bool) {
+	ti := rel.Schema.Index(p.Target)
+	if ti < 0 || t.Values[ti].IsNull() {
+		return false, false
+	}
+	pred, okE := p.Eval(rel, t)
+	if !okE {
+		return false, false
+	}
+	return math.Abs(pred-t.Values[ti].Float()) > p.Tolerance, true
+}
+
+// PolyOptions tunes polynomial discovery.
+type PolyOptions struct {
+	// TopFeatures keeps this many attributes after the importance ranking
+	// (the XGBoost pruning step; default 4).
+	TopFeatures int
+	// Lambda is the LASSO penalty (default 0.01).
+	Lambda float64
+	// MinR2 rejects expressions that explain too little variance.
+	MinR2 float64
+	// Products enables pairwise product terms.
+	Products bool
+}
+
+// DefaultPolyOptions returns the shipped configuration.
+func DefaultPolyOptions() PolyOptions {
+	return PolyOptions{TopFeatures: 4, Lambda: 0.01, MinR2: 0.95}
+}
+
+// DiscoverPolynomial learns an arithmetical correlation for target over
+// the relation's other numerical attributes, following §5.4: (1) a
+// tree-stump ensemble ranks attribute importance by self-supervised
+// regression onto the target and prunes irrelevant features; (2) the
+// surviving features (and optionally their pairwise products) feed a
+// LASSO whose zero weights drop unimportant terms. Returns ok=false when
+// no expression clears MinR2 (no arithmetical correlation exists).
+func DiscoverPolynomial(rel *data.Relation, target string, opts PolyOptions) (*Polynomial, bool) {
+	if opts.TopFeatures <= 0 {
+		opts.TopFeatures = 4
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 0.01
+	}
+	if opts.MinR2 <= 0 {
+		opts.MinR2 = 0.95
+	}
+	ti := rel.Schema.Index(target)
+	if ti < 0 {
+		return nil, false
+	}
+	// Candidate numeric features.
+	var featAttrs []string
+	for _, a := range rel.Schema.Attrs {
+		if a.Name == target {
+			continue
+		}
+		if a.Type == data.TInt || a.Type == data.TFloat {
+			featAttrs = append(featAttrs, a.Name)
+		}
+	}
+	if len(featAttrs) == 0 {
+		return nil, false
+	}
+	// Training rows: tuples with target and all candidates non-null.
+	var xs [][]float64
+	var ys []float64
+	for _, t := range rel.Tuples {
+		if t.Values[ti].IsNull() {
+			continue
+		}
+		row := make([]float64, len(featAttrs))
+		ok := true
+		for j, a := range featAttrs {
+			i := rel.Schema.Index(a)
+			if t.Values[i].IsNull() {
+				ok = false
+				break
+			}
+			row[j] = t.Values[i].Float()
+		}
+		if !ok {
+			continue
+		}
+		xs = append(xs, row)
+		ys = append(ys, t.Values[ti].Float())
+	}
+	if len(xs) < 8 {
+		return nil, false
+	}
+	// Step 1: importance ranking prunes irrelevant attributes.
+	ens := ml.NewStumpEnsemble(16)
+	ens.Fit(xs, ys)
+	keep := ens.TopFeatures(len(featAttrs), opts.TopFeatures)
+	if len(keep) == 0 {
+		return nil, false
+	}
+	// Step 2: expand terms (linear + optional products) and LASSO-fit.
+	type termDef struct{ attrs []int } // indices into featAttrs
+	var terms []termDef
+	for _, i := range keep {
+		terms = append(terms, termDef{attrs: []int{i}})
+	}
+	if opts.Products {
+		for a := 0; a < len(keep); a++ {
+			for b := a + 1; b < len(keep); b++ {
+				terms = append(terms, termDef{attrs: []int{keep[a], keep[b]}})
+			}
+		}
+	}
+	design := make([][]float64, len(xs))
+	for r, row := range xs {
+		d := make([]float64, len(terms))
+		for c, tm := range terms {
+			v := 1.0
+			for _, i := range tm.attrs {
+				v *= row[i]
+			}
+			d[c] = v
+		}
+		design[r] = d
+	}
+	lasso := ml.NewLasso(len(terms), opts.Lambda)
+	lasso.Fit(design, ys)
+
+	// Assemble, compute residual stats and R².
+	poly := &Polynomial{Rel: rel.Schema.Name, Target: target, Intercept: lasso.Intercept}
+	for c, w := range lasso.Weights {
+		if math.Abs(w) < 1e-6 {
+			continue
+		}
+		attrs := make([]string, len(terms[c].attrs))
+		for k, i := range terms[c].attrs {
+			attrs[k] = featAttrs[i]
+		}
+		poly.Terms = append(poly.Terms, PolyTerm{Attrs: attrs, Weight: w})
+	}
+	sort.Slice(poly.Terms, func(i, j int) bool {
+		return strings.Join(poly.Terms[i].Attrs, "·") < strings.Join(poly.Terms[j].Attrs, "·")
+	})
+	meanY, ssTot, ssRes := 0.0, 0.0, 0.0
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	var residuals []float64
+	for r := range design {
+		pred := lasso.Predict(design[r])
+		res := ys[r] - pred
+		residuals = append(residuals, math.Abs(res))
+		ssRes += res * res
+		d := ys[r] - meanY
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		poly.R2 = 1 - ssRes/ssTot
+	}
+	if poly.R2 < opts.MinR2 || len(poly.Terms) == 0 {
+		return nil, false
+	}
+	// Tolerance: a generous multiple of the MEDIAN residual — robust to a
+	// minority of corrupted training rows (which sit in the residual tail
+	// and must stay flaggable) — plus a small scale-relative floor.
+	sort.Float64s(residuals)
+	med := residuals[len(residuals)/2]
+	floor := 1e-6 + 1e-3*math.Abs(meanY)
+	poly.Tolerance = 6 * med
+	if poly.Tolerance < floor {
+		poly.Tolerance = floor
+	}
+	return poly, true
+}
+
+// PolyModel wraps a polynomial as a Boolean ML predicate (M_poly): it
+// predicts true when the left tuple-vector is CONSISTENT with the learned
+// expression. Register it to use the expression inside REE++s.
+func PolyModel(name string, rel *data.Relation, p *Polynomial) *ml.FuncModel {
+	attrOrder := append([]string(nil), rel.Schema.AttrNames()...)
+	return &ml.FuncModel{
+		ModelName: name,
+		Threshold: 0.5,
+		Score: func(left, right []data.Value) float64 {
+			// Rebuild a pseudo-tuple from the left vector (the rule passes
+			// t[all attrs]).
+			if len(left) != len(attrOrder) {
+				return 0
+			}
+			t := &data.Tuple{Values: left}
+			violates, ok := p.Violates(rel, t)
+			if !ok {
+				return 0.5 // nulls: undecided, treated as consistent
+			}
+			if violates {
+				return 0
+			}
+			return 1
+		},
+	}
+}

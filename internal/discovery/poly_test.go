@@ -1,0 +1,191 @@
+package discovery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func paymentRel(t *testing.T, n int, noise bool) *data.Relation {
+	t.Helper()
+	rel := data.NewRelation(data.MustSchema("Payment",
+		data.Attribute{Name: "acct", Type: data.TString},
+		data.Attribute{Name: "amount", Type: data.TFloat},
+		data.Attribute{Name: "fee", Type: data.TFloat},
+		data.Attribute{Name: "noise", Type: data.TFloat},
+		data.Attribute{Name: "total", Type: data.TFloat},
+	))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		amount := float64(100 * (1 + rng.Intn(12)))
+		fee := float64(5 * (1 + rng.Intn(4)))
+		total := amount + fee
+		if noise && i%10 == 0 {
+			total += 35 // injected numerical error
+		}
+		rel.Insert("e", data.S("a"), data.F(amount), data.F(fee), data.F(rng.NormFloat64()*100), data.F(total))
+	}
+	return rel
+}
+
+func TestDiscoverPolynomialRecoversSum(t *testing.T) {
+	rel := paymentRel(t, 200, false)
+	p, ok := DiscoverPolynomial(rel, "total", DefaultPolyOptions())
+	if !ok {
+		t.Fatal("expected an expression for total = amount + fee")
+	}
+	if p.R2 < 0.99 {
+		t.Errorf("R2=%f", p.R2)
+	}
+	s := p.String()
+	if !strings.Contains(s, "amount") || !strings.Contains(s, "fee") {
+		t.Errorf("expression missing terms: %s", s)
+	}
+	if strings.Contains(s, "noise") {
+		t.Errorf("LASSO must drop the noise feature: %s", s)
+	}
+	// Weights near 1.
+	for _, term := range p.Terms {
+		if term.Weight < 0.9 || term.Weight > 1.1 {
+			t.Errorf("term %v weight %f, want ~1", term.Attrs, term.Weight)
+		}
+	}
+	// A clean tuple does not violate; a corrupted one does.
+	clean := rel.Tuples[1]
+	if v, ok := p.Violates(rel, clean); !ok || v {
+		t.Error("clean tuple must not violate")
+	}
+	bad := clean.Clone()
+	ti := rel.Schema.Index("total")
+	bad.Values[ti] = data.F(bad.Values[ti].Float() + 40)
+	if v, ok := p.Violates(rel, bad); !ok || !v {
+		t.Error("corrupted total must violate")
+	}
+	// Null target is undecidable.
+	nullT := clean.Clone()
+	nullT.Values[ti] = data.Null(data.TFloat)
+	if _, ok := p.Violates(rel, nullT); ok {
+		t.Error("null target must be undecidable")
+	}
+}
+
+func TestDiscoverPolynomialDetectsInjectedErrors(t *testing.T) {
+	rel := paymentRel(t, 200, true)
+	// Learn on the dirty data: errors inflate residuals but LASSO still
+	// centres on the dominant relationship.
+	opts := DefaultPolyOptions()
+	opts.MinR2 = 0.5
+	p, ok := DiscoverPolynomial(rel, "total", opts)
+	if !ok {
+		t.Fatal("expected an expression despite 10% corruption")
+	}
+	flagged, missed := 0, 0
+	for i, tp := range rel.Tuples {
+		v, okV := p.Violates(rel, tp)
+		if !okV {
+			continue
+		}
+		if i%10 == 0 {
+			if v {
+				flagged++
+			} else {
+				missed++
+			}
+		} else if v {
+			t.Errorf("clean tuple %d flagged", i)
+		}
+	}
+	if flagged == 0 || missed > flagged/2 {
+		t.Errorf("flagged=%d missed=%d", flagged, missed)
+	}
+}
+
+func TestDiscoverPolynomialRejectsUncorrelated(t *testing.T) {
+	rel := data.NewRelation(data.MustSchema("R",
+		data.Attribute{Name: "a", Type: data.TFloat},
+		data.Attribute{Name: "b", Type: data.TFloat},
+	))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		rel.Insert("e", data.F(rng.NormFloat64()), data.F(rng.NormFloat64()))
+	}
+	if _, ok := DiscoverPolynomial(rel, "b", DefaultPolyOptions()); ok {
+		t.Error("uncorrelated data must yield no expression")
+	}
+}
+
+func TestDiscoverPolynomialEdgeCases(t *testing.T) {
+	rel := paymentRel(t, 5, false) // too few rows
+	if _, ok := DiscoverPolynomial(rel, "total", DefaultPolyOptions()); ok {
+		t.Error("too few rows must fail")
+	}
+	rel2 := paymentRel(t, 50, false)
+	if _, ok := DiscoverPolynomial(rel2, "ghost", DefaultPolyOptions()); ok {
+		t.Error("missing target must fail")
+	}
+	// No numeric features besides the target.
+	rel3 := data.NewRelation(data.MustSchema("R",
+		data.Attribute{Name: "s", Type: data.TString},
+		data.Attribute{Name: "y", Type: data.TFloat},
+	))
+	for i := 0; i < 20; i++ {
+		rel3.Insert("e", data.S("x"), data.F(1))
+	}
+	if _, ok := DiscoverPolynomial(rel3, "y", DefaultPolyOptions()); ok {
+		t.Error("no numeric features must fail")
+	}
+}
+
+func TestDiscoverPolynomialProducts(t *testing.T) {
+	rel := data.NewRelation(data.MustSchema("R",
+		data.Attribute{Name: "qty", Type: data.TFloat},
+		data.Attribute{Name: "price", Type: data.TFloat},
+		data.Attribute{Name: "revenue", Type: data.TFloat},
+	))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 150; i++ {
+		q := float64(1 + rng.Intn(9))
+		pr := float64(10 * (1 + rng.Intn(5)))
+		rel.Insert("e", data.F(q), data.F(pr), data.F(q*pr))
+	}
+	opts := DefaultPolyOptions()
+	opts.Products = true
+	p, ok := DiscoverPolynomial(rel, "revenue", opts)
+	if !ok {
+		t.Fatal("expected revenue = qty*price")
+	}
+	found := false
+	for _, term := range p.Terms {
+		if len(term.Attrs) == 2 && term.Weight > 0.9 && term.Weight < 1.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("product term not recovered: %s", p)
+	}
+}
+
+func TestPolyModelAsPredicate(t *testing.T) {
+	rel := paymentRel(t, 100, false)
+	p, ok := DiscoverPolynomial(rel, "total", DefaultPolyOptions())
+	if !ok {
+		t.Fatal("expression expected")
+	}
+	m := PolyModel("M_poly", rel, p)
+	clean := rel.Tuples[0]
+	if !m.Predict(clean.Values, nil) {
+		t.Error("clean tuple must be consistent")
+	}
+	bad := clean.Clone()
+	ti := rel.Schema.Index("total")
+	bad.Values[ti] = data.F(bad.Values[ti].Float() + 50)
+	if m.Predict(bad.Values, nil) {
+		t.Error("corrupted tuple must be inconsistent")
+	}
+	// Arity mismatch scores 0.
+	if m.Score(clean.Values[:2], nil) != 0 {
+		t.Error("short vector must score 0")
+	}
+}

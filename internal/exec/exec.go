@@ -1,0 +1,614 @@
+// Package exec is the local executor of paper §5.3: it evaluates one REE++
+// against (a partition of) the data, enumerating only promising valuations.
+// A small query optimizer picks the evaluation strategy per rule:
+//
+//   - constant predicates are pushed down to pre-filter each variable's
+//     candidate tuples;
+//   - equality join predicates (t.A = s.B) drive hash joins;
+//   - ML predicates M(t[A̅], s[B̅]) drive LSH blocking (filter-and-verify,
+//     paper §5.4) instead of the quadratic all-pairs sweep;
+//   - remaining predicates evaluate as soon as their variables are bound
+//     (predicate pushdown), so dead branches prune early.
+//
+// The executor is shared by error detection and the chase; the caller's
+// Env decides whether values come from raw data (detection) or from the
+// fix set U (chasing).
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Options tunes one enumeration run.
+type Options struct {
+	// UseBlocking enables LSH blocking for ML predicates. Off, ML
+	// predicates fall back to nested loops (the SQL-engine behaviour the
+	// paper compares against).
+	UseBlocking bool
+	// Dirty restricts enumeration to valuations binding at least one dirty
+	// tuple: Dirty[rel] is the set of TIDs considered changed. Nil means
+	// no restriction (batch mode); non-nil implements the incremental
+	// activation of paper §4.1.
+	Dirty map[string]map[int]bool
+	// Restrict, when non-nil, limits the tuples each variable may bind to
+	// (the work unit's data partition, paper §5.2). Keyed by relation.
+	Restrict map[string][]*data.Tuple
+	// RestrictVar limits individual variables to tuple subsets — the
+	// HyperCube partitioning assigns each variable of a rule its own
+	// virtual block (paper §5.3). Takes precedence over Restrict.
+	RestrictVar map[string][]*data.Tuple
+	// MaxResults stops enumeration after this many callbacks (<=0: all).
+	MaxResults int
+}
+
+// Stats reports what the executor did — used by benches and the lazy-chase
+// ablation.
+type Stats struct {
+	Valuations int // valuations reaching the callback
+	Enumerated int // candidate bindings generated before pruning
+	MLCalls    int // ML predicate evaluations (post-blocking)
+}
+
+// Executor caches per-relation indexes and blockers across rules.
+type Executor struct {
+	env      *predicate.Env
+	blockers map[string]*ml.Blocker // key: rel + attrs signature
+	lsh      *ml.LSH
+}
+
+// New creates an executor over the environment.
+func New(env *predicate.Env) *Executor {
+	return &Executor{
+		env:      env,
+		blockers: make(map[string]*ml.Blocker),
+		lsh:      ml.NewLSH(8, 6, 17),
+	}
+}
+
+// Env returns the executor's environment.
+func (e *Executor) Env() *predicate.Env { return e.env }
+
+// InvalidateBlockers drops cached blockers; call after mutating relations.
+func (e *Executor) InvalidateBlockers() { e.blockers = make(map[string]*ml.Blocker) }
+
+// Run enumerates valuations h of rule r with h |= X, invoking fn for each.
+// fn returns false to stop early. The returned stats describe the run.
+func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation) bool) (Stats, error) {
+	var st Stats
+	if len(r.Atoms) == 0 {
+		return st, fmt.Errorf("exec: rule %s has no tuple atoms", r.ID)
+	}
+	// Candidate tuples per variable after constant pushdown.
+	cands := make(map[string][]*data.Tuple, len(r.Atoms))
+	allowed := make(map[string]map[int]bool, len(r.Atoms))
+	for _, a := range r.Atoms {
+		ts, err := e.candidates(r, a, opts)
+		if err != nil {
+			return st, err
+		}
+		cands[a.Var] = ts
+		set := make(map[int]bool, len(ts))
+		for _, t := range ts {
+			set[t.TID] = true
+		}
+		allowed[a.Var] = set
+	}
+
+	// Pick a driver pair: an equality join or a blocked ML predicate over
+	// the first two variables.
+	plan := e.plan(r, opts)
+
+	// The recursive binder: bind variables in atom order, but the first
+	// two may be driven by the plan's pair generator. Each precondition
+	// predicate is evaluated exactly once per binding path, at the depth
+	// where its last variable becomes bound; evalDepth records that depth
+	// so the evaluation is undone when the binder backtracks past it.
+	h := predicate.NewValuation()
+	stop := false
+	var bindRest func(i int) error
+	bound := map[string]bool{}
+	depth := 0
+	evalDepth := make(map[*predicate.Predicate]int, len(r.X))
+
+	checkAt := func() (bool, error) {
+		for _, p := range r.X {
+			if plan.covered[p] {
+				continue
+			}
+			if _, done := evalDepth[p]; done {
+				continue
+			}
+			ready := true
+			for _, v := range p.Vars() {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			for _, v := range p.VertexVars() {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if p.IsML() {
+				st.MLCalls++
+			}
+			ok, err := p.Eval(e.env, h)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+			evalDepth[p] = depth
+		}
+		return true, nil
+	}
+	unwind := func() {
+		for p, d := range evalDepth {
+			if d >= depth {
+				delete(evalDepth, p)
+			}
+		}
+	}
+
+	var finalErr error
+	emit := func() bool {
+		// Incremental mode: every emitted valuation must bind at least one
+		// dirty tuple (the driver paths pre-filter; the generic nested-loop
+		// path is guarded here).
+		if opts.Dirty != nil {
+			touches := false
+			for _, b := range h.Tuples {
+				if d := opts.Dirty[b.Rel]; d != nil && d[b.Tuple.TID] {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				return true
+			}
+		}
+		st.Valuations++
+		if !fn(h) {
+			stop = true
+			return false
+		}
+		if opts.MaxResults > 0 && st.Valuations >= opts.MaxResults {
+			stop = true
+			return false
+		}
+		return true
+	}
+
+	var bindVertexes func(vi int) error
+	bindVertexes = func(vi int) error {
+		if stop {
+			return nil
+		}
+		if vi == len(r.VertexAtoms) {
+			emit()
+			return nil
+		}
+		va := r.VertexAtoms[vi]
+		g := e.env.Graphs[va.Graph]
+		if g == nil {
+			return fmt.Errorf("exec: rule %s references unknown graph %q", r.ID, va.Graph)
+		}
+		for _, v := range g.VertexIDs() {
+			h.BindVertex(va.Var, va.Graph, v)
+			bound[va.Var] = true
+			depth++
+			ok, err := checkAt()
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := bindVertexes(vi + 1); err != nil {
+					return err
+				}
+			}
+			unwind()
+			depth--
+			delete(bound, va.Var)
+			delete(h.Vertices, va.Var)
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	bindRest = func(i int) error {
+		if stop {
+			return nil
+		}
+		if i == len(r.Atoms) {
+			return bindVertexes(0)
+		}
+		a := r.Atoms[i]
+		if bound[a.Var] {
+			return bindRest(i + 1)
+		}
+		list := cands[a.Var]
+		// Hash-join shortcut: if an equality predicate links a bound var to
+		// this one, probe an index instead of scanning.
+		if idxList := e.probeJoin(r, a, bound, h, opts); idxList != nil {
+			list = idxList
+		}
+		for _, t := range list {
+			if selfPair(h, a, t) {
+				continue
+			}
+			st.Enumerated++
+			h.Bind(a.Var, a.Rel, t)
+			bound[a.Var] = true
+			depth++
+			ok, err := checkAt()
+			if err != nil {
+				finalErr = err
+				stop = true
+			} else if ok {
+				if err := bindRest(i + 1); err != nil {
+					return err
+				}
+			}
+			unwind()
+			depth--
+			delete(bound, a.Var)
+			delete(h.Tuples, a.Var)
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	if plan.pairs != nil {
+		// Drive the first two variables from the plan's pair list.
+		v1, v2 := plan.var1, plan.var2
+		rel1, rel2 := r.RelOf(v1), r.RelOf(v2)
+		for _, pr := range plan.pairs {
+			if stop {
+				break
+			}
+			t1, t2 := pr[0], pr[1]
+			if !allowed[v1][t1.TID] || !allowed[v2][t2.TID] {
+				continue
+			}
+			if rel1 == rel2 && t1.TID == t2.TID {
+				continue
+			}
+			st.Enumerated += 2
+			h.Bind(v1, rel1, t1)
+			h.Bind(v2, rel2, t2)
+			bound[v1], bound[v2] = true, true
+			depth++
+			ok, err := checkAt()
+			if err != nil {
+				finalErr = err
+				break
+			}
+			if ok {
+				if err := bindRest(0); err != nil {
+					finalErr = err
+					break
+				}
+			}
+			unwind()
+			depth--
+			delete(bound, v1)
+			delete(bound, v2)
+			delete(h.Tuples, v1)
+			delete(h.Tuples, v2)
+		}
+	} else {
+		if err := bindRest(0); err != nil {
+			finalErr = err
+		}
+	}
+	return st, finalErr
+}
+
+func selfPair(h *predicate.Valuation, a ree.Atom, t *data.Tuple) bool {
+	for _, b := range h.Tuples {
+		if b.Rel == a.Rel && b.Tuple.TID == t.TID {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates lists the tuples variable a.Var may bind to after constant
+// pushdown, partition restriction and dirty filtering.
+func (e *Executor) candidates(r *ree.Rule, a ree.Atom, opts Options) ([]*data.Tuple, error) {
+	rel := e.env.DB.Rel(a.Rel)
+	if rel == nil {
+		return nil, fmt.Errorf("exec: rule %s references unknown relation %q", r.ID, a.Rel)
+	}
+	base := partitionOf(rel, a.Rel, a.Var, opts)
+	// Constant pushdown: keep tuples satisfying every single-variable
+	// constant/null predicate on this variable.
+	var out []*data.Tuple
+	h := predicate.NewValuation()
+	for _, t := range base {
+		keep := true
+		h.Bind(a.Var, a.Rel, t)
+		for _, p := range r.X {
+			if p.Kind != predicate.KConst && p.Kind != predicate.KNull && p.Kind != predicate.KNotNull {
+				continue
+			}
+			if p.T != a.Var {
+				continue
+			}
+			ok, err := p.Eval(e.env, h)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// execPlan is the chosen driver for the first two variables.
+type execPlan struct {
+	var1, var2 string
+	pairs      [][2]*data.Tuple
+	// covered marks predicates certified by the driver (join equality).
+	covered map[*predicate.Predicate]bool
+}
+
+// plan inspects the rule and builds pair candidates via hash join or LSH
+// blocking when profitable.
+func (e *Executor) plan(r *ree.Rule, opts Options) execPlan {
+	pl := execPlan{covered: map[*predicate.Predicate]bool{}}
+	if len(r.Atoms) < 2 {
+		return pl
+	}
+	// Prefer an equality join between two distinct variables.
+	for _, p := range r.X {
+		if p.Kind == predicate.KAttr && p.Op == predicate.Eq && p.T != p.S {
+			pairs := e.hashJoin(r, p, opts)
+			if pairs != nil {
+				pl.var1, pl.var2, pl.pairs = p.T, p.S, pairs
+				pl.covered[p] = true
+				return pl
+			}
+		}
+	}
+	// Otherwise a blocked ML predicate.
+	if opts.UseBlocking {
+		for _, p := range r.X {
+			if p.Kind == predicate.KML && p.T != p.S {
+				pairs := e.blockPairs(r, p, opts)
+				if pairs != nil {
+					pl.var1, pl.var2, pl.pairs = p.T, p.S, pairs
+					// Not covered: the model still verifies each candidate.
+					return pl
+				}
+			}
+		}
+	}
+	return pl
+}
+
+// hashJoin builds (t, s) pairs with t.A = s.B via a hash index on s.B.
+func (e *Executor) hashJoin(r *ree.Rule, p *predicate.Predicate, opts Options) [][2]*data.Tuple {
+	relT := e.env.DB.Rel(r.RelOf(p.T))
+	relS := e.env.DB.Rel(r.RelOf(p.S))
+	if relT == nil || relS == nil {
+		return nil
+	}
+	tuplesT := partitionOf(relT, r.RelOf(p.T), p.T, opts)
+	tuplesS := partitionOf(relS, r.RelOf(p.S), p.S, opts)
+	bi := relS.Schema.Index(p.B)
+	ai := relT.Schema.Index(p.A)
+	if ai < 0 || bi < 0 {
+		return nil
+	}
+	idx := make(map[string][]*data.Tuple, len(tuplesS))
+	for _, s := range tuplesS {
+		v := valueThrough(e.env, r.RelOf(p.S), s, p.B, bi)
+		if v.IsNull() {
+			continue
+		}
+		idx[v.Key()] = append(idx[v.Key()], s)
+	}
+	out := make([][2]*data.Tuple, 0)
+	for _, t := range tuplesT {
+		v := valueThrough(e.env, r.RelOf(p.T), t, p.A, ai)
+		if v.IsNull() {
+			continue
+		}
+		for _, s := range idx[v.Key()] {
+			if !dirtyOK(opts, r, p.T, t, p.S, s) {
+				continue
+			}
+			out = append(out, [2]*data.Tuple{t, s})
+		}
+	}
+	return out
+}
+
+// blockPairs builds candidate (t, s) pairs for an ML predicate via LSH.
+func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options) [][2]*data.Tuple {
+	relTName, relSName := r.RelOf(p.T), r.RelOf(p.S)
+	relT, relS := e.env.DB.Rel(relTName), e.env.DB.Rel(relSName)
+	if relT == nil || relS == nil {
+		return nil
+	}
+	tuplesT := partitionOf(relT, relTName, p.T, opts)
+	tuplesS := partitionOf(relS, relSName, p.S, opts)
+	sameSide := relTName == relSName && sameAttrs(p.As, p.Bs)
+
+	embed := func(rel *data.Relation, relName string, t *data.Tuple, attrs []string) ml.Vector {
+		vals := make([]data.Value, len(attrs))
+		for i, a := range attrs {
+			vals[i] = valueThrough(e.env, relName, t, a, rel.Schema.Index(a))
+		}
+		return ml.EmbedValues(vals)
+	}
+
+	if sameSide {
+		b := ml.NewBlocker(e.lsh)
+		byID := make(map[int]*data.Tuple, len(tuplesT))
+		for _, t := range tuplesT {
+			byID[t.TID] = t
+			b.Add(t.TID, embed(relT, relTName, t, p.As))
+		}
+		out := make([][2]*data.Tuple, 0)
+		for _, pr := range b.CandidatePairs() {
+			t, s := byID[pr[0]], byID[pr[1]]
+			if dirtyOK(opts, r, p.T, t, p.S, s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+			// Symmetric valuation: the reverse binding may matter for
+			// asymmetric consequences.
+			if dirtyOK(opts, r, p.T, s, p.S, t) {
+				out = append(out, [2]*data.Tuple{s, t})
+			}
+		}
+		return out
+	}
+	// Cross-relation: index S, probe with T.
+	b := ml.NewBlocker(e.lsh)
+	byID := make(map[int]*data.Tuple, len(tuplesS))
+	for _, s := range tuplesS {
+		byID[s.TID] = s
+		b.Add(s.TID, embed(relS, relSName, s, p.Bs))
+	}
+	out := make([][2]*data.Tuple, 0)
+	for _, t := range tuplesT {
+		for _, sid := range b.CandidatesOf(embed(relT, relTName, t, p.As), -1) {
+			s := byID[sid]
+			if dirtyOK(opts, r, p.T, t, p.S, s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+		}
+	}
+	return out
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func partitionOf(rel *data.Relation, name, varName string, opts Options) []*data.Tuple {
+	if opts.RestrictVar != nil {
+		if part, ok := opts.RestrictVar[varName]; ok {
+			return part
+		}
+	}
+	if opts.Restrict != nil {
+		if part, ok := opts.Restrict[name]; ok {
+			return part
+		}
+	}
+	return rel.Tuples
+}
+
+// dirtyOK applies the incremental-mode filter: at least one of the two
+// tuples must be dirty when a dirty set is supplied.
+func dirtyOK(opts Options, r *ree.Rule, v1 string, t1 *data.Tuple, v2 string, t2 *data.Tuple) bool {
+	if opts.Dirty == nil {
+		return true
+	}
+	if d := opts.Dirty[r.RelOf(v1)]; d != nil && d[t1.TID] {
+		return true
+	}
+	if d := opts.Dirty[r.RelOf(v2)]; d != nil && d[t2.TID] {
+		return true
+	}
+	return false
+}
+
+// probeJoin, during recursive binding, returns an indexed candidate list
+// for atom a when some already-bound variable is linked to it by an
+// equality predicate. Returns nil when no index applies.
+func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *predicate.Valuation, opts Options) []*data.Tuple {
+	rel := e.env.DB.Rel(a.Rel)
+	if rel == nil {
+		return nil
+	}
+	for _, p := range r.X {
+		if p.Kind != predicate.KAttr || p.Op != predicate.Eq {
+			continue
+		}
+		var boundVar, boundAttr, freeAttr string
+		switch {
+		case p.S == a.Var && bound[p.T]:
+			boundVar, boundAttr, freeAttr = p.T, p.A, p.B
+		case p.T == a.Var && bound[p.S]:
+			boundVar, boundAttr, freeAttr = p.S, p.B, p.A
+		default:
+			continue
+		}
+		b := h.Tuples[boundVar]
+		brel := e.env.DB.Rel(b.Rel)
+		if brel == nil {
+			continue
+		}
+		v := valueThrough(e.env, b.Rel, b.Tuple, boundAttr, brel.Schema.Index(boundAttr))
+		if v.IsNull() {
+			continue
+		}
+		fi := rel.Schema.Index(freeAttr)
+		if fi < 0 {
+			continue
+		}
+		var out []*data.Tuple
+		for _, t := range partitionOf(rel, a.Rel, a.Var, opts) {
+			if valueThrough(e.env, a.Rel, t, freeAttr, fi).Equal(v) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// valueThrough reads t[attr] through the env's ValueOf hook when present.
+func valueThrough(env *predicate.Env, rel string, t *data.Tuple, attr string, idx int) data.Value {
+	if env.ValueOf != nil {
+		v, ok := env.ValueOf(rel, t, attr)
+		if !ok {
+			return data.Value{}
+		}
+		return v
+	}
+	if idx < 0 || idx >= len(t.Values) {
+		return data.Value{}
+	}
+	return t.Values[idx]
+}
+
+// SortTuplesByTID orders a tuple slice deterministically; helpers for
+// callers building Restrict partitions.
+func SortTuplesByTID(ts []*data.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].TID < ts[j].TID })
+}

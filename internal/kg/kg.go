@@ -1,0 +1,230 @@
+// Package kg implements the knowledge-graph substrate used by Rock's
+// missing-value imputation: a labelled graph G = (V, E, L) where edge
+// labels typify predicates and vertex labels may carry values, plus label
+// paths and path matching (paper §2, "Preliminaries", and §2.3's
+// extraction predicates).
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex in a graph.
+type VertexID int
+
+// Vertex is a labelled node. The label of a leaf vertex often carries an
+// attribute value ("Beijing"); the label of an entity vertex carries its
+// name or identifier.
+type Vertex struct {
+	ID    VertexID
+	Label string
+	// Props carries lightweight key/value annotations used by HER feature
+	// extraction (e.g. "type" -> "Store").
+	Props map[string]string
+}
+
+// Edge is a directed labelled edge (from)-[label]->(to).
+type Edge struct {
+	From  VertexID
+	To    VertexID
+	Label string
+}
+
+// Graph is an in-memory labelled graph with per-vertex adjacency indexed by
+// edge label for fast path matching.
+type Graph struct {
+	Name     string
+	vertices map[VertexID]*Vertex
+	out      map[VertexID]map[string][]VertexID // from -> label -> targets
+	in       map[VertexID]map[string][]VertexID
+	byLabel  map[string][]VertexID
+	nextID   VertexID
+	edges    int
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{
+		Name:     name,
+		vertices: make(map[VertexID]*Vertex),
+		out:      make(map[VertexID]map[string][]VertexID),
+		in:       make(map[VertexID]map[string][]VertexID),
+		byLabel:  make(map[string][]VertexID),
+	}
+}
+
+// AddVertex inserts a vertex with the given label and returns its id.
+func (g *Graph) AddVertex(label string) VertexID {
+	id := g.nextID
+	g.nextID++
+	g.vertices[id] = &Vertex{ID: id, Label: label}
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// SetProp annotates a vertex; missing vertices are ignored.
+func (g *Graph) SetProp(id VertexID, key, val string) {
+	v := g.vertices[id]
+	if v == nil {
+		return
+	}
+	if v.Props == nil {
+		v.Props = make(map[string]string)
+	}
+	v.Props[key] = val
+}
+
+// AddEdge inserts a directed labelled edge. Both endpoints must exist.
+func (g *Graph) AddEdge(from VertexID, label string, to VertexID) error {
+	if g.vertices[from] == nil || g.vertices[to] == nil {
+		return fmt.Errorf("kg: edge %d-[%s]->%d references missing vertex", from, label, to)
+	}
+	om := g.out[from]
+	if om == nil {
+		om = make(map[string][]VertexID)
+		g.out[from] = om
+	}
+	om[label] = append(om[label], to)
+	im := g.in[to]
+	if im == nil {
+		im = make(map[string][]VertexID)
+		g.in[to] = im
+	}
+	im[label] = append(im[label], from)
+	g.edges++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; for graph literals.
+func (g *Graph) MustEdge(from VertexID, label string, to VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}
+
+// Vertex returns the vertex with the given id, or nil.
+func (g *Graph) Vertex(id VertexID) *Vertex { return g.vertices[id] }
+
+// Label returns L(v) for the vertex, or "" if absent.
+func (g *Graph) Label(id VertexID) string {
+	if v := g.vertices[id]; v != nil {
+		return v.Label
+	}
+	return ""
+}
+
+// VerticesByLabel returns all vertex ids carrying the given label.
+func (g *Graph) VerticesByLabel(label string) []VertexID { return g.byLabel[label] }
+
+// VertexIDs returns all vertex ids in ascending order.
+func (g *Graph) VertexIDs() []VertexID {
+	ids := make([]VertexID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Out returns the targets of edges labelled l leaving v.
+func (g *Graph) Out(v VertexID, l string) []VertexID {
+	if m := g.out[v]; m != nil {
+		return m[l]
+	}
+	return nil
+}
+
+// OutLabels returns the distinct outgoing edge labels of v, sorted.
+func (g *Graph) OutLabels(v VertexID) []string {
+	m := g.out[v]
+	labels := make([]string, 0, len(m))
+	for l := range m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// Path is a label path ρ = (l1, ..., ln): a list of edge labels.
+type Path []string
+
+// String renders the path as (l1.l2...).
+func (p Path) String() string {
+	s := "("
+	for i, l := range p {
+		if i > 0 {
+			s += "."
+		}
+		s += l
+	}
+	return s + ")"
+}
+
+// Matches returns every terminal vertex v_n of a match (v0, v1, ..., v_n)
+// of path p from start: each step follows one edge carrying the next label.
+// Duplicate terminals are removed; results are sorted for determinism.
+func (g *Graph) Matches(start VertexID, p Path) []VertexID {
+	frontier := []VertexID{start}
+	for _, label := range p {
+		var next []VertexID
+		seen := map[VertexID]bool{}
+		for _, v := range frontier {
+			for _, w := range g.Out(v, label) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+// HasMatch reports whether any match of p from start exists.
+func (g *Graph) HasMatch(start VertexID, p Path) bool {
+	return len(g.Matches(start, p)) > 0
+}
+
+// Val returns the label of the (unique) terminal vertex of the match of p
+// from start — the value that the extraction predicate t[A] = val(x.ρ)
+// assigns. If there are several terminals, the lexicographically smallest
+// label is returned for determinism; ok is false when no match exists.
+func (g *Graph) Val(start VertexID, p Path) (string, bool) {
+	terms := g.Matches(start, p)
+	if len(terms) == 0 {
+		return "", false
+	}
+	best := g.Label(terms[0])
+	for _, t := range terms[1:] {
+		if l := g.Label(t); l < best {
+			best = l
+		}
+	}
+	return best, true
+}
+
+// Neighborhood returns the multiset of (edge label, target label) pairs
+// around v, used by HER feature extraction to compare a vertex with a
+// relational tuple.
+func (g *Graph) Neighborhood(v VertexID) []string {
+	var feats []string
+	for _, l := range g.OutLabels(v) {
+		for _, w := range g.Out(v, l) {
+			feats = append(feats, l+"="+g.Label(w))
+		}
+	}
+	sort.Strings(feats)
+	return feats
+}

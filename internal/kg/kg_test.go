@@ -1,0 +1,113 @@
+package kg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func wikiGraph() (*Graph, VertexID, VertexID) {
+	g := New("Wiki")
+	store := g.AddVertex("Huawei Flagship")
+	g.SetProp(store, "type", "Store")
+	city := g.AddVertex("Beijing")
+	country := g.AddVertex("China")
+	g.MustEdge(store, "LocationAt", city)
+	g.MustEdge(city, "PartOf", country)
+	return g, store, city
+}
+
+func TestGraphBasics(t *testing.T) {
+	g, store, city := wikiGraph()
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label(store) != "Huawei Flagship" {
+		t.Error("label lost")
+	}
+	if g.Vertex(store).Props["type"] != "Store" {
+		t.Error("prop lost")
+	}
+	if got := g.Out(store, "LocationAt"); len(got) != 1 || got[0] != city {
+		t.Errorf("out=%v", got)
+	}
+	if got := g.VerticesByLabel("Beijing"); len(got) != 1 || got[0] != city {
+		t.Errorf("byLabel=%v", got)
+	}
+	if err := g.AddEdge(99, "x", store); err == nil {
+		t.Error("edge to missing vertex must fail")
+	}
+}
+
+func TestPathMatching(t *testing.T) {
+	g, store, _ := wikiGraph()
+	if v, ok := g.Val(store, Path{"LocationAt"}); !ok || v != "Beijing" {
+		t.Errorf("val=%q ok=%v", v, ok)
+	}
+	if v, ok := g.Val(store, Path{"LocationAt", "PartOf"}); !ok || v != "China" {
+		t.Errorf("2-hop val=%q ok=%v", v, ok)
+	}
+	if _, ok := g.Val(store, Path{"Missing"}); ok {
+		t.Error("missing label must not match")
+	}
+	if !g.HasMatch(store, Path{"LocationAt"}) {
+		t.Error("HasMatch false negative")
+	}
+	if g.HasMatch(store, Path{"PartOf"}) {
+		t.Error("HasMatch false positive")
+	}
+	// Empty path matches the start vertex itself.
+	if v, ok := g.Val(store, nil); !ok || v != "Huawei Flagship" {
+		t.Errorf("empty path val=%q", v)
+	}
+}
+
+func TestValDeterministicOnFanout(t *testing.T) {
+	g := New("G")
+	root := g.AddVertex("root")
+	b := g.AddVertex("bbb")
+	a := g.AddVertex("aaa")
+	g.MustEdge(root, "L", b)
+	g.MustEdge(root, "L", a)
+	if v, _ := g.Val(root, Path{"L"}); v != "aaa" {
+		t.Errorf("want lexicographically smallest, got %q", v)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g, store, _ := wikiGraph()
+	feats := g.Neighborhood(store)
+	if len(feats) != 1 || feats[0] != "LocationAt=Beijing" {
+		t.Errorf("feats=%v", feats)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if got := (Path{"a", "b"}).String(); got != "(a.b)" {
+		t.Errorf("path string=%q", got)
+	}
+}
+
+// Property: on a random chain, a path of the chain's labels always matches
+// from the head and Val returns the tail label.
+func TestChainMatchProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		length := int(n%20) + 1
+		g := New("chain")
+		prev := g.AddVertex("v0")
+		head := prev
+		var p Path
+		for i := 1; i <= length; i++ {
+			next := g.AddVertex(label(i))
+			g.MustEdge(prev, "next", next)
+			p = append(p, "next")
+			prev = next
+		}
+		v, ok := g.Val(head, p)
+		return ok && v == label(length)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func label(i int) string { return "v" + string(rune('0'+i%10)) + string(rune('a'+i%26)) }

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func storeSchema() *data.Schema {
+	return data.MustSchema("Store",
+		data.Attribute{Name: "location", Type: data.TString},
+		data.Attribute{Name: "area_code", Type: data.TString},
+		data.Attribute{Name: "type", Type: data.TString},
+	)
+}
+
+func trainedCorrelation(t *testing.T) (*CorrelationModel, *data.Relation) {
+	t.Helper()
+	s := storeSchema()
+	r := data.NewRelation(s)
+	// Deterministic association: Beijing <-> 010, Shanghai <-> 021.
+	for i := 0; i < 20; i++ {
+		r.Insert("e", data.S("Beijing"), data.S("010"), data.S("Electron."))
+		r.Insert("e", data.S("Shanghai"), data.S("021"), data.S("Sports"))
+	}
+	m := NewCorrelationModel("M_c", s)
+	m.Train(r.Tuples)
+	return m, r
+}
+
+func TestCorrelationStrength(t *testing.T) {
+	m, r := trainedCorrelation(t)
+	probe := r.Insert("e", data.S("Beijing"), data.Null(data.TString), data.S("Electron."))
+	good := m.Strength(probe, nil, 1, data.S("010"))
+	bad := m.Strength(probe, nil, 1, data.S("021"))
+	if good <= bad {
+		t.Errorf("correlated value must score higher: good=%f bad=%f", good, bad)
+	}
+	if good < 0.6 {
+		t.Errorf("deterministic association too weak: %f", good)
+	}
+	if m.Strength(probe, nil, 1, data.Null(data.TString)) != 0 {
+		t.Error("null candidate must score 0")
+	}
+}
+
+func TestCorrelationUntrained(t *testing.T) {
+	s := storeSchema()
+	m := NewCorrelationModel("M_c", s)
+	r := data.NewRelation(s)
+	probe := r.Insert("e", data.S("Beijing"), data.Null(data.TString), data.S("x"))
+	if m.Strength(probe, nil, 1, data.S("010")) != 0 {
+		t.Error("untrained model must score 0")
+	}
+}
+
+func TestCorrelationAnchors(t *testing.T) {
+	m, r := trainedCorrelation(t)
+	probe := r.Insert("e", data.S("Beijing"), data.Null(data.TString), data.S("Sports"))
+	// Anchor only on location: strong; anchor only on the misleading type: weak.
+	byLoc := m.Strength(probe, []int{0}, 1, data.S("010"))
+	byType := m.Strength(probe, []int{2}, 1, data.S("010"))
+	if byLoc <= byType {
+		t.Errorf("location anchor must dominate: loc=%f type=%f", byLoc, byType)
+	}
+}
+
+func TestValuePredictorSuggest(t *testing.T) {
+	m, r := trainedCorrelation(t)
+	vp := NewValuePredictor("M_d", m, r.Tuples)
+	probe := r.Insert("e", data.S("Beijing"), data.Null(data.TString), data.S("Electron."))
+	v, conf, ok := vp.Suggest(probe, 1)
+	if !ok {
+		t.Fatal("expected a suggestion")
+	}
+	if !v.Equal(data.S("010")) {
+		t.Errorf("suggested %v want 010 (conf %f)", v, conf)
+	}
+	// Extra candidate that correlates even better cannot exist; an unseen
+	// extra candidate should lose.
+	v2, _, ok := vp.Suggest(probe, 1, data.S("999"))
+	if !ok || !v2.Equal(data.S("010")) {
+		t.Errorf("extra candidate must not displace correlated value: %v", v2)
+	}
+}
+
+func TestValuePredictorNoCandidates(t *testing.T) {
+	s := storeSchema()
+	m := NewCorrelationModel("M_c", s)
+	vp := NewValuePredictor("M_d", m, nil)
+	r := data.NewRelation(s)
+	probe := r.Insert("e", data.S("Beijing"), data.Null(data.TString), data.S("x"))
+	if _, _, ok := vp.Suggest(probe, 1); ok {
+		t.Error("no candidates must yield no suggestion")
+	}
+}

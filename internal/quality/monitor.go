@@ -1,0 +1,179 @@
+package quality
+
+import (
+	"fmt"
+	"regexp"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+// Template is one data-quality monitoring check (paper §4.1: "Rock adopts
+// built-in constraints and user-defined templates to monitor data quality
+// in terms of completeness, timeliness, validity and consistency, e.g.,
+// checking nulls/duplicates in an attribute").
+type Template interface {
+	// Name identifies the check in reports.
+	Name() string
+	// Check runs against one relation and returns the offending TIDs.
+	Check(rel *data.Relation) []int
+}
+
+// NullCheck flags tuples whose attribute is null (completeness).
+type NullCheck struct{ Attr string }
+
+// Name implements Template.
+func (c NullCheck) Name() string { return "null(" + c.Attr + ")" }
+
+// Check implements Template.
+func (c NullCheck) Check(rel *data.Relation) []int {
+	ai := rel.Schema.Index(c.Attr)
+	if ai < 0 {
+		return nil
+	}
+	var out []int
+	for _, t := range rel.Tuples {
+		if t.Values[ai].IsNull() {
+			out = append(out, t.TID)
+		}
+	}
+	return out
+}
+
+// DuplicateCheck flags tuples whose attribute value repeats (validity for
+// key-like attributes).
+type DuplicateCheck struct{ Attr string }
+
+// Name implements Template.
+func (c DuplicateCheck) Name() string { return "duplicate(" + c.Attr + ")" }
+
+// Check implements Template.
+func (c DuplicateCheck) Check(rel *data.Relation) []int {
+	ai := rel.Schema.Index(c.Attr)
+	if ai < 0 {
+		return nil
+	}
+	first := make(map[string]int)
+	flagged := make(map[int]bool)
+	var out []int
+	for _, t := range rel.Tuples {
+		v := t.Values[ai]
+		if v.IsNull() {
+			continue
+		}
+		if prev, seen := first[v.Key()]; seen {
+			if !flagged[prev] {
+				flagged[prev] = true
+				out = append(out, prev)
+			}
+			out = append(out, t.TID)
+			flagged[t.TID] = true
+		} else {
+			first[v.Key()] = t.TID
+		}
+	}
+	return out
+}
+
+// RangeCheck flags numeric values outside [Min, Max] (validity).
+type RangeCheck struct {
+	Attr     string
+	Min, Max float64
+}
+
+// Name implements Template.
+func (c RangeCheck) Name() string { return fmt.Sprintf("range(%s,[%g,%g])", c.Attr, c.Min, c.Max) }
+
+// Check implements Template.
+func (c RangeCheck) Check(rel *data.Relation) []int {
+	ai := rel.Schema.Index(c.Attr)
+	if ai < 0 {
+		return nil
+	}
+	var out []int
+	for _, t := range rel.Tuples {
+		v := t.Values[ai]
+		if v.IsNull() {
+			continue
+		}
+		if f := v.Float(); f < c.Min || f > c.Max {
+			out = append(out, t.TID)
+		}
+	}
+	return out
+}
+
+// PatternCheck flags string values not matching a regular expression —
+// the user-defined format templates (e.g. phone formats).
+type PatternCheck struct {
+	Attr    string
+	Pattern *regexp.Regexp
+}
+
+// NewPatternCheck compiles the expression; it panics on a bad pattern
+// (templates are configuration, not data).
+func NewPatternCheck(attr, pattern string) PatternCheck {
+	return PatternCheck{Attr: attr, Pattern: regexp.MustCompile(pattern)}
+}
+
+// Name implements Template.
+func (c PatternCheck) Name() string { return "pattern(" + c.Attr + ")" }
+
+// Check implements Template.
+func (c PatternCheck) Check(rel *data.Relation) []int {
+	ai := rel.Schema.Index(c.Attr)
+	if ai < 0 {
+		return nil
+	}
+	var out []int
+	for _, t := range rel.Tuples {
+		v := t.Values[ai]
+		if v.IsNull() || v.Kind() != data.TString {
+			continue
+		}
+		if !c.Pattern.MatchString(v.Str()) {
+			out = append(out, t.TID)
+		}
+	}
+	return out
+}
+
+// MonitorFinding is one template's result over one relation.
+type MonitorFinding struct {
+	Rel      string
+	Template string
+	TIDs     []int
+}
+
+// Monitor runs templates against the relations they name and summarises
+// the findings together with the aggregate quality assessment.
+type Monitor struct {
+	templates map[string][]Template // by relation
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{templates: make(map[string][]Template)} }
+
+// Add registers a template for one relation.
+func (m *Monitor) Add(rel string, t Template) { m.templates[rel] = append(m.templates[rel], t) }
+
+// Run checks every registered template and computes the assessment; the
+// violating-cell count feeding consistency is the total finding count.
+func (m *Monitor) Run(db *data.Database) ([]MonitorFinding, Assessment) {
+	var findings []MonitorFinding
+	violating := 0
+	for relName, ts := range m.templates {
+		rel := db.Rel(relName)
+		if rel == nil {
+			continue
+		}
+		for _, t := range ts {
+			tids := t.Check(rel)
+			if len(tids) == 0 {
+				continue
+			}
+			findings = append(findings, MonitorFinding{Rel: relName, Template: t.Name(), TIDs: tids})
+			violating += len(tids)
+		}
+	}
+	return findings, Assess(db, violating)
+}

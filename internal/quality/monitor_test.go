@@ -1,0 +1,94 @@
+package quality
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func monitorRel(t *testing.T) (*data.Database, *data.Relation) {
+	t.Helper()
+	rel := data.NewRelation(data.MustSchema("Customer",
+		data.Attribute{Name: "phone", Type: data.TString},
+		data.Attribute{Name: "city", Type: data.TString},
+		data.Attribute{Name: "age", Type: data.TInt},
+	))
+	rel.Insert("c1", data.S("+86-001"), data.S("Beijing"), data.I(30))
+	rel.Insert("c2", data.S("+86-002"), data.Null(data.TString), data.I(45))
+	rel.Insert("c3", data.S("+86-001"), data.S("Shanghai"), data.I(260)) // dup phone, bad age
+	rel.Insert("c4", data.S("badformat"), data.S("Chengdu"), data.I(22))
+	db := data.NewDatabase()
+	db.Add(rel)
+	return db, rel
+}
+
+func TestNullCheck(t *testing.T) {
+	_, rel := monitorRel(t)
+	got := (NullCheck{Attr: "city"}).Check(rel)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("null check=%v", got)
+	}
+	if got := (NullCheck{Attr: "ghost"}).Check(rel); got != nil {
+		t.Error("unknown attr yields nil")
+	}
+}
+
+func TestDuplicateCheck(t *testing.T) {
+	_, rel := monitorRel(t)
+	got := (DuplicateCheck{Attr: "phone"}).Check(rel)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("dup check=%v", got)
+	}
+	// Unique column yields nothing.
+	if got := (DuplicateCheck{Attr: "city"}).Check(rel); len(got) != 0 {
+		t.Errorf("city dups=%v", got)
+	}
+}
+
+func TestRangeCheck(t *testing.T) {
+	_, rel := monitorRel(t)
+	got := (RangeCheck{Attr: "age", Min: 0, Max: 120}).Check(rel)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("range check=%v", got)
+	}
+}
+
+func TestPatternCheck(t *testing.T) {
+	_, rel := monitorRel(t)
+	got := NewPatternCheck("phone", `^\+86-\d+$`).Check(rel)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("pattern check=%v", got)
+	}
+}
+
+func TestMonitorRun(t *testing.T) {
+	db, _ := monitorRel(t)
+	m := NewMonitor()
+	m.Add("Customer", NullCheck{Attr: "city"})
+	m.Add("Customer", DuplicateCheck{Attr: "phone"})
+	m.Add("Customer", RangeCheck{Attr: "age", Min: 0, Max: 120})
+	m.Add("Customer", NewPatternCheck("phone", `^\+86-\d+$`))
+	m.Add("Ghost", NullCheck{Attr: "x"}) // missing relation: skipped
+	findings, assessment := m.Run(db)
+	if len(findings) != 4 {
+		t.Fatalf("findings=%d: %+v", len(findings), findings)
+	}
+	names := map[string]bool{}
+	for _, f := range findings {
+		names[f.Template] = true
+		if f.Rel != "Customer" || len(f.TIDs) == 0 {
+			t.Errorf("bad finding: %+v", f)
+		}
+	}
+	for _, want := range []string{"null(city)", "duplicate(phone)", "range(age,[0,120])", "pattern(phone)"} {
+		if !names[want] {
+			t.Errorf("missing template %s", want)
+		}
+	}
+	if assessment.Completeness >= 1 {
+		t.Error("completeness must reflect the null")
+	}
+	if assessment.Consistency >= 1 {
+		t.Error("consistency must reflect the findings")
+	}
+}

@@ -1,0 +1,136 @@
+package quality
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func TestPRFMath(t *testing.T) {
+	p := PRF{TP: 8, FP: 2, FN: 2}
+	near := func(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+	if !near(p.Precision(), 0.8) || !near(p.Recall(), 0.8) || !near(p.F1(), 0.8) {
+		t.Errorf("prf: %s", p)
+	}
+	zero := PRF{}
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("empty PRF must be 0")
+	}
+	a := PRF{TP: 1, FP: 2, FN: 3}
+	a.Add(PRF{TP: 4, FP: 5, FN: 6})
+	if a.TP != 5 || a.FP != 7 || a.FN != 9 {
+		t.Error("add")
+	}
+}
+
+func TestScoreDetection(t *testing.T) {
+	g := NewGold()
+	g.AddWrong("R", 1, "a", data.S("x"))
+	g.AddMissing("R", 2, "b", data.S("y"))
+	g.AddDup("e1", "e2")
+
+	detected := map[string]bool{
+		CellKey("R", 1, "a"): true, // TP
+		CellKey("R", 9, "a"): true, // FP
+	}
+	dups := map[[2]string]bool{{"e1", "e2"}: true}
+	p := ScoreDetection(g, detected, dups)
+	// TP: cell(1,a)+dup = 2; FP: cell(9,a) = 1; FN: missing(2,b) = 1.
+	if p.TP != 2 || p.FP != 1 || p.FN != 1 {
+		t.Errorf("detection score: %s", p)
+	}
+}
+
+func TestScoreCorrection(t *testing.T) {
+	g := NewGold()
+	g.AddWrong("R", 1, "a", data.S("right"))
+	g.AddWrong("R", 2, "a", data.S("right2"))
+	g.AddMissing("R", 3, "b", data.S("filled"))
+	g.AddDup("e1", "e2")
+	g.AddDup("e3", "e4")
+	g.AddOrder("R", "a", 10, 11)
+
+	c := NewCorrections()
+	c.AddCell("R", 1, "a", data.S("right"))  // CR TP
+	c.AddCell("R", 2, "a", data.S("WRONG"))  // CR FP+FN
+	c.AddCell("R", 3, "b", data.S("filled")) // MI TP
+	c.AddCell("R", 5, "z", data.S("noise"))  // clean cell changed: FP
+	c.AddMerge("e1", "e2")                   // ER TP
+	c.AddMerge("e9", "e8")                   // ER FP
+	c.AddOrder("R", "a", 10, 11)             // TD TP
+	c.AddOrder("R", "a", 11, 10)             // TD FP (reversed)
+
+	raw := func(key string) (data.Value, bool) { return data.S("orig"), true }
+	s := ScoreCorrection(g, c, raw)
+	if s.CR.TP != 1 || s.CR.FP != 2 || s.CR.FN != 1 {
+		t.Errorf("CR: %s", s.CR)
+	}
+	if s.MI.TP != 1 || s.MI.FN != 0 {
+		t.Errorf("MI: %s", s.MI)
+	}
+	if s.ER.TP != 1 || s.ER.FP != 1 || s.ER.FN != 1 {
+		t.Errorf("ER: %s", s.ER)
+	}
+	if s.TD.TP != 1 || s.TD.FP != 1 || s.TD.FN != 0 {
+		t.Errorf("TD: %s", s.TD)
+	}
+	all := s.Overall()
+	if all.TP != 4 {
+		t.Errorf("overall: %s", all)
+	}
+}
+
+func TestCorrectionReassertingRawIsNotFP(t *testing.T) {
+	g := NewGold()
+	c := NewCorrections()
+	c.AddCell("R", 1, "a", data.S("same"))
+	raw := func(key string) (data.Value, bool) { return data.S("same"), true }
+	s := ScoreCorrection(g, c, raw)
+	if s.CR.FP != 0 {
+		t.Error("reasserting the existing value must not count as FP")
+	}
+}
+
+func TestAssess(t *testing.T) {
+	db := data.NewDatabase()
+	rel := data.NewRelation(data.MustSchema("R",
+		data.Attribute{Name: "a", Type: data.TString},
+		data.Attribute{Name: "b", Type: data.TString}))
+	rel.Insert("e1", data.S("x"), data.Null(data.TString))
+	rel.Insert("e2", data.S("y"), data.S("z"))
+	db.Add(rel)
+	a := Assess(db, 1)
+	if a.Completeness != 0.75 {
+		t.Errorf("completeness=%f", a.Completeness)
+	}
+	if a.Consistency != 0.75 {
+		t.Errorf("consistency=%f", a.Consistency)
+	}
+	if a.Timeliness != -1 {
+		t.Error("timeliness unknown without gold")
+	}
+	empty := Assess(data.NewDatabase(), 0)
+	if empty.Completeness != 0 {
+		t.Error("empty database assessment")
+	}
+}
+
+func TestGoldTotals(t *testing.T) {
+	g := NewGold()
+	g.AddWrong("R", 1, "a", data.S("x"))
+	g.AddMissing("R", 2, "a", data.S("y"))
+	g.AddDup("a", "b")
+	g.AddOrder("R", "a", 1, 2)
+	if g.Total() != 4 {
+		t.Errorf("total=%d", g.Total())
+	}
+	cells := g.ErrorCells()
+	if len(cells) != 2 {
+		t.Errorf("error cells=%d", len(cells))
+	}
+	// AddDup normalises order.
+	g.AddDup("b", "a")
+	if len(g.DupPairs) != 1 {
+		t.Error("dup pair not normalised")
+	}
+}

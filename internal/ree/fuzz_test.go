@@ -1,0 +1,46 @@
+package ree
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the DSL parser: arbitrary input must produce a rule
+// or an error, never a panic, and every successfully parsed rule must
+// print to a form that re-parses to the same text (printer/parser
+// round-trip stability).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg",
+		"Person(t) ^ Person(s) ^ M_rank(t, s, <=[LN]) -> t <=[LN] s",
+		"Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) -> t.location = val(x.(LocationAt))",
+		"Trans(t) ^ null(t.price) -> t.price = M_d(t, price)",
+		"Store(t) ^ M_c(t, area_code='010') >= 0.8 -> t.area_code = '010'",
+		"R(t) -> t.a = 'x'",
+		"R(t) ^ t.a != 1 -> t.b >= 2.5",
+		"R(t) ^ !null(t.a) -> t.a = null",
+		"R(t",
+		"-> x",
+		"R(t) ^ ^ -> t.a = 1",
+		"R(t) ^ t.a = 'unterminated -> t.b = 1",
+		"∧∧∧",
+		"R(t) ^ M(t[a,b], s[c]) -> t.eid = s.eid",
+		"R(t) ^ t.a = -3.5e2 -> t.b = 'v'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := Parse(src, nil)
+		if err != nil || r == nil {
+			return
+		}
+		printed := r.String()
+		r2, err := Parse(printed, nil)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse:\n  src: %q\n  printed: %q\n  err: %v", src, printed, err)
+		}
+		if r2.String() != printed {
+			t.Fatalf("printer not a fixpoint:\n  first: %q\n  second: %q", printed, r2.String())
+		}
+	})
+}

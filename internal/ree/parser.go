@@ -1,0 +1,715 @@
+package ree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/predicate"
+)
+
+// Parse parses an REE++ rule from the textual DSL. When db is non-nil,
+// constant literals are coerced to the attribute's schema type and
+// attribute references are validated.
+//
+// Grammar (conjuncts joined by "^", consequence after "->"):
+//
+//	Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) ^ t.date = s.date -> t.eid = s.eid
+//	Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s
+//	Person(t) ^ Person(s) ^ M_rank(t, s, <=[LN]) -> t <=[LN] s
+//	Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) -> t.location = val(x.(LocationAt))
+//	Trans(t) ^ null(t.price) -> t.price = M_d(t, price)
+//	Store(t) ^ M_c(t, area_code='010') >= 0.8 -> t.area_code = '010'
+func Parse(text string, db *data.Database) (*Rule, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, text: text}
+	rule, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	if db != nil {
+		coerceConstants(rule, db)
+		if err := rule.Validate(db); err != nil {
+			return nil, err
+		}
+	} else if err := rule.Validate(nil); err != nil {
+		return nil, err
+	}
+	return rule, nil
+}
+
+// MustParse is Parse that panics on error; for rule literals in tests,
+// examples and workload definitions.
+func MustParse(text string, db *data.Database) *Rule {
+	r, err := Parse(text, db)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseAll parses one rule per non-empty, non-comment ("#") line.
+func ParseAll(text string, db *data.Database) ([]*Rule, error) {
+	var rules []*Rule
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Parse(line, db)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		r.ID = fmt.Sprintf("r%d", len(rules)+1)
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokPunct // single/multi-char punctuation: ( ) [ ] , . ^ -> = != < <= > >= !
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) && s[j] != '\'' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("pos %d: unterminated string literal", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(s) && isIdentPart(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j], i})
+			i = j
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' || s[j] == '-' || s[j] == '+') {
+				// Don't swallow "." when it is not followed by a digit (e.g. "t.A").
+				if s[j] == '.' && (j+1 >= len(s) || s[j+1] < '0' || s[j+1] > '9') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		default:
+			switch {
+			case strings.HasPrefix(s[i:], "->"):
+				toks = append(toks, token{tokPunct, "->", i})
+				i += 2
+			case strings.HasPrefix(s[i:], "!="):
+				toks = append(toks, token{tokPunct, "!=", i})
+				i += 2
+			case strings.HasPrefix(s[i:], "<="):
+				toks = append(toks, token{tokPunct, "<=", i})
+				i += 2
+			case strings.HasPrefix(s[i:], ">="):
+				toks = append(toks, token{tokPunct, ">=", i})
+				i += 2
+			case strings.ContainsRune("()[],.^=<>!", rune(c)):
+				toks = append(toks, token{tokPunct, string(c), i})
+				i++
+			case strings.HasPrefix(s[i:], "∧"):
+				toks = append(toks, token{tokPunct, "^", i})
+				i += len("∧")
+			default:
+				return nil, fmt.Errorf("pos %d: unexpected character %q", i, c)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	i    int
+	text string
+}
+
+func (p *parser) peek() token  { return p.toks[p.i] }
+func (p *parser) peek2() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errf(t, "expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("parse %q at pos %d: %s", p.text, t.pos, fmt.Sprintf(format, args...))
+}
+
+// parsed is one parsed conjunct: either an atom, a vertex atom, or a
+// predicate.
+type parsed struct {
+	atom  *Atom
+	vatom *VertexAtom
+	pred  *predicate.Predicate
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	rule := &Rule{}
+	for {
+		c, err := p.parseConjunct()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case c.atom != nil:
+			rule.Atoms = append(rule.Atoms, *c.atom)
+		case c.vatom != nil:
+			rule.VertexAtoms = append(rule.VertexAtoms, *c.vatom)
+		default:
+			rule.X = append(rule.X, c.pred)
+		}
+		t := p.next()
+		if t.text == "^" {
+			continue
+		}
+		if t.text == "->" {
+			break
+		}
+		return nil, p.errf(t, "expected '^' or '->', got %q", t.text)
+	}
+	c, err := p.parseConjunct()
+	if err != nil {
+		return nil, err
+	}
+	if c.pred == nil {
+		return nil, fmt.Errorf("parse %q: consequence must be a predicate, not an atom", p.text)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "trailing input %q", t.text)
+	}
+	rule.P0 = c.pred
+	return rule, nil
+}
+
+func (p *parser) parseConjunct() (parsed, error) {
+	t := p.peek()
+	switch {
+	case t.text == "!":
+		p.next()
+		if err := p.expect("null"); err != nil {
+			return parsed{}, err
+		}
+		pr, err := p.parseNullArgs()
+		if err != nil {
+			return parsed{}, err
+		}
+		pr.Kind = predicate.KNotNull
+		return parsed{pred: pr}, nil
+	case t.kind == tokIdent && p.peek2().text == "(":
+		return p.parseCall()
+	case t.kind == tokIdent:
+		return p.parseTermExpr()
+	default:
+		return parsed{}, p.errf(t, "expected predicate")
+	}
+}
+
+// parseCall handles Name(...) forms: relation atoms, vertex(), null(),
+// match(), and model calls.
+func (p *parser) parseCall() (parsed, error) {
+	name := p.next().text
+	if err := p.expect("("); err != nil {
+		return parsed{}, err
+	}
+	switch name {
+	case "vertex":
+		varName := p.next()
+		if varName.kind != tokIdent {
+			return parsed{}, p.errf(varName, "vertex(): expected variable")
+		}
+		if err := p.expect(","); err != nil {
+			return parsed{}, err
+		}
+		graph := p.next()
+		if graph.kind != tokIdent {
+			return parsed{}, p.errf(graph, "vertex(): expected graph name")
+		}
+		if err := p.expect(")"); err != nil {
+			return parsed{}, err
+		}
+		return parsed{vatom: &VertexAtom{Graph: graph.text, Var: varName.text}}, nil
+	case "null":
+		pr, err := p.parseNullArgsAfterParen()
+		if err != nil {
+			return parsed{}, err
+		}
+		return parsed{pred: pr}, nil
+	case "match":
+		// match(t.A, x.(path))
+		tv, attr, err := p.parseVarDotAttr()
+		if err != nil {
+			return parsed{}, err
+		}
+		if err := p.expect(","); err != nil {
+			return parsed{}, err
+		}
+		xv, path, err := p.parseVarDotPath()
+		if err != nil {
+			return parsed{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return parsed{}, err
+		}
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KMatch, T: tv, A: attr, X: xv, Path: path}}, nil
+	}
+	// Either a relation atom R(t) or a model call.
+	if p.peek().kind == tokIdent && p.peek2().text == ")" {
+		varName := p.next().text
+		p.next() // ')'
+		return parsed{atom: &Atom{Rel: name, Var: varName}}, nil
+	}
+	return p.parseModelCall(name)
+}
+
+// parseModelCall handles M_ER(t[A,B], s[C]), M_rank(t, s, <=[A]),
+// HER(t, x), and M_c(t, B[=c]) [>= δ].
+func (p *parser) parseModelCall(name string) (parsed, error) {
+	type arg struct {
+		varName string
+		attrs   []string // nil for bare var
+		dotAttr string   // var.attr single form
+		isOp    bool     // <=[A] form
+		strict  bool
+		opAttr  string
+		ident   string     // bare identifier (attr name for corr)
+		cval    data.Value // constant after ident=
+		hasC    bool
+	}
+	var args []arg
+	for {
+		t := p.peek()
+		switch {
+		case t.text == "<=" || t.text == "<":
+			p.next()
+			strict := t.text == "<"
+			if err := p.expect("["); err != nil {
+				return parsed{}, err
+			}
+			attr := p.next()
+			if attr.kind != tokIdent {
+				return parsed{}, p.errf(attr, "expected attribute in temporal op")
+			}
+			if err := p.expect("]"); err != nil {
+				return parsed{}, err
+			}
+			args = append(args, arg{isOp: true, strict: strict, opAttr: attr.text})
+		case t.kind == tokIdent:
+			id := p.next().text
+			switch p.peek().text {
+			case "[":
+				p.next()
+				var attrs []string
+				for {
+					a := p.next()
+					if a.kind != tokIdent {
+						return parsed{}, p.errf(a, "expected attribute in vector")
+					}
+					attrs = append(attrs, a.text)
+					if p.peek().text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+				if err := p.expect("]"); err != nil {
+					return parsed{}, err
+				}
+				args = append(args, arg{varName: id, attrs: attrs})
+			case ".":
+				p.next()
+				a := p.next()
+				if a.kind != tokIdent {
+					return parsed{}, p.errf(a, "expected attribute after '.'")
+				}
+				args = append(args, arg{varName: id, dotAttr: a.text})
+			case "=":
+				p.next()
+				v, err := p.parseLiteral()
+				if err != nil {
+					return parsed{}, err
+				}
+				args = append(args, arg{ident: id, cval: v, hasC: true})
+			default:
+				args = append(args, arg{ident: id})
+			}
+		default:
+			return parsed{}, p.errf(t, "unexpected token in model call")
+		}
+		if p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return parsed{}, err
+	}
+	// Optional ">= δ" suffix marks a correlation predicate.
+	if p.peek().text == ">=" {
+		p.next()
+		num := p.next()
+		if num.kind != tokNumber {
+			return parsed{}, p.errf(num, "expected threshold after '>='")
+		}
+		delta, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return parsed{}, p.errf(num, "bad threshold: %v", err)
+		}
+		if len(args) != 2 || args[0].ident == "" && args[0].varName == "" {
+			return parsed{}, fmt.Errorf("parse %q: correlation predicate needs (var, attr[=const])", p.text)
+		}
+		tv := args[0].ident
+		if tv == "" {
+			tv = args[0].varName
+		}
+		pr := &predicate.Predicate{Kind: predicate.KCorr, Model: name, T: tv, B: args[1].ident, Delta: delta}
+		if args[1].hasC {
+			pr.C = args[1].cval
+		}
+		if pr.B == "" {
+			return parsed{}, fmt.Errorf("parse %q: correlation predicate needs attribute as second arg", p.text)
+		}
+		return parsed{pred: pr}, nil
+	}
+	// M_rank(t, s, <=[A])
+	if len(args) == 3 && args[2].isOp {
+		if args[0].ident == "" || args[1].ident == "" {
+			return parsed{}, fmt.Errorf("parse %q: ranking predicate needs two tuple variables", p.text)
+		}
+		return parsed{pred: &predicate.Predicate{
+			Kind: predicate.KRank, Model: name,
+			T: args[0].ident, S: args[1].ident,
+			A: args[2].opAttr, Strict: args[2].strict,
+		}}, nil
+	}
+	// HER(t, x): two bare identifiers.
+	if len(args) == 2 && args[0].ident != "" && args[1].ident != "" {
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KHER, Model: name, T: args[0].ident, X: args[1].ident}}, nil
+	}
+	// M(t[...], s[...]) or M(t.A, s.B)
+	if len(args) == 2 {
+		toVec := func(a arg) (string, []string, bool) {
+			if a.attrs != nil {
+				return a.varName, a.attrs, true
+			}
+			if a.dotAttr != "" {
+				return a.varName, []string{a.dotAttr}, true
+			}
+			return "", nil, false
+		}
+		tv, as, ok1 := toVec(args[0])
+		sv, bs, ok2 := toVec(args[1])
+		if ok1 && ok2 {
+			return parsed{pred: &predicate.Predicate{Kind: predicate.KML, Model: name, T: tv, S: sv, As: as, Bs: bs}}, nil
+		}
+	}
+	return parsed{}, fmt.Errorf("parse %q: unrecognised model call %s(...)", p.text, name)
+}
+
+func (p *parser) parseNullArgs() (*predicate.Predicate, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	return p.parseNullArgsAfterParen()
+}
+
+func (p *parser) parseNullArgsAfterParen() (*predicate.Predicate, error) {
+	tv, attr, err := p.parseVarDotAttr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &predicate.Predicate{Kind: predicate.KNull, T: tv, A: attr}, nil
+}
+
+func (p *parser) parseVarDotAttr() (string, string, error) {
+	v := p.next()
+	if v.kind != tokIdent {
+		return "", "", p.errf(v, "expected variable")
+	}
+	if err := p.expect("."); err != nil {
+		return "", "", err
+	}
+	a := p.next()
+	if a.kind != tokIdent {
+		return "", "", p.errf(a, "expected attribute")
+	}
+	return v.text, a.text, nil
+}
+
+func (p *parser) parseVarDotPath() (string, kg.Path, error) {
+	v := p.next()
+	if v.kind != tokIdent {
+		return "", nil, p.errf(v, "expected vertex variable")
+	}
+	if err := p.expect("."); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	var path kg.Path
+	for {
+		l := p.next()
+		if l.kind != tokIdent {
+			return "", nil, p.errf(l, "expected path label")
+		}
+		path = append(path, l.text)
+		if p.peek().text == "." {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return "", nil, err
+	}
+	return v.text, path, nil
+}
+
+func (p *parser) parseLiteral() (data.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return data.S(t.text), nil
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return data.Value{}, p.errf(t, "bad number: %v", err)
+			}
+			return data.F(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return data.Value{}, p.errf(t, "bad number: %v", err)
+		}
+		return data.I(n), nil
+	case tokIdent:
+		switch t.text {
+		case "null":
+			return data.Value{}, nil
+		case "true":
+			return data.B(true), nil
+		case "false":
+			return data.B(false), nil
+		}
+	}
+	return data.Value{}, p.errf(t, "expected literal")
+}
+
+// parseTermExpr handles conjuncts starting with a variable:
+// t.A op (literal | s.B | val(x.ρ) | M_d(t, B)) and the temporal forms
+// t <=[A] s / t <[A] s.
+func (p *parser) parseTermExpr() (parsed, error) {
+	v := p.next().text
+	t := p.peek()
+	// Temporal: t <=[A] s
+	if (t.text == "<=" || t.text == "<") && p.peek2().text == "[" {
+		p.next()
+		strict := t.text == "<"
+		p.next() // '['
+		attr := p.next()
+		if attr.kind != tokIdent {
+			return parsed{}, p.errf(attr, "expected attribute in temporal predicate")
+		}
+		if err := p.expect("]"); err != nil {
+			return parsed{}, err
+		}
+		s := p.next()
+		if s.kind != tokIdent {
+			return parsed{}, p.errf(s, "expected tuple variable after temporal op")
+		}
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KTemporal, T: v, S: s.text, A: attr.text, Strict: strict}}, nil
+	}
+	if err := p.expect("."); err != nil {
+		return parsed{}, err
+	}
+	attrTok := p.next()
+	if attrTok.kind != tokIdent {
+		return parsed{}, p.errf(attrTok, "expected attribute")
+	}
+	attr := attrTok.text
+	opTok := p.next()
+	var op predicate.Op
+	switch opTok.text {
+	case "=":
+		op = predicate.Eq
+	case "!=":
+		op = predicate.Neq
+	case "<":
+		op = predicate.Lt
+	case "<=":
+		op = predicate.Leq
+	case ">":
+		op = predicate.Gt
+	case ">=":
+		op = predicate.Geq
+	default:
+		return parsed{}, p.errf(opTok, "expected comparison operator")
+	}
+	rhs := p.peek()
+	// t.A = val(x.ρ)
+	if rhs.kind == tokIdent && rhs.text == "val" && p.peek2().text == "(" && op == predicate.Eq {
+		p.next()
+		p.next() // '('
+		xv, path, err := p.parseVarDotPath()
+		if err != nil {
+			return parsed{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return parsed{}, err
+		}
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KVal, T: v, A: attr, X: xv, Path: path}}, nil
+	}
+	// t.B = M_d(t, B)
+	if rhs.kind == tokIdent && p.peek2().text == "(" && op == predicate.Eq {
+		model := p.next().text
+		p.next() // '('
+		tv := p.next()
+		if tv.kind != tokIdent {
+			return parsed{}, p.errf(tv, "expected tuple variable in predictor call")
+		}
+		if err := p.expect(","); err != nil {
+			return parsed{}, err
+		}
+		battr := p.next()
+		if battr.kind != tokIdent {
+			return parsed{}, p.errf(battr, "expected attribute in predictor call")
+		}
+		if err := p.expect(")"); err != nil {
+			return parsed{}, err
+		}
+		if battr.text != attr || tv.text != v {
+			return parsed{}, fmt.Errorf("parse %q: predictor consequence must be of form t.B = M(t, B)", p.text)
+		}
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KPredict, Model: model, T: v, B: attr}}, nil
+	}
+	// t.A op s.B
+	if rhs.kind == tokIdent && p.peek2().text == "." {
+		sv := p.next().text
+		p.next() // '.'
+		battr := p.next()
+		if battr.kind != tokIdent {
+			return parsed{}, p.errf(battr, "expected attribute")
+		}
+		if strings.EqualFold(attr, "eid") && strings.EqualFold(battr.text, "eid") {
+			if op != predicate.Eq && op != predicate.Neq {
+				return parsed{}, fmt.Errorf("parse %q: eid comparison supports only = and !=", p.text)
+			}
+			return parsed{pred: &predicate.Predicate{Kind: predicate.KEID, Op: op, T: v, S: sv}}, nil
+		}
+		return parsed{pred: &predicate.Predicate{Kind: predicate.KAttr, Op: op, T: v, A: attr, S: sv, B: battr.text}}, nil
+	}
+	// t.A op literal
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return parsed{}, err
+	}
+	return parsed{pred: &predicate.Predicate{Kind: predicate.KConst, Op: op, T: v, A: attr, C: lit}}, nil
+}
+
+// coerceConstants converts constant operands to the schema type of the
+// attribute they are compared with (e.g. a quoted date becomes TTime).
+func coerceConstants(r *Rule, db *data.Database) {
+	fix := func(p *predicate.Predicate) {
+		var attr string
+		switch p.Kind {
+		case predicate.KConst:
+			attr = p.A
+		case predicate.KCorr:
+			attr = p.B
+		default:
+			return
+		}
+		if p.C.IsNull() {
+			return
+		}
+		rel := r.RelOf(p.T)
+		if rel == "" {
+			return
+		}
+		rr := db.Rel(rel)
+		if rr == nil {
+			return
+		}
+		want, ok := rr.Schema.TypeOf(attr)
+		if !ok || want == p.C.Kind() {
+			return
+		}
+		if v, err := data.Parse(want, p.C.String()); err == nil {
+			p.C = v
+		}
+	}
+	for _, p := range r.X {
+		fix(p)
+	}
+	fix(r.P0)
+}

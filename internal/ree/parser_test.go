@@ -1,0 +1,187 @@
+package ree
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/predicate"
+)
+
+// paperRules are the example rules of the paper rewritten in the DSL.
+var paperRules = []string{
+	// ϕ1: ER via ML commodity matcher
+	"Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) ^ t.date = s.date ^ t.sid = s.sid -> t.eid = s.eid",
+	// ϕ2: CR — same commodity, same manufactory
+	"Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg",
+	// ϕ4: TD — marital status monotone
+	"Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s",
+	// ϕ5: TD — comonotone attributes
+	"Person(t) ^ Person(s) ^ t <=[status] s -> t <=[home] s",
+	// ϕ6: TD — correlated ordering with accumulated sales
+	"Store(t) ^ Store(s) ^ t.location = 'Shanghai' ^ s.location = 'Beijing' ^ t.accu_sales <= s.accu_sales -> t <=[location] s",
+	// ϕ7: MI — extraction from the Wiki graph
+	"Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) -> t.location = val(x.(LocationAt))",
+	// ϕ8: MI — ML prediction for missing price
+	"Trans(t) ^ null(t.price) -> t.price = M_d(t, price)",
+	// ϕ11: TD — ranking model
+	"Person(t) ^ Person(s) ^ M_rank(t, s, <=[LN]) -> t <=[LN] s",
+	// ϕ12: MI — logic imputation
+	"Store(t) ^ t.location = 'Beijing' -> t.area_code = '010'",
+	// correlation form
+	"Store(t) ^ M_c(t, area_code='010') >= 0.8 -> t.area_code = '010'",
+	// strict temporal + multi-attr ML
+	"Person(t) ^ Person(s) ^ M_ad(t[home,zip], s[home,zip]) -> t <[home] s",
+	// not-null guard
+	"Trans(t) ^ !null(t.price) ^ t.price < 0 -> t.price = 0",
+}
+
+func TestParsePaperRules(t *testing.T) {
+	for _, src := range paperRules {
+		r, err := Parse(src, nil)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		// Round trip: String() must re-parse to the same String().
+		r2, err := Parse(r.String(), nil)
+		if err != nil {
+			t.Errorf("re-parse %q (from %q): %v", r.String(), src, err)
+			continue
+		}
+		if r.String() != r2.String() {
+			t.Errorf("round trip mismatch:\n  1: %s\n  2: %s", r.String(), r2.String())
+		}
+	}
+}
+
+func TestParseKindsAndTasks(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind predicate.Kind
+		task Task
+	}{
+		{paperRules[0], predicate.KEID, TaskER},
+		{paperRules[1], predicate.KAttr, TaskCR},
+		{paperRules[2], predicate.KTemporal, TaskTD},
+		{paperRules[6], predicate.KPredict, TaskMI},
+		{paperRules[5], predicate.KVal, TaskMI},
+		{paperRules[8], predicate.KConst, TaskCR},
+		{"Trans(t) ^ null(t.price) -> t.price = 100", predicate.KConst, TaskMI},
+	}
+	for _, c := range cases {
+		r, err := Parse(c.src, nil)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if r.P0.Kind != c.kind {
+			t.Errorf("%q: consequence kind=%d want %d", c.src, r.P0.Kind, c.kind)
+		}
+		if r.TaskOf() != c.task {
+			t.Errorf("%q: task=%s want %s", c.src, r.TaskOf(), c.task)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                    // empty
+		"Trans(t) -> ",                        // missing consequence
+		"Trans(t) t.a = 1 -> t.b = 2",         // missing ^
+		"Trans(t) ^ t.a = 'unterminated",      // bad literal
+		"Trans(t) ^ s.a = 1 -> t.b = 2",       // unbound s
+		"Trans(t) ^ Trans(t) -> t.a = 1",      // duplicate var
+		"Trans(t) ^ t.a = 1 -> Trans(s)",      // atom as consequence
+		"Trans(t) -> t.eid < s.eid",           // eid with ordering op + unbound
+		"Trans(t) ^ M_c(t) >= 0.5 -> t.a=1",   // corr with one arg
+		"Trans(t) ^ t.a = 1 -> t.b = 2 extra", // trailing tokens
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParseWithSchemaCoercion(t *testing.T) {
+	db := data.NewDatabase()
+	db.Add(data.NewRelation(data.MustSchema("Trans",
+		data.Attribute{Name: "price", Type: data.TFloat},
+		data.Attribute{Name: "date", Type: data.TTime},
+	)))
+	r, err := Parse("Trans(t) ^ t.date = '2021-11-11' -> t.price = 6500", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0].C.Kind() != data.TTime {
+		t.Errorf("date constant not coerced: %v", r.X[0].C.Kind())
+	}
+	if r.P0.C.Kind() != data.TFloat {
+		t.Errorf("price constant not coerced: %v", r.P0.C.Kind())
+	}
+	// Unknown attribute must be rejected when a schema is available.
+	if _, err := Parse("Trans(t) -> t.ghost = 1", db); err == nil {
+		t.Error("unknown attribute must fail with schema")
+	}
+	if _, err := Parse("Ghost(t) -> t.a = 1", db); err == nil {
+		t.Error("unknown relation must fail with schema")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	text := strings.Join([]string{
+		"# comment",
+		paperRules[0],
+		"",
+		paperRules[1],
+	}, "\n")
+	rules, err := ParseAll(text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].ID != "r1" || rules[1].ID != "r2" {
+		t.Errorf("rules=%d ids=%s,%s", len(rules), rules[0].ID, rules[1].ID)
+	}
+	if _, err := ParseAll("good -> bad ^", nil); err == nil {
+		t.Error("bad line must fail with line number")
+	}
+}
+
+func TestHasML(t *testing.T) {
+	withML := MustParse(paperRules[0], nil)
+	if !withML.HasML() {
+		t.Error("ϕ1 embeds M_ER")
+	}
+	pure := MustParse(paperRules[1], nil)
+	if pure.HasML() {
+		t.Error("ϕ2 is pure logic")
+	}
+	mlConsequence := MustParse(paperRules[6], nil)
+	if !mlConsequence.HasML() {
+		t.Error("M_d consequence is ML")
+	}
+}
+
+func TestRuleClone(t *testing.T) {
+	r := MustParse(paperRules[0], nil)
+	c := r.Clone()
+	c.X[0].Model = "changed"
+	c.Atoms[0].Rel = "Other"
+	if r.X[0].Model == "changed" || r.Atoms[0].Rel == "Other" {
+		t.Error("clone is shallow")
+	}
+}
+
+func TestEscapedQuoteInLiteral(t *testing.T) {
+	r, err := Parse(`Store(t) -> t.name = 'O\'Brien'`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P0.C.Str() != "O'Brien" {
+		t.Errorf("literal=%q", r.P0.C.Str())
+	}
+	// And the printed form re-parses.
+	if _, err := Parse(r.String(), nil); err != nil {
+		t.Errorf("re-parse escaped literal: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package ree
+
+import (
+	"fmt"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/predicate"
+)
+
+// Violation is a valuation h witnessing D ̸|= φ: h |= X but h ̸|= p0
+// (paper §4.2). It identifies the involved tuples so error reporting can
+// point at cells.
+type Violation struct {
+	Rule *Rule
+	H    *predicate.Valuation
+}
+
+// String renders the violation compactly.
+func (v *Violation) String() string {
+	s := "violation of " + v.Rule.ID + " {"
+	first := true
+	for name, b := range v.H.Tuples {
+		if !first {
+			s += ", "
+		}
+		first = false
+		s += fmt.Sprintf("%s->%s[%d]", name, b.Rel, b.Tuple.TID)
+	}
+	return s + "}"
+}
+
+// enumerate walks every valuation of the rule's tuple atoms in D (and
+// vertex atoms in the registered graphs), calling fn; fn returning false
+// stops the walk. Valuations binding two variables of the same relation to
+// the same tuple are skipped for two-variable predicates' sake only when
+// the rule compares a variable with itself implicitly — following the
+// standard REE semantics, identical bindings are allowed but trivial
+// self-pairs (t=s on every attribute) are skipped to avoid vacuous matches.
+func (r *Rule) enumerate(env *predicate.Env, fn func(h *predicate.Valuation) (bool, error)) error {
+	var rec func(i int, h *predicate.Valuation) (bool, error)
+	rec = func(i int, h *predicate.Valuation) (bool, error) {
+		if i == len(r.Atoms) {
+			return r.enumerateVertices(env, 0, h, fn)
+		}
+		a := r.Atoms[i]
+		rel := env.DB.Rel(a.Rel)
+		if rel == nil {
+			return false, fmt.Errorf("rule %s: relation %q not in database", r.ID, a.Rel)
+		}
+		for _, t := range rel.Tuples {
+			if skipSelfPair(r, h, a, t) {
+				continue
+			}
+			h.Bind(a.Var, a.Rel, t)
+			cont, err := rec(i+1, h)
+			if err != nil || !cont {
+				delete(h.Tuples, a.Var)
+				return cont, err
+			}
+		}
+		delete(h.Tuples, a.Var)
+		return true, nil
+	}
+	_, err := rec(0, predicate.NewValuation())
+	return err
+}
+
+func (r *Rule) enumerateVertices(env *predicate.Env, i int, h *predicate.Valuation, fn func(h *predicate.Valuation) (bool, error)) (bool, error) {
+	if i == len(r.VertexAtoms) {
+		return fn(h)
+	}
+	a := r.VertexAtoms[i]
+	g := env.Graphs[a.Graph]
+	if g == nil {
+		return false, fmt.Errorf("rule %s: graph %q not registered", r.ID, a.Graph)
+	}
+	for _, v := range g.VertexIDs() {
+		h.BindVertex(a.Var, a.Graph, v)
+		cont, err := r.enumerateVertices(env, i+1, h, fn)
+		if err != nil || !cont {
+			delete(h.Vertices, a.Var)
+			return cont, err
+		}
+	}
+	delete(h.Vertices, a.Var)
+	return true, nil
+}
+
+// skipSelfPair suppresses binding a second variable of the same relation to
+// the exact same tuple — the standard convention so that rules like
+// R(t) ^ R(s) ^ t.A = s.A -> t.B = s.B don't match each tuple against
+// itself.
+func skipSelfPair(r *Rule, h *predicate.Valuation, a Atom, t *data.Tuple) bool {
+	for _, b := range h.Tuples {
+		if b.Rel == a.Rel && b.Tuple.TID == t.TID {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsX evaluates h |= X.
+func (r *Rule) HoldsX(env *predicate.Env, h *predicate.Valuation) (bool, error) {
+	for _, p := range r.X {
+		ok, err := p.Eval(env, h)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Violations enumerates all violations of the rule in the environment's
+// database, up to limit (limit <= 0 means unlimited). This is the
+// reference (naive) evaluator; package detect provides the blocked,
+// parallel one.
+func (r *Rule) Violations(env *predicate.Env, limit int) ([]*Violation, error) {
+	var out []*Violation
+	err := r.enumerate(env, func(h *predicate.Valuation) (bool, error) {
+		okX, err := r.HoldsX(env, h)
+		if err != nil {
+			return false, err
+		}
+		if !okX {
+			return true, nil
+		}
+		okP0, err := r.P0.Eval(env, h)
+		if err != nil {
+			return false, err
+		}
+		if !okP0 {
+			out = append(out, &Violation{Rule: r, H: cloneValuation(h)})
+			if limit > 0 && len(out) >= limit {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	return out, err
+}
+
+// Satisfied reports whether D |= φ: no violations exist.
+func (r *Rule) Satisfied(env *predicate.Env) (bool, error) {
+	vs, err := r.Violations(env, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
+
+// Measure computes support and confidence of the rule over the
+// environment's database:
+//
+//	support    = #valuations with h |= X and h |= p0, normalised by the
+//	             total number of valuations;
+//	confidence = #(h |= X ∧ p0) / #(h |= X).
+//
+// These are the objective measures used by rule discovery (paper §3,
+// "Rule discovery"; [36, 37]).
+func (r *Rule) Measure(env *predicate.Env) (support, confidence float64, err error) {
+	var total, matchX, matchBoth int
+	err = r.enumerate(env, func(h *predicate.Valuation) (bool, error) {
+		total++
+		okX, err := r.HoldsX(env, h)
+		if err != nil {
+			return false, err
+		}
+		if !okX {
+			return true, nil
+		}
+		matchX++
+		okP0, err := r.P0.Eval(env, h)
+		if err != nil {
+			return false, err
+		}
+		if okP0 {
+			matchBoth++
+		}
+		return true, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if total > 0 {
+		support = float64(matchBoth) / float64(total)
+	}
+	if matchX > 0 {
+		confidence = float64(matchBoth) / float64(matchX)
+	}
+	return support, confidence, nil
+}
+
+func cloneValuation(h *predicate.Valuation) *predicate.Valuation {
+	c := predicate.NewValuation()
+	for k, v := range h.Tuples {
+		c.Tuples[k] = v
+	}
+	for k, v := range h.Vertices {
+		c.Vertices[k] = v
+	}
+	return c
+}

@@ -1,0 +1,121 @@
+package ree
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/predicate"
+)
+
+// transDB builds a tiny Transaction relation mirroring the paper's Table 3.
+func transDB(t *testing.T) (*predicate.Env, *data.Relation) {
+	t.Helper()
+	schema := data.MustSchema("Trans",
+		data.Attribute{Name: "sid", Type: data.TString},
+		data.Attribute{Name: "com", Type: data.TString},
+		data.Attribute{Name: "mfg", Type: data.TString},
+		data.Attribute{Name: "price", Type: data.TFloat},
+	)
+	rel := data.NewRelation(schema)
+	db := data.NewDatabase()
+	db.Add(rel)
+	env := predicate.NewEnv(db)
+	env.Models.Register(ml.NewSimilarityMatcher("M_ER", 0.8))
+	return env, rel
+}
+
+func TestViolationsCR(t *testing.T) {
+	env, rel := transDB(t)
+	rel.Insert("p3", data.S("s3"), data.S("Mate X2"), data.S("Huawei"), data.F(5200))
+	rel.Insert("p4", data.S("s4"), data.S("Mate X2"), data.S("Apple"), data.F(5200)) // wrong mfg
+	rel.Insert("p5", data.S("s5"), data.S("IPhone 13"), data.S("Apple"), data.F(9000))
+
+	r := MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r.ID = "phi2"
+	vs, err := r.Violations(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (t1,t2) and (t2,t1) valuations both violate.
+	if len(vs) != 2 {
+		t.Fatalf("violations=%d want 2: %v", len(vs), vs)
+	}
+	sat, err := r.Satisfied(env)
+	if err != nil || sat {
+		t.Error("rule must be unsatisfied")
+	}
+	// Limit works.
+	vs, _ = r.Violations(env, 1)
+	if len(vs) != 1 {
+		t.Error("limit ignored")
+	}
+}
+
+func TestSatisfiedWhenClean(t *testing.T) {
+	env, rel := transDB(t)
+	rel.Insert("p3", data.S("s3"), data.S("Mate X2"), data.S("Huawei"), data.F(5200))
+	rel.Insert("p4", data.S("s4"), data.S("Mate X2"), data.S("Huawei"), data.F(5100))
+	r := MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	sat, err := r.Satisfied(env)
+	if err != nil || !sat {
+		t.Errorf("clean data must satisfy: %v %v", sat, err)
+	}
+}
+
+func TestMeasureSupportConfidence(t *testing.T) {
+	env, rel := transDB(t)
+	// Three tuples with com=X: two Huawei, one Apple.
+	rel.Insert("a", data.S("s1"), data.S("X"), data.S("Huawei"), data.F(1))
+	rel.Insert("b", data.S("s2"), data.S("X"), data.S("Huawei"), data.F(2))
+	rel.Insert("c", data.S("s3"), data.S("X"), data.S("Apple"), data.F(3))
+	r := MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	supp, conf, err := r.Measure(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ordered pairs all satisfy X; only (a,b),(b,a) satisfy p0 => conf=1/3.
+	if conf < 0.32 || conf > 0.34 {
+		t.Errorf("confidence=%f want 1/3", conf)
+	}
+	if supp <= 0 || supp > 1 {
+		t.Errorf("support out of range: %f", supp)
+	}
+}
+
+func TestSelfPairSkipped(t *testing.T) {
+	env, rel := transDB(t)
+	rel.Insert("a", data.S("s1"), data.S("X"), data.S("Huawei"), data.F(1))
+	// With one tuple, a two-variable rule has no valuations at all.
+	r := MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	supp, conf, err := r.Measure(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supp != 0 || conf != 0 {
+		t.Errorf("self pair must be skipped: supp=%f conf=%f", supp, conf)
+	}
+}
+
+func TestViolationsMissingRelation(t *testing.T) {
+	env, _ := transDB(t)
+	r := MustParse("Ghost(t) -> t.a = 1", nil)
+	if _, err := r.Violations(env, 0); err == nil {
+		t.Error("missing relation must error")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	env, rel := transDB(t)
+	rel.Insert("p3", data.S("s3"), data.S("M"), data.S("Huawei"), data.F(1))
+	rel.Insert("p4", data.S("s4"), data.S("M"), data.S("Apple"), data.F(1))
+	r := MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r.ID = "phi2"
+	vs, _ := r.Violations(env, 1)
+	if len(vs) == 0 {
+		t.Fatal("expected violation")
+	}
+	if s := vs[0].String(); s == "" || s[:12] != "violation of" {
+		t.Errorf("violation string: %q", s)
+	}
+}

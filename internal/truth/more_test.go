@@ -1,0 +1,104 @@
+package truth
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+func TestClassesEnumeration(t *testing.T) {
+	f := NewFixSet()
+	f.MergeEIDs("a", "b")
+	f.MergeEIDs("b", "c")
+	f.MergeEIDs("x", "y")
+	f.SeparateEIDs("a", "z") // singleton z must not appear
+	classes := f.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes=%v", classes)
+	}
+	if classes[0][0] != "a" || len(classes[0]) != 3 {
+		t.Errorf("first class=%v", classes[0])
+	}
+	if classes[1][0] != "x" || len(classes[1]) != 2 {
+		t.Errorf("second class=%v", classes[1])
+	}
+}
+
+func TestOrdersAccessor(t *testing.T) {
+	f := NewFixSet()
+	f.AddOrder("R", "a", 1, 2, true)
+	f.AddOrder("S", "b", 3, 4, false)
+	orders := f.Orders()
+	if len(orders) != 2 {
+		t.Fatalf("orders=%d", len(orders))
+	}
+	if !orders["R.a"].Less(1, 2) {
+		t.Error("strict edge lost")
+	}
+	if !orders["S.b"].Leq(3, 4) {
+		t.Error("weak edge lost")
+	}
+}
+
+func TestReplaceCellAndOrder(t *testing.T) {
+	f := NewFixSet()
+	f.SetCell("R", "e", "a", data.S("old"))
+	f.ReplaceCell("R", "e", "a", data.S("new"))
+	if v, _ := f.Cell("R", "e", "a"); v.Str() != "new" {
+		t.Error("replace cell")
+	}
+	f.AddOrder("R", "a", 1, 2, true)
+	rebuilt := data.NewTemporalOrder("R", "a")
+	rebuilt.AddStrict(2, 1)
+	f.ReplaceOrder("R", "a", rebuilt)
+	if !f.Order("R", "a").Less(2, 1) || f.Order("R", "a").Less(1, 2) {
+		t.Error("replace order")
+	}
+}
+
+func TestClassMembersAfterMerges(t *testing.T) {
+	f := NewFixSet()
+	f.MergeEIDs("p", "q")
+	m := f.ClassMembers("q")
+	if len(m) != 2 {
+		t.Errorf("members=%v", m)
+	}
+	if got := f.ClassMembers("solo"); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("singleton members=%v", got)
+	}
+}
+
+func TestSeparateIdempotent(t *testing.T) {
+	f := NewFixSet()
+	if ch, c := f.SeparateEIDs("a", "b"); !ch || c != nil {
+		t.Fatal("first separate")
+	}
+	if ch, c := f.SeparateEIDs("b", "a"); ch || c != nil {
+		t.Error("repeat separate (either order) is a no-op")
+	}
+}
+
+func TestMergeReKeysNeqEntries(t *testing.T) {
+	f := NewFixSet()
+	f.SeparateEIDs("a", "z")
+	f.MergeEIDs("a", "b") // the class containing a absorbs b
+	if !f.DistinctEntity("b", "z") {
+		t.Error("distinctness must survive re-keying after a merge")
+	}
+	if _, c := f.MergeEIDs("b", "z"); c == nil {
+		t.Error("merging across a separation must conflict after re-keying")
+	}
+}
+
+func TestConflictErrorStrings(t *testing.T) {
+	cases := []*Conflict{
+		{Kind: ValueConflict, Rel: "R", Attr: "a", EID: "e", Old: data.S("x"), New: data.S("y")},
+		{Kind: EIDConflict, A: "a", B: "b"},
+		{Kind: OrderConflict, Rel: "R", Attr: "a", A: "1", B: "2"},
+	}
+	for _, c := range cases {
+		if c.Error() == "" || c.Error() == "unknown conflict" {
+			t.Errorf("conflict %d renders poorly: %q", c.Kind, c.Error())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/truth"
+)
+
+// Ecommerce reconstructs the running example of the paper (Tables 1–3):
+// the Person, Store and Transaction relations with their injected errors,
+// a tiny Wiki knowledge graph for store locations, and the rules ϕ1–ϕ15
+// (those expressible in the DSL). It is used by the ecommerce example and
+// by integration tests that replay Example 7's interaction chain.
+func Ecommerce() *Dataset {
+	gold := quality.NewGold()
+
+	person := data.NewRelation(data.MustSchema("Person",
+		data.Attribute{Name: "LN", Type: data.TString},
+		data.Attribute{Name: "FN", Type: data.TString},
+		data.Attribute{Name: "gender", Type: data.TString},
+		data.Attribute{Name: "home", Type: data.TString},
+		data.Attribute{Name: "status", Type: data.TString},
+		data.Attribute{Name: "spouse", Type: data.TString},
+	))
+	// Table 1 (tids 0..4 = t1..t5). Erroneous values from the paper are
+	// labelled in the gold set.
+	person.Insert("p1", data.S("Jones"), data.S("Christine"), data.S("F"), data.S("5 Beijing West Road"), data.S("single"), data.Null(data.TString))
+	t2 := person.Insert("p2", data.S("Smith"), data.S("Christine"), data.S("F"), data.S("5 West Road"), data.S("single"), data.S("p3"))
+	person.Insert("p2", data.S("Smith"), data.S("Christine"), data.S("F"), data.S("12 Beijing Road"), data.S("married"), data.S("p4"))
+	person.Insert("p3", data.S("Smith"), data.S("George"), data.S("M"), data.S("12 Beijing Road"), data.S("married"), data.S("p2"))
+	t5 := person.Insert("p4", data.S("Smith"), data.S("George"), data.S("M"), data.Null(data.TString), data.Null(data.TString), data.Null(data.TString))
+	// t2's home "5 West Road" is the stale/incomplete form of t1's.
+	gold.AddWrong("Person", t2.TID, "home", data.S("5 Beijing West Road"))
+	gold.AddMissing("Person", t5.TID, "home", data.S("12 Beijing Road"))
+	gold.AddDup("p3", "p4")
+	gold.AddOrder("Person", "home", t2.TID, t2.TID+1)
+	gold.AddOrder("Person", "status", t2.TID, t2.TID+1)
+
+	store := data.NewRelation(data.MustSchema("Store",
+		data.Attribute{Name: "name", Type: data.TString},
+		data.Attribute{Name: "type", Type: data.TString},
+		data.Attribute{Name: "location", Type: data.TString},
+		data.Attribute{Name: "accu_sales", Type: data.TFloat},
+		data.Attribute{Name: "area_code", Type: data.TString},
+	))
+	// Table 2 (s1..s5). Null area codes and a null location are the MI
+	// targets; Beijing's area code is 010, Shanghai's 021.
+	s1 := store.Insert("s1", data.S("Apple Jingdong Self-run"), data.S("Electron."), data.S("Beijing"), data.F(15e6), data.Null(data.TString))
+	s2 := store.Insert("s2", data.S("Apple Taobao Flagship"), data.S("Electron."), data.Null(data.TString), data.Null(data.TFloat), data.Null(data.TString))
+	s3 := store.Insert("s3", data.S("Huawei Flagship"), data.S("Electron."), data.S("Beijing"), data.F(11e6), data.Null(data.TString))
+	store.Insert("s4", data.S("Huawei Sports"), data.S("Sports"), data.S("Shanghai"), data.F(10e6), data.S("021"))
+	store.Insert("s5", data.S("Nike China"), data.S("Sports"), data.S("Shanghai"), data.Null(data.TFloat), data.S("021"))
+	gold.AddMissing("Store", s1.TID, "area_code", data.S("010"))
+	gold.AddMissing("Store", s2.TID, "location", data.S("Beijing"))
+	gold.AddMissing("Store", s3.TID, "area_code", data.S("010"))
+
+	trans := data.NewRelation(data.MustSchema("Trans",
+		data.Attribute{Name: "pid", Type: data.TString},
+		data.Attribute{Name: "sid", Type: data.TString},
+		data.Attribute{Name: "com", Type: data.TString},
+		data.Attribute{Name: "mfg", Type: data.TString},
+		data.Attribute{Name: "price", Type: data.TFloat},
+		data.Attribute{Name: "date", Type: data.TTime},
+	))
+	// Table 3 (t11..t15): the transaction is the entity; pid references the
+	// buyer (a Person entity).
+	trans.Insert("t11", data.S("p1"), data.S("s2"), data.S("IPhone 13"), data.S("Apple"), data.F(9000), data.MustParse(data.TTime, "2020-12-18"))
+	trans.Insert("t12", data.S("p1"), data.S("s1"), data.S("IPhone 14 (Discount ID 41)"), data.S("Apple"), data.F(6500), data.MustParse(data.TTime, "2021-11-11"))
+	t13 := trans.Insert("t13", data.S("p2"), data.S("s1"), data.S("IPhone 14 (Discount Code 41)"), data.S("Apple"), data.Null(data.TFloat), data.MustParse(data.TTime, "2021-11-11"))
+	trans.Insert("t14", data.S("p3"), data.S("s3"), data.S("Mate X2 (Limited Sold)"), data.S("Huawei"), data.F(5200), data.MustParse(data.TTime, "2023-08-12"))
+	t15 := trans.Insert("t15", data.S("p4"), data.S("s4"), data.S("Mate X2 (Limited Sold)"), data.S("Apple"), data.Null(data.TFloat), data.MustParse(data.TTime, "2023-08-12"))
+	// t15's manufactory is wrong (Apple → Huawei); the discount-pair
+	// buyers p1/p2 are the same person; prices are missing.
+	gold.AddWrong("Trans", t15.TID, "mfg", data.S("Huawei"))
+	gold.AddDup("p1", "p2")
+	gold.AddMissing("Trans", t13.TID, "price", data.F(6500))
+
+	// The Wiki graph of rule ϕ7: the Apple Taobao store is located at
+	// Beijing (supplying the missing Store.location).
+	g := kg.New("Wiki")
+	apple := g.AddVertex("Apple Taobao Flagship")
+	g.SetProp(apple, "type", "Store")
+	beijing := g.AddVertex("Beijing")
+	g.MustEdge(apple, "LocationAt", beijing)
+	huawei := g.AddVertex("Huawei Flagship")
+	g.SetProp(huawei, "type", "Store")
+	g.MustEdge(huawei, "LocationAt", beijing)
+
+	db := data.NewDatabase()
+	db.Add(person)
+	db.Add(store)
+	db.Add(trans)
+
+	ruleSrc := []struct{ id, src string }{
+		// ϕ1: same discount code at the same store on the same date → same
+		// buyer (pid is a declared reference to Person entities).
+		{"phi1", "Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) ^ t.date = s.date ^ t.sid = s.sid -> t.pid = s.pid"},
+		// ϕ2: same commodity, same manufactory.
+		{"phi2", "Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg"},
+		// ϕ4/ϕ5: marital status monotone; home comoves with status.
+		{"phi4", "Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s"},
+		{"phi5", "Person(t) ^ Person(s) ^ t <=[status] s -> t <=[home] s"},
+		// ϕ7: extract missing store locations from the Wiki graph.
+		{"phi7", "Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) ^ null(t.location) -> t.location = val(x.(LocationAt))"},
+		// ϕ8: predict missing transaction prices.
+		{"phi8", "Trans(t) ^ null(t.price) -> t.price = M_d_Trans(t, price)"},
+		// ϕ12: Beijing's area code is 010.
+		{"phi12", "Store(t) ^ t.location = 'Beijing' -> t.area_code = '010'"},
+		// ϕ13: same person (same pid after ER) keeps one home address.
+		{"phi13", "Person(t) ^ Person(s) ^ t.eid = s.eid ^ t.status = s.status -> t.home = s.home"},
+		// ϕ15: same name + home identifies persons.
+		{"phi15", "Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid"},
+	}
+	rules := parseRules(db, ruleSrc)
+
+	stamps := data.NewTemporalRelation(person)
+	ds := &Dataset{
+		Name:          "Ecommerce",
+		DB:            db,
+		Gold:          gold,
+		Rules:         rules,
+		Graph:         g,
+		Gamma:         truth.NewFixSet(),
+		TemporalAttrs: map[string][]string{"Person": {"status", "home"}},
+		EIDRefs:       map[string]bool{"Trans.pid": true},
+		stamps:        map[string]*data.TemporalRelation{"Person": stamps},
+	}
+	// Master data: Christine Jones' address is validated (the paper's ϕ13
+	// walk-through assumes the clean address is known for t1).
+	ds.Gamma.SetCell("Person", "p1", "home", data.S("5 Beijing West Road"))
+	return ds
+}

@@ -1,0 +1,456 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Config tunes a generator run.
+type Config struct {
+	// N is the base tuple count of the main relation.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// ErrRate is the per-kind error injection rate (default 0.08).
+	ErrRate float64
+	// GammaFraction seeds ground truth from this share of gold labels.
+	GammaFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.ErrRate <= 0 {
+		c.ErrRate = 0.08
+	}
+	if c.GammaFraction <= 0 {
+		c.GammaFraction = 0.15
+	}
+	return c
+}
+
+var (
+	firstNames = []string{"Wei", "Christine", "George", "Mina", "Tao", "Elena", "Ahmed", "Priya", "Jun", "Sofia", "Omar", "Lena"}
+	lastNames  = []string{"Jones", "Smith", "Chen", "Wang", "Garcia", "Mueller", "Tanaka", "Okafor", "Singh", "Rossi", "Baker", "Ivanov"}
+	cities     = []struct{ city, code string }{
+		{"Beijing", "010"}, {"Shanghai", "021"}, {"Shenzhen", "0755"},
+		{"Guangzhou", "020"}, {"Chengdu", "028"}, {"Hangzhou", "0571"},
+	}
+	industries = []string{"retail", "logistics", "fintech", "manufacturing", "healthcare", "media"}
+	streets    = []string{"Beijing West Road", "Nanjing Road", "Shennan Avenue", "Huaihai Road", "Tianfu Street", "Wensan Road"}
+)
+
+// Bank generates the Bank application (paper §6): Customer, Company and
+// Payment relations with the four tasks CNC (customer-name cleaning), CIC
+// (company information), TPA (total payment amounts) and ESClean (all).
+func Bank(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gold := quality.NewGold()
+
+	customer := data.NewRelation(data.MustSchema("Customer",
+		data.Attribute{Name: "name", Type: data.TString},
+		data.Attribute{Name: "phone", Type: data.TString},
+		data.Attribute{Name: "company", Type: data.TString},
+		data.Attribute{Name: "city", Type: data.TString},
+		data.Attribute{Name: "branch", Type: data.TString},
+	))
+	company := data.NewRelation(data.MustSchema("Company",
+		data.Attribute{Name: "cname", Type: data.TString},
+		data.Attribute{Name: "industry", Type: data.TString},
+		data.Attribute{Name: "city", Type: data.TString},
+		data.Attribute{Name: "regno", Type: data.TString},
+	))
+	payment := data.NewRelation(data.MustSchema("Payment",
+		data.Attribute{Name: "acct", Type: data.TString},
+		data.Attribute{Name: "amount", Type: data.TFloat},
+		data.Attribute{Name: "fee", Type: data.TFloat},
+		data.Attribute{Name: "total", Type: data.TFloat},
+	))
+
+	// Companies: cname determines industry, city, regno.
+	nComp := cfg.N/20 + 4
+	type comp struct{ name, ind, city, reg string }
+	comps := make([]comp, nComp)
+	for i := range comps {
+		c := pick(rng, cities)
+		comps[i] = comp{
+			name: fmt.Sprintf("%s %s Co %d", pick(rng, lastNames), pick(rng, industries), i),
+			ind:  pick(rng, industries),
+			city: c.city,
+			reg:  fmt.Sprintf("REG-%05d", i),
+		}
+		company.Insert(fmt.Sprintf("co%d", i),
+			data.S(comps[i].name), data.S(comps[i].ind), data.S(comps[i].city), data.S(comps[i].reg))
+	}
+	// CIC errors: wrong industry/city for a company row (violating the
+	// cname→industry/city dependency witnessed by duplicate company rows).
+	for i := 0; i < nComp; i++ {
+		j := rng.Intn(nComp)
+		src := comps[j]
+		t := company.Insert(fmt.Sprintf("co%d", j),
+			data.S(src.name), data.S(src.ind), data.S(src.city), data.S(src.reg))
+		if rng.Float64() < cfg.ErrRate*3 {
+			wrong := pick(rng, industries)
+			for wrong == src.ind {
+				wrong = pick(rng, industries)
+			}
+			company.SetValue(t.TID, "industry", data.S(wrong))
+			gold.AddWrong("Company", t.TID, "industry", data.S(src.ind))
+		}
+	}
+
+	// Customers: phone determines the customer; the city is the employer
+	// company's city. CNC injects two duplicate flavours:
+	//   (a) same phone, typo'd name — caught by the ML matcher directly;
+	//   (b) same name/company, different phone, NULL city — catchable only
+	//       after MI fills the city from the company (the MI→ER interaction
+	//       chain of paper Example 7; Rock_noC misses these).
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("%s %c. %s", pick(rng, firstNames), 'A'+rune(i%26), pick(rng, lastNames))
+		phone := fmt.Sprintf("+86-%08d", i)
+		cpy := comps[rng.Intn(nComp)]
+		city := cpy.city
+		eid := fmt.Sprintf("cust%d", i)
+		customer.Insert(eid, data.S(name), data.S(phone), data.S(cpy.name), data.S(city), data.S("branch-"+city))
+		r := rng.Float64()
+		switch {
+		case r < cfg.ErrRate:
+			// (a) near-duplicate record with a typo'd name and fresh EID.
+			dupEID := fmt.Sprintf("cust%d-dup", i)
+			noisy := typo(rng, name)
+			tdup := customer.Insert(dupEID, data.S(noisy), data.S(phone), data.S(cpy.name), data.S(city), data.S("branch-"+city))
+			gold.AddDup(eid, dupEID)
+			gold.AddWrong("Customer", tdup.TID, "name", data.S(name))
+		case r < 2.2*cfg.ErrRate:
+			// (b) interaction-dependent duplicate: identifiable only after
+			// the null city is imputed from the company.
+			dupEID := fmt.Sprintf("cust%d-alt", i)
+			altPhone := fmt.Sprintf("+86-9%07d", i)
+			tdup := customer.Insert(dupEID, data.S(name), data.S(altPhone), data.S(cpy.name),
+				data.Null(data.TString), data.S("branch-"+city))
+			gold.AddChainDup(eid, dupEID)
+			gold.AddMissing("Customer", tdup.TID, "city", data.S(city))
+		}
+	}
+
+	// Payments: (amount, fee) determines total; TPA injects wrong totals.
+	// Amount/fee are drawn from a small grid so the FD has witnesses.
+	for i := 0; i < cfg.N; i++ {
+		amount := float64(100 * (1 + rng.Intn(12)))
+		fee := float64(5 * (1 + rng.Intn(4)))
+		total := amount + fee
+		// Each payment is its own entity (the account is an attribute):
+		// totals are row-level facts, not account-level ones.
+		t := payment.Insert(fmt.Sprintf("pay%d", i),
+			data.S(fmt.Sprintf("acct%d", i%400)), data.F(amount), data.F(fee), data.F(total))
+		if rng.Float64() < cfg.ErrRate {
+			payment.SetValue(t.TID, "total", data.F(total+float64(1+rng.Intn(50))))
+			gold.AddWrong("Payment", t.TID, "total", data.F(total))
+		} else if rng.Float64() < cfg.ErrRate {
+			payment.SetValue(t.TID, "total", data.Null(data.TFloat))
+			gold.AddMissing("Payment", t.TID, "total", data.F(total))
+		}
+	}
+
+	db := data.NewDatabase()
+	db.Add(customer)
+	db.Add(company)
+	db.Add(payment)
+
+	ruleSrc := []struct{ id, src string }{
+		// CNC: phone identifies the customer; names then unify.
+		{"cnc-er", "Customer(t) ^ Customer(s) ^ t.phone = s.phone ^ M_ER(t[name], s[name]) -> t.eid = s.eid"},
+		{"cnc-cr", "Customer(t) ^ Customer(s) ^ t.phone = s.phone -> t.name = s.name"},
+		// CIC: company name determines industry and city.
+		{"cic-ind", "Company(t) ^ Company(s) ^ t.cname = s.cname -> t.industry = s.industry"},
+		{"cic-city", "Company(t) ^ Company(s) ^ t.cname = s.cname -> t.city = s.city"},
+		// TPA: (amount, fee) determines total; nulls imputed the same way.
+		{"tpa-fd", "Payment(t) ^ Payment(s) ^ t.amount = s.amount ^ t.fee = s.fee -> t.total = s.total"},
+		// MI→ER chain (Example 7 style): the employer's city fills a null
+		// customer city, which then lets the name+company+city ER rule fire.
+		{"mi-city", "Customer(t) ^ Company(s) ^ t.company = s.cname ^ null(t.city) -> t.city = s.city"},
+		{"er-namecity", "Customer(t) ^ Customer(s) ^ t.name = s.name ^ t.company = s.company ^ t.city = s.city -> t.eid = s.eid"},
+	}
+	rules := parseRules(db, ruleSrc)
+
+	ds := &Dataset{
+		Name:  "Bank",
+		DB:    db,
+		Gold:  gold,
+		Rules: rules,
+		Tasks: []Task{
+			{Name: "CNC", Description: "clean customer names", RuleIDs: []string{"cnc-er", "cnc-cr"}, TargetAttrs: []string{"Customer.name"}},
+			{Name: "CIC", Description: "company information", RuleIDs: []string{"cic-ind", "cic-city"}, TargetAttrs: []string{"Company.industry", "Company.city"}},
+			{Name: "TPA", Description: "total payment amounts", RuleIDs: []string{"tpa-fd"}, TargetAttrs: []string{"Payment.total"}},
+			{Name: "ESClean", Description: "all bank errors"},
+		},
+		TemporalAttrs: map[string][]string{},
+		stamps:        map[string]*data.TemporalRelation{},
+	}
+	ds.SeedGamma(cfg.GammaFraction, cfg.Seed+1)
+	return ds
+}
+
+// Logistics generates the Logistics application: a single wide Order
+// relation plus a small knowledge graph, with tasks RS (recipient
+// streets), RR (residential areas, imputed partly from the graph), SN
+// (seller names) and RClean (all).
+func Logistics(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	gold := quality.NewGold()
+
+	order := data.NewRelation(data.MustSchema("Order",
+		data.Attribute{Name: "recipient", Type: data.TString},
+		data.Attribute{Name: "street", Type: data.TString},
+		data.Attribute{Name: "area", Type: data.TString},
+		data.Attribute{Name: "city", Type: data.TString},
+		data.Attribute{Name: "seller", Type: data.TString},
+		data.Attribute{Name: "zip", Type: data.TString},
+	))
+
+	// Knowledge graph: city vertices reachable from area vertices.
+	g := kg.New("GeoKG")
+	cityVerts := map[string]kg.VertexID{}
+	for _, c := range cities {
+		cv := g.AddVertex(c.city)
+		g.SetProp(cv, "type", "City")
+		cityVerts[c.city] = cv
+		av := g.AddVertex(c.city + " Metro Area")
+		g.SetProp(av, "type", "Area")
+		g.MustEdge(av, "PartOf", cv)
+		g.MustEdge(cv, "AreaOf", av)
+	}
+
+	nSellers := cfg.N/40 + 5
+	sellers := make([]string, nSellers)
+	for i := range sellers {
+		sellers[i] = fmt.Sprintf("%s trading %s %d", pick(rng, lastNames), pick(rng, industries), i)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		c := pick(rng, cities)
+		street := fmt.Sprintf("%d %s", 1+rng.Intn(200), pick(rng, streets))
+		area := c.city + " Metro Area"
+		seller := sellers[rng.Intn(nSellers)]
+		zip := fmt.Sprintf("%s-%04d", c.code, i%100)
+		eid := fmt.Sprintf("ord%d", i)
+		t := order.Insert(eid, data.S(fmt.Sprintf("%s %s", pick(rng, firstNames), pick(rng, lastNames))),
+			data.S(street), data.S(area), data.S(c.city), data.S(seller), data.S(zip))
+
+		r := rng.Float64()
+		switch {
+		case r < cfg.ErrRate: // RS: street typos; zip determines street block
+			noisy := typo(rng, street)
+			order.SetValue(t.TID, "street", data.S(noisy))
+			gold.AddWrong("Order", t.TID, "street", data.S(street))
+			// A clean witness with the same zip.
+			order.Insert(eid+"-w", data.S("witness"), data.S(street), data.S(area), data.S(c.city), data.S(seller), data.S(zip))
+		case r < 2*cfg.ErrRate: // RR: missing residential area (MI via city + KG)
+			order.SetValue(t.TID, "area", data.Null(data.TString))
+			gold.AddMissing("Order", t.TID, "area", data.S(area))
+		case r < 3*cfg.ErrRate: // SN: duplicate orders with typo'd seller names
+			dupEID := eid + "-dup"
+			td := order.Insert(dupEID, t.Values[0], data.S(street), data.S(area), data.S(c.city),
+				data.S(typo(rng, seller)), data.S(zip))
+			gold.AddDup(eid, dupEID)
+			gold.AddWrong("Order", td.TID, "seller", data.S(seller))
+		}
+	}
+
+	db := data.NewDatabase()
+	db.Add(order)
+
+	ruleSrc := []struct{ id, src string }{
+		// RS: same zip implies the same street (the generator keys streets
+		// by zip witnesses); the address model blocks candidates.
+		{"rs-cr", "Order(t) ^ Order(s) ^ t.zip = s.zip ^ M_addr(t[street], s[street]) -> t.street = s.street"},
+		// RR: city determines the metro area (logic MI)...
+		{"rr-corr", "Order(t) ^ Order(s) ^ t.city = s.city ^ null(t.area) -> t.area = s.area"},
+		// ...and the knowledge graph supplies it when no witness exists.
+		{"rr-kg", "Order(t) ^ vertex(x, GeoKG) ^ HER(t, x) ^ match(t.area, x.(AreaOf)) ^ null(t.area) -> t.area = val(x.(AreaOf))"},
+		// SN: same recipient+street+zip orders are the same; seller names unify.
+		{"sn-er", "Order(t) ^ Order(s) ^ t.recipient = s.recipient ^ t.street = s.street ^ t.zip = s.zip ^ M_ER(t[seller], s[seller]) -> t.eid = s.eid"},
+		{"sn-cr", "Order(t) ^ Order(s) ^ t.recipient = s.recipient ^ t.street = s.street ^ t.zip = s.zip ^ M_ER(t[seller], s[seller]) -> t.seller = s.seller"},
+	}
+	rules := parseRules(db, ruleSrc)
+
+	ds := &Dataset{
+		Name:  "Logistics",
+		DB:    db,
+		Gold:  gold,
+		Rules: rules,
+		Graph: g,
+		Tasks: []Task{
+			{Name: "RS", Description: "recipient streets", RuleIDs: []string{"rs-cr"}, TargetAttrs: []string{"Order.street"}},
+			{Name: "RR", Description: "residential areas", RuleIDs: []string{"rr-corr", "rr-kg"}, TargetAttrs: []string{"Order.area"}},
+			{Name: "SN", Description: "seller names", RuleIDs: []string{"sn-er", "sn-cr"}, TargetAttrs: []string{"Order.seller"}},
+			{Name: "RClean", Description: "all logistics errors"},
+		},
+		TemporalAttrs: map[string][]string{},
+		stamps:        map[string]*data.TemporalRelation{},
+	}
+	ds.SeedGamma(cfg.GammaFraction, cfg.Seed+2)
+	return ds
+}
+
+// Sales generates the Sales (ERP) application: SalesOrder and Customer
+// relations with version history on customer tier (for TD), and tasks CIN
+// (customer information), CCN (company names), TPWT (prices without tax)
+// and SClean (all).
+func Sales(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 200))
+	gold := quality.NewGold()
+
+	orders := data.NewRelation(data.MustSchema("SalesOrder",
+		data.Attribute{Name: "customer", Type: data.TString},
+		data.Attribute{Name: "company", Type: data.TString},
+		data.Attribute{Name: "price", Type: data.TFloat},
+		data.Attribute{Name: "tax_class", Type: data.TString},
+		data.Attribute{Name: "price_no_tax", Type: data.TFloat},
+	))
+	custs := data.NewRelation(data.MustSchema("CustomerInfo",
+		data.Attribute{Name: "cname", Type: data.TString},
+		data.Attribute{Name: "tier", Type: data.TString},
+		data.Attribute{Name: "region", Type: data.TString},
+		data.Attribute{Name: "lifetime_value", Type: data.TFloat},
+	))
+	stamps := data.NewTemporalRelation(custs)
+
+	taxRates := map[string]float64{"standard": 1.13, "reduced": 1.09, "zero": 1.00}
+	taxClasses := []string{"standard", "reduced", "zero"}
+	nCompanies := cfg.N/30 + 4
+	companies := make([]string, nCompanies)
+	for i := range companies {
+		companies[i] = fmt.Sprintf("%s %s Group %d", pick(rng, lastNames), pick(rng, industries), i)
+	}
+
+	// CustomerInfo with tier version history (TD): bronze → silver → gold,
+	// lifetime value strictly growing; timestamps only on the first two
+	// versions so the third's currency must be *deduced*.
+	tiers := []string{"bronze", "silver", "gold"}
+	nCust := cfg.N / 10
+	if nCust < 12 {
+		nCust = 12
+	}
+	for i := 0; i < nCust; i++ {
+		cname := fmt.Sprintf("%s %s", pick(rng, firstNames), pick(rng, lastNames))
+		region := pick(rng, cities).city
+		eid := fmt.Sprintf("cu%d", i)
+		nVersions := 1 + rng.Intn(3)
+		var prev *data.Tuple
+		for v := 0; v < nVersions; v++ {
+			lv := float64(1000*(v+1)) + float64(rng.Intn(500))
+			t := custs.Insert(eid, data.S(cname), data.S(tiers[v]), data.S(region), data.F(lv))
+			if v < 2 {
+				stamps.Stamp(t.TID, "tier", int64(1600000000+86400*v))
+			}
+			if prev != nil {
+				gold.AddOrder("CustomerInfo", "tier", prev.TID, t.TID)
+			}
+			prev = t
+		}
+	}
+
+	// SalesOrders: (price, tax_class) determines price_no_tax. TPWT errors
+	// corrupt or null the computed column; CCN errors typo company names
+	// creating duplicates; CIN errors corrupt the customer region.
+	priceGrid := []float64{100, 250, 500, 999, 1500, 4200}
+	for i := 0; i < cfg.N; i++ {
+		price := pick(rng, priceGrid)
+		tc := pick(rng, taxClasses)
+		pnt := price / taxRates[tc]
+		cust := fmt.Sprintf("cu%d", rng.Intn(nCust))
+		compName := companies[rng.Intn(nCompanies)]
+		eid := fmt.Sprintf("so%d", i)
+		t := orders.Insert(eid, data.S(cust), data.S(compName), data.F(price), data.S(tc), data.F(pnt))
+
+		r := rng.Float64()
+		switch {
+		case r < cfg.ErrRate: // TPWT wrong value
+			orders.SetValue(t.TID, "price_no_tax", data.F(pnt+float64(1+rng.Intn(30))))
+			gold.AddWrong("SalesOrder", t.TID, "price_no_tax", data.F(pnt))
+		case r < 1.5*cfg.ErrRate: // TPWT missing value
+			orders.SetValue(t.TID, "price_no_tax", data.Null(data.TFloat))
+			gold.AddMissing("SalesOrder", t.TID, "price_no_tax", data.F(pnt))
+		case r < 2.5*cfg.ErrRate: // CCN: duplicate order with typo'd company
+			dupEID := eid + "-dup"
+			td := orders.Insert(dupEID, data.S(cust), data.S(typo(rng, compName)), data.F(price), data.S(tc), data.F(pnt))
+			gold.AddDup(eid, dupEID)
+			gold.AddWrong("SalesOrder", td.TID, "company", data.S(compName))
+		}
+	}
+	// CIN: corrupt some customer regions (cname→region among versions).
+	for _, t := range custs.Tuples {
+		if rng.Float64() < cfg.ErrRate/2 {
+			right := t.Values[custs.Schema.Index("region")]
+			wrong := pick(rng, cities).city
+			for wrong == right.Str() {
+				wrong = pick(rng, cities).city
+			}
+			custs.SetValue(t.TID, "region", data.S(wrong))
+			gold.AddWrong("CustomerInfo", t.TID, "region", right)
+		}
+	}
+
+	db := data.NewDatabase()
+	db.Add(orders)
+	db.Add(custs)
+
+	ruleSrc := []struct{ id, src string }{
+		// CIN: customer name determines region across versions.
+		{"cin-cr", "CustomerInfo(t) ^ CustomerInfo(s) ^ t.cname = s.cname -> t.region = s.region"},
+		// CCN: same customer+price+tax orders with near-equal company
+		// names are duplicates; names unify.
+		{"ccn-er", "SalesOrder(t) ^ SalesOrder(s) ^ t.customer = s.customer ^ t.price = s.price ^ t.tax_class = s.tax_class ^ M_SKU(t[company], s[company]) -> t.eid = s.eid"},
+		{"ccn-cr", "SalesOrder(t) ^ SalesOrder(s) ^ t.customer = s.customer ^ t.price = s.price ^ t.tax_class = s.tax_class ^ M_SKU(t[company], s[company]) -> t.company = s.company"},
+		// TPWT: (price, tax_class) determines price_no_tax.
+		{"tpwt-fd", "SalesOrder(t) ^ SalesOrder(s) ^ t.price = s.price ^ t.tax_class = s.tax_class -> t.price_no_tax = s.price_no_tax"},
+		// TD: tier moves bronze→silver→gold; lifetime value grows with it.
+		{"td-tier1", "CustomerInfo(t) ^ CustomerInfo(s) ^ t.cname = s.cname ^ t.tier = 'bronze' ^ s.tier = 'silver' -> t <=[tier] s"},
+		{"td-tier2", "CustomerInfo(t) ^ CustomerInfo(s) ^ t.cname = s.cname ^ t.tier = 'silver' ^ s.tier = 'gold' -> t <=[tier] s"},
+		{"td-tier3", "CustomerInfo(t) ^ CustomerInfo(s) ^ t.cname = s.cname ^ t.tier = 'bronze' ^ s.tier = 'gold' -> t <=[tier] s"},
+		{"td-rank", "CustomerInfo(t) ^ CustomerInfo(s) ^ t.cname = s.cname ^ t.lifetime_value <= s.lifetime_value ^ M_rank(t, s, <=[tier]) -> t <=[tier] s"},
+	}
+	rules := parseRules(db, ruleSrc)
+
+	ds := &Dataset{
+		Name:  "Sales",
+		DB:    db,
+		Gold:  gold,
+		Rules: rules,
+		Tasks: []Task{
+			{Name: "CIN", Description: "customer information", RuleIDs: []string{"cin-cr"}, TargetAttrs: []string{"CustomerInfo.region"}},
+			{Name: "CCN", Description: "company names", RuleIDs: []string{"ccn-er", "ccn-cr"}, TargetAttrs: []string{"SalesOrder.company"}},
+			{Name: "TPWT", Description: "prices without tax", RuleIDs: []string{"tpwt-fd"}, TargetAttrs: []string{"SalesOrder.price_no_tax"}},
+			{Name: "SClean", Description: "all sales errors"},
+		},
+		TemporalAttrs: map[string][]string{"CustomerInfo": {"tier"}},
+		stamps:        map[string]*data.TemporalRelation{"CustomerInfo": stamps},
+	}
+	ds.SeedGamma(cfg.GammaFraction, cfg.Seed+3)
+	return ds
+}
+
+func parseRules(db *data.Database, src []struct{ id, src string }) []*ree.Rule {
+	rules := make([]*ree.Rule, len(src))
+	for i, rs := range src {
+		r := ree.MustParse(rs.src, db)
+		r.ID = rs.id
+		rules[i] = r
+	}
+	return rules
+}
+
+// All returns the three applications at the given scale.
+func All(cfg Config) []*Dataset {
+	return []*Dataset{Bank(cfg), Logistics(cfg), Sales(cfg)}
+}

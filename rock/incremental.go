@@ -1,0 +1,119 @@
+package rock
+
+import (
+	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/detect"
+)
+
+// Delta tracks a batch of updates to the pipeline's database for the
+// incremental modes (paper §3: "the users may opt to employ Rock to
+// monitor changes to D, and incrementally detect and fix errors in
+// response to updates"). Obtain one from Pipeline.NewDelta, record every
+// inserted/updated tuple, then call DetectIncremental or CleanIncremental.
+type Delta struct {
+	p     *Pipeline
+	dirty map[string]map[int]bool
+}
+
+// NewDelta starts tracking an update batch.
+func (p *Pipeline) NewDelta() *Delta {
+	return &Delta{p: p, dirty: make(map[string]map[int]bool)}
+}
+
+// Insert appends a tuple to a relation and records it as dirty; it
+// returns the new tuple (nil if the relation is unknown).
+func (d *Delta) Insert(rel, eid string, values ...Value) *Tuple {
+	r := d.p.db.Rel(rel)
+	if r == nil {
+		return nil
+	}
+	t := r.Insert(eid, values...)
+	d.mark(rel, t.TID)
+	return t
+}
+
+// Update overwrites one cell and records the tuple as dirty; it reports
+// whether the tuple and attribute existed.
+func (d *Delta) Update(rel string, tid int, attr string, v Value) bool {
+	r := d.p.db.Rel(rel)
+	if r == nil || !r.SetValue(tid, attr, v) {
+		return false
+	}
+	d.mark(rel, tid)
+	return true
+}
+
+func (d *Delta) mark(rel string, tid int) {
+	m := d.dirty[rel]
+	if m == nil {
+		m = make(map[int]bool)
+		d.dirty[rel] = m
+	}
+	m[tid] = true
+}
+
+// Size returns the number of tracked dirty tuples.
+func (d *Delta) Size() int {
+	n := 0
+	for _, m := range d.dirty {
+		n += len(m)
+	}
+	return n
+}
+
+// DetectIncremental finds only the errors involving this delta's tuples.
+func (d *Delta) DetectIncremental() ([]DetectedError, error) {
+	o := detect.DefaultOptions()
+	o.Workers = d.p.opts.Workers
+	o.UseBlocking = d.p.opts.UseBlocking
+	det := detect.New(d.p.env, d.p.rules, o)
+	errs, err := det.DetectIncremental(d.dirty)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DetectedError, len(errs))
+	for i, e := range errs {
+		out[i] = DetectedError{RuleID: e.RuleID, Task: e.Task.String(), Cells: e.Cells, DupEIDs: e.DupEIDs}
+	}
+	return out, nil
+}
+
+// CleanIncremental chases only from this delta's tuples (fixes propagate
+// through the usual activation machinery), materialises the validated
+// fixes, and returns the applied corrections.
+func (d *Delta) CleanIncremental() ([]Correction, error) {
+	cOpts := chase.Options{
+		Mode:        chase.Unified,
+		Lazy:        d.p.opts.Lazy,
+		UseBlocking: d.p.opts.UseBlocking,
+		MaxRounds:   d.p.opts.MaxRounds,
+		EIDRefs:     d.p.eidRefs,
+	}
+	if d.p.opts.Oracle != nil {
+		cOpts.Oracle = d.p.opts.Oracle
+	}
+	eng := chase.New(d.p.env, d.p.rules, d.p.gamma, cOpts)
+	if _, err := eng.RunIncremental(d.dirty); err != nil {
+		return nil, err
+	}
+	u := eng.Truth()
+	var out []Correction
+	for relName, rel := range d.p.db.Relations {
+		for _, t := range rel.Tuples {
+			for i, a := range rel.Schema.Attrs {
+				v, ok := u.Cell(relName, t.EID, a.Name)
+				if !ok || v.Equal(t.Values[i]) {
+					continue
+				}
+				out = append(out, Correction{
+					Cell:  CellRef{Rel: relName, TID: t.TID, Attr: a.Name},
+					Old:   t.Values[i],
+					New:   v,
+					IsNew: t.Values[i].IsNull(),
+				})
+			}
+		}
+	}
+	eng.Materialize()
+	return out, nil
+}

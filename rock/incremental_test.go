@@ -1,0 +1,77 @@
+package rock
+
+import "testing"
+
+func TestDeltaIncrementalFlow(t *testing.T) {
+	db := NewDB()
+	trans := NewRel(MustSchema("Trans",
+		Attribute{Name: "com", Type: TString},
+		Attribute{Name: "mfg", Type: TString},
+	))
+	trans.Insert("t1", S("Mate X2"), S("Huawei"))
+	trans.Insert("t2", S("Mate X2"), S("Huawei"))
+	db.Add(trans)
+
+	p := NewPipeline(db)
+	p.TrainCorrelationModels()
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg")
+	if _, err := p.Clean(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ΔD: a new transaction arrives with a wrong manufactory.
+	d := p.NewDelta()
+	nt := d.Insert("Trans", "t9", S("Mate X2"), S("Apple"))
+	if nt == nil || d.Size() != 1 {
+		t.Fatal("delta insert failed")
+	}
+	errs, err := d.DetectIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) == 0 {
+		t.Fatal("incremental detection missed the new error")
+	}
+	for _, e := range errs {
+		touches := false
+		for _, c := range e.Cells {
+			if c.TID == nt.TID {
+				touches = true
+			}
+		}
+		if !touches {
+			t.Errorf("error does not touch the delta: %+v", e)
+		}
+	}
+	corr, err := d.CleanIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr) != 1 || corr[0].New.Str() != "Huawei" {
+		t.Fatalf("incremental correction: %+v", corr)
+	}
+	if v, _ := trans.Value(nt.TID, "mfg"); v.Str() != "Huawei" {
+		t.Error("materialization missing")
+	}
+}
+
+func TestDeltaUpdate(t *testing.T) {
+	db := NewDB()
+	rel := NewRel(MustSchema("R", Attribute{Name: "a", Type: TString}))
+	tp := rel.Insert("e", S("x"))
+	db.Add(rel)
+	p := NewPipeline(db)
+	d := p.NewDelta()
+	if !d.Update("R", tp.TID, "a", S("y")) {
+		t.Fatal("update failed")
+	}
+	if d.Update("R", 999, "a", S("z")) || d.Update("Ghost", 0, "a", S("z")) {
+		t.Error("bad updates must report false")
+	}
+	if d.Insert("Ghost", "e", S("x")) != nil {
+		t.Error("insert into unknown relation must fail")
+	}
+	if v, _ := rel.Value(tp.TID, "a"); v.Str() != "y" {
+		t.Error("update not applied")
+	}
+}

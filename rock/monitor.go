@@ -1,0 +1,73 @@
+package rock
+
+import (
+	"github.com/rockclean/rock/internal/quality"
+)
+
+// MonitorFinding is one quality-template hit: the offending tuples of one
+// relation under one check.
+type MonitorFinding struct {
+	Rel      string
+	Template string
+	TIDs     []int
+}
+
+// QualityAssessment reports the monitoring dimensions of paper §4.1:
+// completeness, validity, consistency (timeliness requires temporal gold
+// and reads -1 when unknown).
+type QualityAssessment struct {
+	Completeness float64
+	Validity     float64
+	Consistency  float64
+	Timeliness   float64
+}
+
+// monitor lazily materialises the underlying quality.Monitor.
+func (p *Pipeline) monitor() *quality.Monitor {
+	if p.qmon == nil {
+		p.qmon = quality.NewMonitor()
+	}
+	return p.qmon
+}
+
+// CheckNulls registers a completeness check: flag tuples whose attribute
+// is null.
+func (p *Pipeline) CheckNulls(rel, attr string) {
+	p.monitor().Add(rel, quality.NullCheck{Attr: attr})
+}
+
+// CheckDuplicates registers a validity check: flag tuples whose attribute
+// value repeats (for key-like attributes).
+func (p *Pipeline) CheckDuplicates(rel, attr string) {
+	p.monitor().Add(rel, quality.DuplicateCheck{Attr: attr})
+}
+
+// CheckRange registers a validity check: flag numeric values outside
+// [min, max].
+func (p *Pipeline) CheckRange(rel, attr string, min, max float64) {
+	p.monitor().Add(rel, quality.RangeCheck{Attr: attr, Min: min, Max: max})
+}
+
+// CheckPattern registers a format check: flag string values not matching
+// the regular expression. It panics on an invalid pattern (templates are
+// configuration).
+func (p *Pipeline) CheckPattern(rel, attr, pattern string) {
+	p.monitor().Add(rel, quality.NewPatternCheck(attr, pattern))
+}
+
+// Monitor runs the registered templates against the current database and
+// returns the findings plus the aggregate assessment — Rock's data-quality
+// monitoring step (paper §4.1, Figure 2's "data quality assessment").
+func (p *Pipeline) Monitor() ([]MonitorFinding, QualityAssessment) {
+	findings, a := p.monitor().Run(p.db)
+	out := make([]MonitorFinding, len(findings))
+	for i, f := range findings {
+		out[i] = MonitorFinding{Rel: f.Rel, Template: f.Template, TIDs: f.TIDs}
+	}
+	return out, QualityAssessment{
+		Completeness: a.Completeness,
+		Validity:     a.Validity,
+		Consistency:  a.Consistency,
+		Timeliness:   a.Timeliness,
+	}
+}

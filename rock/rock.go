@@ -1,0 +1,442 @@
+// Package rock is the public API of the Rock data-cleaning system — a Go
+// reproduction of "Rock: Cleaning Data by Embedding ML in Logic Rules"
+// (SIGMOD-Companion 2024). Rock cleans relational data with REE++ rules —
+// logic rules that may embed ML classifiers as predicates — in a unified
+// process covering entity resolution (ER), conflict resolution (CR),
+// missing-value imputation (MI) and timeliness deduction (TD):
+//
+//	pipe := rock.NewPipeline(db)
+//	pipe.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg")
+//	report, err := pipe.Clean()
+//
+// The pipeline wires together the rule parser, the (optional) rule
+// discovery module, the blocked parallel error detector, and the chase
+// engine that deduces certain fixes from rules plus accumulated ground
+// truth. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package rock
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/detect"
+	"github.com/rockclean/rock/internal/discovery"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/ree"
+	"github.com/rockclean/rock/internal/truth"
+)
+
+// Re-exported building blocks so applications only import this package
+// for common flows.
+type (
+	// Database is a named collection of relations.
+	Database = data.Database
+	// Relation is one table instance.
+	Relation = data.Relation
+	// Schema is a relation schema.
+	Schema = data.Schema
+	// Attribute is a named, typed column.
+	Attribute = data.Attribute
+	// Value is a typed attribute value (use S/I/F/B/TS to construct).
+	Value = data.Value
+	// Tuple is one row.
+	Tuple = data.Tuple
+	// Rule is an REE++.
+	Rule = ree.Rule
+	// Graph is a knowledge graph for extraction-based imputation.
+	Graph = kg.Graph
+	// CellRef identifies a tuple's attribute cell.
+	CellRef = data.CellRef
+)
+
+// Value constructors and schema helpers, re-exported.
+var (
+	S          = data.S
+	I          = data.I
+	F          = data.F
+	B          = data.B
+	TS         = data.TS
+	Null       = data.Null
+	NewSchema  = data.NewSchema
+	MustSchema = data.MustSchema
+	NewRel     = data.NewRelation
+	NewDB      = data.NewDatabase
+	NewGraph   = kg.New
+)
+
+// Attribute types.
+const (
+	TString = data.TString
+	TInt    = data.TInt
+	TFloat  = data.TFloat
+	TBool   = data.TBool
+	TTime   = data.TTime
+)
+
+// Options tunes a pipeline.
+type Options struct {
+	// Workers is the simulated cluster size for parallel detection.
+	Workers int
+	// UseBlocking enables LSH blocking for ML predicates.
+	UseBlocking bool
+	// Lazy enables lazy rule activation in the chase.
+	Lazy bool
+	// MaxRounds bounds the chase fixpoint loop.
+	MaxRounds int
+	// Oracle, when set, answers ER/CR conflicts the learned resolvers
+	// cannot decide — Rock presents such conflicts to the user.
+	Oracle func(rel, eid, attr string, candidates []Value) (Value, bool)
+}
+
+// DefaultOptions returns Rock's shipped configuration.
+func DefaultOptions() Options {
+	return Options{Workers: 4, UseBlocking: true, Lazy: true}
+}
+
+// Pipeline is the end-to-end cleaning flow over one database: register
+// models and rules (or discover them), detect errors, correct them.
+type Pipeline struct {
+	db      *data.Database
+	env     *predicate.Env
+	rules   []*ree.Rule
+	gamma   *truth.FixSet
+	opts    Options
+	eidRefs map[string]bool
+	qmon    *quality.Monitor
+
+	ruleSeq int
+}
+
+// NewPipeline creates a pipeline over a database with default options.
+func NewPipeline(db *data.Database) *Pipeline {
+	return NewPipelineWith(db, DefaultOptions())
+}
+
+// NewPipelineWith creates a pipeline with explicit options.
+func NewPipelineWith(db *data.Database, opts Options) *Pipeline {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	return &Pipeline{
+		db:      db,
+		env:     predicate.NewEnv(db),
+		gamma:   truth.NewFixSet(),
+		opts:    opts,
+		eidRefs: make(map[string]bool),
+	}
+}
+
+// DB returns the pipeline's database.
+func (p *Pipeline) DB() *data.Database { return p.db }
+
+// RegisterMatcher registers a similarity-based Boolean ML model usable as
+// a predicate M(t[A̅], s[B̅]) in rules (a Bert-style matcher stand-in;
+// DESIGN.md documents the substitution).
+func (p *Pipeline) RegisterMatcher(name string, threshold float64) {
+	p.env.Models.Register(ml.NewCachedModel(ml.NewSimilarityMatcher(name, threshold)))
+}
+
+// RegisterGraph registers a knowledge graph and enables the extraction
+// predicates vertex/HER/match/val against it.
+func (p *Pipeline) RegisterGraph(g *kg.Graph, herThreshold float64) {
+	p.env.Graphs[g.Name] = g
+	p.env.PathM = ml.NewPathMatcher(g, 0.3)
+	for name, rel := range p.db.Relations {
+		p.env.HER[name] = ml.NewHERMatcher("HER", g, rel.Schema, herThreshold)
+	}
+}
+
+// TrainCorrelationModels fits the Mc correlation model and Md value
+// predictor for every relation (named "M_c_<Rel>" and "M_d_<Rel>"),
+// enabling correlation predicates and learning-based conflict resolution.
+func (p *Pipeline) TrainCorrelationModels() {
+	for name, rel := range p.db.Relations {
+		mc := ml.NewCorrelationModel("M_c_"+name, rel.Schema)
+		mc.Train(rel.Tuples)
+		p.env.Corr[mc.Name()] = mc
+		p.env.Pred["M_d_"+name] = ml.NewValuePredictor("M_d_"+name, mc, rel.Tuples)
+	}
+}
+
+// TrainRanker trains the Mrank temporal ranking model for one relation
+// with the creator–critic loop, seeded from the given currency-ordered
+// tuple pairs (older before newer on attr).
+func (p *Pipeline) TrainRanker(rel string, attr string, orderedPairs [][2]*Tuple) error {
+	r := p.db.Rel(rel)
+	if r == nil {
+		return fmt.Errorf("rock: unknown relation %q", rel)
+	}
+	ranker := ml.NewPairRanker("M_rank", r.Schema)
+	seed := make([]ml.RankedPair, 0, len(orderedPairs))
+	for _, pr := range orderedPairs {
+		seed = append(seed, ml.RankedPair{Older: pr[0], Newer: pr[1], Attr: attr, Leq: true})
+	}
+	ml.TrainRanker(ranker, rel, r.Tuples, []string{attr}, seed, nil, 2)
+	p.env.Ranker = ranker
+	return nil
+}
+
+// SeedOrder seeds the temporal order of rel.attr in the environment used
+// by temporal predicates during detection (the chase maintains its own).
+func (p *Pipeline) SeedOrder(rel, attr string, olderTID, newerTID int, strict bool) {
+	p.gamma.AddOrder(rel, attr, olderTID, newerTID, strict)
+	p.env.Orders = func(r, a string) *data.TemporalOrder {
+		return p.gamma.OrderIfAny(r, a)
+	}
+}
+
+// Validate validates a cell value as ground truth (master data).
+func (p *Pipeline) Validate(rel, eid, attr string, v Value) error {
+	_, conflict := p.gamma.SetCell(rel, eid, attr, v)
+	if conflict != nil {
+		return fmt.Errorf("rock: %s", conflict.Error())
+	}
+	return nil
+}
+
+// DeclareEntityRef declares that rel.attr stores EIDs of another
+// relation's entities: a rule consequence equating two such attributes
+// identifies the referenced entities (the paper's ϕ1 semantics).
+func (p *Pipeline) DeclareEntityRef(rel, attr string) {
+	p.eidRefs[rel+"."+attr] = true
+}
+
+// AddRule parses and registers a rule in the REE++ DSL.
+func (p *Pipeline) AddRule(src string) (*ree.Rule, error) {
+	r, err := ree.Parse(src, p.db)
+	if err != nil {
+		return nil, err
+	}
+	p.ruleSeq++
+	r.ID = fmt.Sprintf("r%d", p.ruleSeq)
+	p.rules = append(p.rules, r)
+	return r, nil
+}
+
+// MustAddRule is AddRule that panics on error; for rule literals.
+func (p *Pipeline) MustAddRule(src string) *ree.Rule {
+	r, err := p.AddRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Rules returns the registered rules.
+func (p *Pipeline) Rules() []*ree.Rule { return p.rules }
+
+// DiscoverOptions tunes rule discovery.
+type DiscoverOptions struct {
+	// MinSupport / MinConfidence are the objective thresholds (paper
+	// defaults: 1e-8 and 0.9).
+	MinSupport    float64
+	MinConfidence float64
+	// SampleRatio mines on a tuple sample (1.0 = all data).
+	SampleRatio float64
+	// MLModels offers these registered matchers as predicates.
+	MLModels []string
+	// TopK keeps only the best-ranked rules (0 = all).
+	TopK int
+}
+
+// Discover mines REE++s from every relation and adds them to the
+// pipeline's rule set; it returns the newly added rules.
+func (p *Pipeline) Discover(opts DiscoverOptions) ([]*ree.Rule, error) {
+	mOpts := discovery.DefaultOptions()
+	if opts.MinSupport > 0 {
+		mOpts.MinSupport = opts.MinSupport
+	}
+	if opts.MinConfidence > 0 {
+		mOpts.MinConfidence = opts.MinConfidence
+	}
+	if opts.SampleRatio > 0 {
+		mOpts.SampleRatio = opts.SampleRatio
+	}
+	mOpts.MLModels = opts.MLModels
+	var mined []*ree.Rule
+	for _, rel := range p.db.Names() {
+		m := discovery.NewMiner(p.env, rel, mOpts)
+		rules, _, err := m.Discover()
+		if err != nil {
+			return nil, err
+		}
+		mined = append(mined, rules...)
+	}
+	if opts.TopK > 0 && opts.TopK < len(mined) {
+		mined = discovery.TopK(mined, nil, discovery.RankOptions{K: opts.TopK})
+	}
+	for _, r := range mined {
+		p.ruleSeq++
+		r.ID = fmt.Sprintf("r%d", p.ruleSeq)
+	}
+	p.rules = append(p.rules, mined...)
+	return mined, nil
+}
+
+// DiscoverCross mines cross-relation rules R(t) ^ S(s) ^ X → p0 — e.g. a
+// Customer's city determined by the employer Company's city — and adds
+// them to the pipeline's rule set.
+func (p *Pipeline) DiscoverCross(relT, relS string, opts DiscoverOptions) ([]*ree.Rule, error) {
+	mOpts := discovery.DefaultOptions()
+	if opts.MinSupport > 0 {
+		mOpts.MinSupport = opts.MinSupport
+	}
+	if opts.MinConfidence > 0 {
+		mOpts.MinConfidence = opts.MinConfidence
+	}
+	if opts.SampleRatio > 0 {
+		mOpts.SampleRatio = opts.SampleRatio
+	}
+	rules, _, err := discovery.DiscoverCross(p.env, relT, relS, mOpts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TopK > 0 && opts.TopK < len(rules) {
+		rules = discovery.TopK(rules, nil, discovery.RankOptions{K: opts.TopK})
+	}
+	for _, r := range rules {
+		p.ruleSeq++
+		r.ID = fmt.Sprintf("r%d", p.ruleSeq)
+	}
+	p.rules = append(p.rules, rules...)
+	return rules, nil
+}
+
+// DetectedError is one detected error.
+type DetectedError struct {
+	RuleID string
+	Task   string
+	Cells  []CellRef
+	// DupEIDs is set for duplicate (ER) errors.
+	DupEIDs [2]string
+}
+
+// Detect runs batch error detection with the registered rules.
+func (p *Pipeline) Detect() ([]DetectedError, error) {
+	o := detect.DefaultOptions()
+	o.Workers = p.opts.Workers
+	o.UseBlocking = p.opts.UseBlocking
+	d := detect.New(p.env, p.rules, o)
+	errs, err := d.Detect()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DetectedError, len(errs))
+	for i, e := range errs {
+		out[i] = DetectedError{RuleID: e.RuleID, Task: e.Task.String(), Cells: e.Cells, DupEIDs: e.DupEIDs}
+	}
+	return out, nil
+}
+
+// Correction is one applied repair.
+type Correction struct {
+	Cell  CellRef
+	Old   Value
+	New   Value
+	Rule  string
+	IsNew bool // true when the old value was null (imputation)
+}
+
+// Report summarises a Clean run.
+type Report struct {
+	// Errors are the detected errors (pre-correction).
+	Errors []DetectedError
+	// Corrections are the applied cell repairs.
+	Corrections []Correction
+	// MergedEntities lists identified duplicate EID groups.
+	MergedEntities [][]string
+	// OrderedPairs counts deduced temporal-order pairs.
+	OrderedPairs int
+	// ChaseRounds is the number of fixpoint rounds.
+	ChaseRounds int
+	// UnresolvedConflicts were escalated but unanswered.
+	UnresolvedConflicts int
+	// OracleCalls counts user consultations.
+	OracleCalls int
+	// Assessment reports post-cleaning data quality.
+	Assessment quality.Assessment
+}
+
+// Clean detects and corrects: it chases the database with the registered
+// rules and ground truth, materialises the validated fixes back into the
+// relations, and returns the report.
+func (p *Pipeline) Clean() (*Report, error) {
+	errs, err := p.Detect()
+	if err != nil {
+		return nil, err
+	}
+	cOpts := chase.Options{
+		Mode:        chase.Unified,
+		Lazy:        p.opts.Lazy,
+		UseBlocking: p.opts.UseBlocking,
+		MaxRounds:   p.opts.MaxRounds,
+		EIDRefs:     p.eidRefs,
+	}
+	if p.opts.Oracle != nil {
+		cOpts.Oracle = p.opts.Oracle
+	}
+	eng := chase.New(p.env, p.rules, p.gamma, cOpts)
+	chaseRep, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Errors:              errs,
+		ChaseRounds:         chaseRep.Rounds,
+		UnresolvedConflicts: len(chaseRep.Unresolved),
+		OracleCalls:         chaseRep.OracleCalls,
+	}
+	// Collect corrections before materialising.
+	u := eng.Truth()
+	for relName, rel := range p.db.Relations {
+		for _, t := range rel.Tuples {
+			for i, a := range rel.Schema.Attrs {
+				v, ok := u.Cell(relName, t.EID, a.Name)
+				if !ok || v.Equal(t.Values[i]) {
+					continue
+				}
+				rep.Corrections = append(rep.Corrections, Correction{
+					Cell:  CellRef{Rel: relName, TID: t.TID, Attr: a.Name},
+					Old:   t.Values[i],
+					New:   v,
+					IsNew: t.Values[i].IsNull(),
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Corrections, func(i, j int) bool {
+		return rep.Corrections[i].Cell.String() < rep.Corrections[j].Cell.String()
+	})
+	rep.MergedEntities = u.Classes()
+	for _, o := range u.Orders() {
+		rep.OrderedPairs += len(o.Pairs())
+	}
+	eng.Materialize()
+	violating := 0
+	for _, e := range errs {
+		violating += len(e.Cells)
+	}
+	rep.Assessment = quality.Assess(p.db, violating-len(rep.Corrections))
+	return rep, nil
+}
+
+// ParseRules parses one rule per line (comments with '#') against the
+// database schema.
+func (p *Pipeline) ParseRules(text string) ([]*ree.Rule, error) {
+	rules, err := ree.ParseAll(text, p.db)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rules {
+		p.ruleSeq++
+		r.ID = fmt.Sprintf("r%d", p.ruleSeq)
+	}
+	p.rules = append(p.rules, rules...)
+	return rules, nil
+}

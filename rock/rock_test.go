@@ -1,0 +1,147 @@
+package rock
+
+import (
+	"testing"
+)
+
+// testDB builds the tiny Transaction table of the package example.
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDB()
+	trans := NewRel(MustSchema("Trans",
+		Attribute{Name: "com", Type: TString},
+		Attribute{Name: "mfg", Type: TString},
+		Attribute{Name: "price", Type: TFloat},
+	))
+	trans.Insert("p3", S("Mate X2"), S("Huawei"), F(5200))
+	trans.Insert("p4", S("Mate X2"), S("Apple"), Null(TFloat)) // wrong mfg, missing price
+	trans.Insert("p5", S("Mate X2"), S("Huawei"), F(5200))
+	db.Add(trans)
+	return db
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	db := testDB(t)
+	p := NewPipeline(db)
+	p.TrainCorrelationModels()
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg")
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com ^ t.mfg = s.mfg ^ null(t.price) -> t.price = s.price")
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) == 0 {
+		t.Error("expected detected errors")
+	}
+	if len(rep.Corrections) < 2 {
+		t.Fatalf("expected mfg + price corrections, got %v", rep.Corrections)
+	}
+	// The wrong manufactory is fixed and the price imputed.
+	bad := db.Rel("Trans").Tuples[1]
+	if v, _ := db.Rel("Trans").Value(bad.TID, "mfg"); v.Str() != "Huawei" {
+		t.Errorf("mfg not fixed: %v", v)
+	}
+	if v, _ := db.Rel("Trans").Value(bad.TID, "price"); v.IsNull() || v.Float() != 5200 {
+		t.Errorf("price not imputed: %v", v)
+	}
+	if rep.ChaseRounds == 0 {
+		t.Error("chase must have run")
+	}
+	if rep.Assessment.Completeness < 0.99 {
+		t.Errorf("post-clean completeness: %f", rep.Assessment.Completeness)
+	}
+}
+
+func TestPipelineAddRuleValidation(t *testing.T) {
+	p := NewPipeline(testDB(t))
+	if _, err := p.AddRule("Ghost(t) -> t.x = 1"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := p.AddRule("Trans(t) -> t.ghost = 1"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	r, err := p.AddRule("Trans(t) -> t.mfg = 'Huawei'")
+	if err != nil || r.ID != "r1" {
+		t.Errorf("rule id sequencing: %v %v", r, err)
+	}
+	if len(p.Rules()) != 1 {
+		t.Error("rules not registered")
+	}
+}
+
+func TestPipelineDiscover(t *testing.T) {
+	db := NewDB()
+	rel := NewRel(MustSchema("Store",
+		Attribute{Name: "location", Type: TString},
+		Attribute{Name: "area_code", Type: TString},
+	))
+	for i := 0; i < 30; i++ {
+		city, code := "Beijing", "010"
+		if i%2 == 1 {
+			city, code = "Shanghai", "021"
+		}
+		rel.Insert("e", S(city), S(code))
+	}
+	db.Add(rel)
+	p := NewPipeline(db)
+	rules, err := p.Discover(DiscoverOptions{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 || len(rules) > 5 {
+		t.Fatalf("discover: %d rules", len(rules))
+	}
+	if len(p.Rules()) != len(rules) {
+		t.Error("discovered rules must register on the pipeline")
+	}
+}
+
+func TestPipelineOracle(t *testing.T) {
+	db := NewDB()
+	rel := NewRel(MustSchema("R", Attribute{Name: "a", Type: TString}, Attribute{Name: "k", Type: TString}))
+	rel.Insert("e1", S("x"), S("key"))
+	rel.Insert("e2", S("y"), S("key"))
+	db.Add(rel)
+	opts := DefaultOptions()
+	opts.Oracle = func(r, eid, attr string, cands []Value) (Value, bool) {
+		return S("x"), true // the user knows "x" is right
+	}
+	p := NewPipelineWith(db, opts)
+	p.MustAddRule("R(t) ^ R(s) ^ t.k = s.k -> t.a = s.a")
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OracleCalls == 0 {
+		t.Error("ambiguous conflict must consult the oracle")
+	}
+	if v, _ := rel.Value(rel.Tuples[1].TID, "a"); v.Str() != "x" {
+		t.Errorf("oracle answer not applied: %v", v)
+	}
+}
+
+func TestPipelineValidateMasterData(t *testing.T) {
+	db := testDB(t)
+	p := NewPipeline(db)
+	if err := p.Validate("Trans", "p4", "mfg", S("Huawei")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate("Trans", "p4", "mfg", S("Apple")); err == nil {
+		t.Error("contradicting master data must fail")
+	}
+	p.MustAddRule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg")
+	if _, err := p.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Rel("Trans").Value(db.Rel("Trans").Tuples[1].TID, "mfg"); v.Str() != "Huawei" {
+		t.Error("validated master data must drive the fix")
+	}
+}
+
+func TestParseRulesMultiline(t *testing.T) {
+	p := NewPipeline(testDB(t))
+	rules, err := p.ParseRules("# comment\nTrans(t) -> t.mfg = 'Huawei'\n\nTrans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg\n")
+	if err != nil || len(rules) != 2 {
+		t.Fatalf("%v %v", rules, err)
+	}
+}

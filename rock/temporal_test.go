@@ -1,0 +1,154 @@
+package rock
+
+import (
+	"testing"
+)
+
+// TestTemporalFacade drives TD through the public API: seed an order from
+// master timestamps, train a ranker, and deduce currency with a rule.
+func TestTemporalFacade(t *testing.T) {
+	db := NewDB()
+	person := NewRel(MustSchema("Person",
+		Attribute{Name: "status", Type: TString},
+		Attribute{Name: "home", Type: TString},
+	))
+	single := person.Insert("p2", S("single"), S("5 West Road"))
+	married := person.Insert("p2", S("married"), S("12 Beijing Road"))
+	db.Add(person)
+
+	p := NewPipeline(db)
+	if err := p.TrainRanker("Person", "status", [][2]*Tuple{{single, married}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainRanker("Ghost", "x", nil); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	p.SeedOrder("Person", "status", single.TID, married.TID, true)
+
+	p.MustAddRule("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s")
+	p.MustAddRule("Person(t) ^ Person(s) ^ t <=[status] s -> t <=[home] s")
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OrderedPairs == 0 {
+		t.Error("temporal pairs must be deduced")
+	}
+}
+
+func TestDiscoverThresholdsRespected(t *testing.T) {
+	db := NewDB()
+	rel := NewRel(MustSchema("R",
+		Attribute{Name: "a", Type: TString},
+		Attribute{Name: "b", Type: TString},
+	))
+	for i := 0; i < 40; i++ {
+		pair := []string{"x", "y"}[i%2]
+		rel.Insert("e", S(pair), S(pair+"!"))
+	}
+	db.Add(rel)
+	p := NewPipeline(db)
+	rules, err := p.Discover(DiscoverOptions{MinConfidence: 0.99, MinSupport: 0.01, SampleRatio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.99 {
+			t.Errorf("rule below requested confidence: %s (%f)", r, r.Confidence)
+		}
+	}
+}
+
+func TestRegisterGraphEnablesExtraction(t *testing.T) {
+	db := NewDB()
+	rel := NewRel(MustSchema("Store",
+		Attribute{Name: "name", Type: TString},
+		Attribute{Name: "location", Type: TString},
+	))
+	rel.Insert("s1", S("Huawei Flagship"), Null(TString))
+	db.Add(rel)
+	g := NewGraph("Wiki")
+	hv := g.AddVertex("Huawei Flagship")
+	bj := g.AddVertex("Beijing")
+	g.MustEdge(hv, "LocationAt", bj)
+
+	p := NewPipeline(db)
+	p.RegisterGraph(g, 0.6)
+	p.MustAddRule("Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) ^ null(t.location) -> t.location = val(x.(LocationAt))")
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrections) != 1 || rep.Corrections[0].New.Str() != "Beijing" {
+		t.Errorf("extraction via facade failed: %+v", rep.Corrections)
+	}
+	if !rep.Corrections[0].IsNew {
+		t.Error("imputation must be marked IsNew")
+	}
+}
+
+func TestMonitorFacade(t *testing.T) {
+	db := testMonitorDB()
+	p := NewPipeline(db)
+	p.CheckNulls("R", "b")
+	p.CheckDuplicates("R", "k")
+	p.CheckRange("R", "n", 0, 100)
+	p.CheckPattern("R", "k", `^k\d+$`)
+	findings, a := p.Monitor()
+	if len(findings) != 4 {
+		t.Fatalf("findings=%d: %+v", len(findings), findings)
+	}
+	if a.Completeness >= 1 || a.Consistency >= 1 {
+		t.Error("assessment must reflect the findings")
+	}
+}
+
+func testMonitorDB() *Database {
+	db := NewDB()
+	rel := NewRel(MustSchema("R",
+		Attribute{Name: "k", Type: TString},
+		Attribute{Name: "b", Type: TString},
+		Attribute{Name: "n", Type: TInt},
+	))
+	rel.Insert("e1", S("k1"), S("x"), I(50))
+	rel.Insert("e2", S("k1"), Null(TString), I(150))
+	rel.Insert("e3", S("oops"), S("y"), I(20))
+	db.Add(rel)
+	return db
+}
+
+func TestDiscoverCrossFacade(t *testing.T) {
+	db := NewDB()
+	cust := NewRel(MustSchema("Customer",
+		Attribute{Name: "company", Type: TString},
+		Attribute{Name: "city", Type: TString},
+	))
+	comp := NewRel(MustSchema("Company",
+		Attribute{Name: "cname", Type: TString},
+		Attribute{Name: "hq", Type: TString},
+	))
+	pairs := []struct{ n, c string }{{"Acme Co", "Beijing"}, {"Globex", "Shanghai"}}
+	for _, pr := range pairs {
+		comp.Insert("co", S(pr.n), S(pr.c))
+	}
+	for i := 0; i < 30; i++ {
+		pr := pairs[i%2]
+		cust.Insert("cu", S(pr.n), S(pr.c))
+	}
+	db.Add(cust)
+	db.Add(comp)
+	p := NewPipeline(db)
+	rules, err := p.DiscoverCross("Customer", "Company", DiscoverOptions{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no cross rules found")
+	}
+	if len(p.Rules()) != len(rules) {
+		t.Error("cross rules must register on the pipeline")
+	}
+	if _, err := p.DiscoverCross("Ghost", "Company", DiscoverOptions{}); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}
