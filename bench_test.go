@@ -11,6 +11,7 @@
 package rockbench
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/rockclean/rock/internal/baselines"
@@ -160,6 +161,33 @@ func BenchmarkFig4lScaleCorrect(b *testing.B) {
 		if _, err := eng.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkChaseParallel measures the real wall-clock of the chase with
+// work units executed on a goroutine pool of 1, 2, 4, and 8 workers
+// (Figure 4(l), but genuinely parallel rather than simulated). The
+// speedup observed scales with the physical cores of the host: on a
+// single-core machine the variants only measure pool overhead, so the
+// simulated SimMakespan metric remains the cluster-scaling proxy.
+func BenchmarkChaseParallel(b *testing.B) {
+	ds := workload.Logistics(benchConfig())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bench := baselines.NewBench(ds, workers)
+				opts := chase.DefaultOptions()
+				opts.Workers = workers
+				opts.Parallel = workers > 1
+				opts.Oracle = bench.GoldOracle()
+				eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
+				b.StartTimer()
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

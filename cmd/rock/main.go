@@ -50,8 +50,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rock gen    -app bank|logistics|sales -n N -out DIR   generate a demo dataset (+ curated rules)
-  rock clean  -in DIR -rules FILE [-workers N]          detect and correct errors in place
-  rock detect -in DIR -rules FILE [-workers N]          detect errors only
+  rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool]   detect and correct errors in place
+  rock detect -in DIR -rules FILE [-workers N]                    detect errors only
   rock demo                                             run the paper's e-commerce walk-through`)
 }
 
@@ -135,7 +135,8 @@ func cmdClean(args []string, correct bool) error {
 	fs := flag.NewFlagSet("clean", flag.ExitOnError)
 	in := fs.String("in", "./rockdata", "dataset directory")
 	rulesFile := fs.String("rules", "", "rules file (default: <in>/rules.ree)")
-	workers := fs.Int("workers", 4, "simulated cluster size")
+	workers := fs.Int("workers", 4, "cluster size (HyperCube blocks and worker goroutines)")
+	parallel := fs.Bool("parallel", true, "run chase work units on a real worker pool (false: serial + simulated makespan only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -148,6 +149,7 @@ func cmdClean(args []string, correct bool) error {
 	}
 	opts := rock.DefaultOptions()
 	opts.Workers = *workers
+	opts.Parallel = *parallel
 	p := rock.NewPipelineWith(db, opts)
 	p.RegisterMatcher("M_ER", 0.82)
 	p.RegisterMatcher("M_addr", 0.82)

@@ -11,6 +11,8 @@ package chase
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/rockclean/rock/internal/cluster"
@@ -41,9 +43,17 @@ type Options struct {
 	Mode Mode
 	// MaxRounds bounds the fixpoint loop (safety valve; 0 = default 100).
 	MaxRounds int
-	// Workers is the virtual cluster size: it sets the HyperCube block
-	// count and the simulated-makespan parallelism (Report.SimMakespan).
+	// Workers is the cluster size: it sets the HyperCube block count, the
+	// simulated-makespan parallelism (Report.SimMakespan) and — with
+	// Parallel — the size of the real goroutine worker pool.
 	Workers int
+	// Parallel executes each round's work units on a pool of Workers
+	// goroutines (with work stealing) instead of a serial loop. The result
+	// is bit-identical to serial execution: units enumerate against the
+	// immutable start-of-round fix set, buffer their candidate fixes, and
+	// the buffers merge in deterministic (rule ID, unit part) order before
+	// the serial apply step.
+	Parallel bool
 	// Lazy enables the lazy-activation machinery (rule activation by fix
 	// kind + dirty-tuple filtering). Off, every round re-enumerates every
 	// rule over all data — the ablation baseline (DESIGN.md §ablations).
@@ -67,7 +77,7 @@ type Options struct {
 
 // DefaultOptions is the configuration Rock ships with.
 func DefaultOptions() Options {
-	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4}
+	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true}
 }
 
 // FixKind classifies a deduced fix.
@@ -132,8 +142,13 @@ type Report struct {
 	MLCalls     int
 	RetractedTD int
 	// SimMakespan is the simulated parallel runtime over Options.Workers
-	// workers (measured unit costs, simulated overlap).
+	// workers (measured unit costs, simulated overlap) — the substitute
+	// metric for cluster sizes beyond this host's core count.
 	SimMakespan time.Duration
+	// WallClock is the real elapsed time of the chase rounds (enumeration
+	// plus merge); with Options.Parallel the enumeration phase genuinely
+	// overlaps on the worker pool.
+	WallClock time.Duration
 }
 
 // Engine chases one database with one rule set.
@@ -162,6 +177,12 @@ type Engine struct {
 	// matches the certain-fix discipline and guarantees convergence.
 	resolvedCells map[string]bool
 
+	// mu guards the engine state that deduction may touch from worker
+	// goroutines during a parallel round: the oracle memo and the report's
+	// resolution counters/unresolved list. The fix set u is read-only
+	// during a round and mutated only by the serial merge step.
+	mu sync.Mutex
+
 	report Report
 }
 
@@ -175,10 +196,10 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		opts.Workers = 1
 	}
 	e := &Engine{
-		env:         env,
-		rules:       rules,
-		u:           gamma.Clone(),
-		opts:        opts,
+		env:           env,
+		rules:         rules,
+		u:             gamma.Clone(),
+		opts:          opts,
 		orderLog:      make(map[string][]Fix),
 		tuplesByEID:   make(map[string]map[string][]*data.Tuple),
 		oracleMemo:    make(map[string]data.Value),
@@ -338,34 +359,90 @@ func (e *Engine) runSinglePass() (*Report, error) {
 // rule yields one work unit per block combination, units enumerate
 // valuations against the start-of-round fix set and deduce candidate
 // fixes, and the fixes are then applied in a deterministic merge step
-// (conflict resolution included). Unit costs are measured so the report
-// can carry the simulated parallel makespan over Options.Workers workers
-// (the wall clock on this host is single-core; see DESIGN.md).
+// (conflict resolution included).
+//
+// With Options.Parallel the units run on a real pool of Options.Workers
+// goroutines (cluster.Drain: affinity queues plus work stealing). Each
+// unit owns a private fix buffer, and the merge reads the buffers back in
+// (rule ID, unit part) generation order — exactly the serial order — so
+// the chase result is bit-identical to serial execution regardless of
+// worker interleaving. Correctness rests on the round invariant: workers
+// only read the fix set (truth.FixSet reads are compression-free), and
+// all fixes apply in the serial merge below. Unit costs are still
+// measured so the report can carry the simulated parallel makespan over
+// cluster sizes beyond this host's core count (see DESIGN.md).
 func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]Fix, error) {
+	roundStart := time.Now()
 	// Deterministic rule order for reproducibility; Church-Rosser makes
 	// the final result order-independent anyway.
 	ordered := append([]*ree.Rule(nil), rules...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 
 	blocks := e.partition()
+	type unitWork struct {
+		rule *ree.Rule
+		unit chaseUnit
+	}
+	type unitResult struct {
+		fixes []Fix
+		st    exec.Stats
+		err   error
+		cost  time.Duration
+	}
+	var work []unitWork
+	for _, r := range ordered {
+		for _, u := range e.unitsFor(r, blocks) {
+			work = append(work, unitWork{rule: r, unit: u})
+		}
+	}
+	results := make([]unitResult, len(work))
+	runUnit := func(i int) {
+		w := work[i]
+		res := &results[i]
+		start := time.Now()
+		opts := exec.Options{UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict}
+		res.st, res.err = e.exec.Run(w.rule, opts, func(h *predicate.Valuation) bool {
+			res.fixes = append(res.fixes, e.deduce(w.rule, h)...)
+			return true
+		})
+		res.cost = time.Since(start)
+	}
+	if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
+		cl := cluster.New(e.opts.Workers)
+		for i := range work {
+			i := i
+			w := work[i]
+			est := 1.0
+			for _, blk := range w.unit.restrict {
+				est *= float64(len(blk))
+			}
+			cl.Submit(&crystal.WorkUnit{
+				ID:      i,
+				RuleID:  w.rule.ID,
+				Part:    w.unit.part,
+				EstCost: est,
+				Run:     func() { runUnit(i) },
+			})
+		}
+		cl.Drain(cluster.Options{Steal: true})
+	} else {
+		for i := range work {
+			runUnit(i)
+		}
+	}
+
+	// Merge the per-unit buffers back in generation order.
 	var candidates []Fix
 	var sims []cluster.SimUnit
-	for _, r := range ordered {
-		units := e.unitsFor(r, blocks)
-		for _, u := range units {
-			start := time.Now()
-			opts := exec.Options{UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: u.restrict}
-			st, err := e.exec.Run(r, opts, func(h *predicate.Valuation) bool {
-				candidates = append(candidates, e.deduce(r, h)...)
-				return true
-			})
-			e.report.Valuations += st.Valuations
-			e.report.MLCalls += st.MLCalls
-			if err != nil {
-				return nil, err
-			}
-			sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(u.part), Cost: time.Since(start)})
+	for i := range work {
+		res := &results[i]
+		e.report.Valuations += res.st.Valuations
+		e.report.MLCalls += res.st.MLCalls
+		if res.err != nil {
+			return nil, res.err
 		}
+		candidates = append(candidates, res.fixes...)
+		sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(work[i].unit.part), Cost: res.cost})
 	}
 	if len(sims) > 0 {
 		e.report.SimMakespan += cluster.SimulateMakespan(sims, e.nodes, true)
@@ -388,6 +465,12 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		}
 	}
 	e.report.SimMakespan += time.Since(applyStart)
+	if len(accepted) > 0 {
+		// Accepted fixes change the values units read through env.ValueOf,
+		// so any blocker index built over them is stale.
+		e.exec.InvalidateBlockers()
+	}
+	e.report.WallClock += time.Since(roundStart)
 	return accepted, nil
 }
 
@@ -814,22 +897,43 @@ func (e *Engine) resolveOrderConflict(fx Fix) bool {
 
 // askOracle consults the user once per (rel, entity-class, attr): repeat
 // questions about the same cell replay the memoised answer without
-// counting as new manual effort.
+// counting as new manual effort. The whole memo-check/ask/memo-store is
+// one critical section so concurrent deductions over the same cell still
+// cost exactly one consultation, as in the serial engine. The question is
+// posed for each class member in the class's (deterministic) order until
+// one is answered: the user recognises the cell by whichever entity label
+// they know, and the memoised answer must not depend on which member's
+// deduction happened to reach the user first — that order races under the
+// parallel chase.
 func (e *Engine) askOracle(rel, eid, attr string, candidates []data.Value) (data.Value, bool) {
 	if e.opts.Oracle == nil {
 		return data.Value{}, false
 	}
-	key := rel + "\x1f" + e.u.ClassMembers(eid)[0] + "\x1f" + attr
+	members := e.u.ClassMembers(eid)
+	// The key covers the candidate set too (order-canonicalised): the
+	// user's answer may depend on which values they are shown, so a memo
+	// hit must replay the answer to the same question only — otherwise the
+	// first-asked candidate set would leak into every later question about
+	// the cell, and which question asks first races under parallelism.
+	sig := make([]string, len(candidates))
+	for i, c := range candidates {
+		sig[i] = c.Key()
+	}
+	sort.Strings(sig)
+	key := rel + "\x1f" + members[0] + "\x1f" + attr + "\x1f" + strings.Join(sig, "\x1e")
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if v, ok := e.oracleMemo[key]; ok {
 		return v, true
 	}
 	e.report.OracleCalls++
-	answer, ok := e.opts.Oracle(rel, eid, attr, candidates)
-	if !ok {
-		return data.Value{}, false
+	for _, m := range members {
+		if answer, ok := e.opts.Oracle(rel, m, attr, candidates); ok {
+			e.oracleMemo[key] = answer
+			return answer, true
+		}
 	}
-	e.oracleMemo[key] = answer
-	return answer, true
+	return data.Value{}, false
 }
 
 // resolveValuePair decides which of two conflicting values is correct when
@@ -883,11 +987,15 @@ func (e *Engine) resolveValuePair(bt predicate.Binding, attrT string, vt data.Va
 	// (certain-fix discipline, paper §4.1).
 	const margin = 0.25
 	if st-ss > margin {
+		e.mu.Lock()
 		e.report.ResolvedMI++
+		e.mu.Unlock()
 		return vt, true
 	}
 	if ss-st > margin {
+		e.mu.Lock()
 		e.report.ResolvedMI++
+		e.mu.Unlock()
 		return vs, true
 	}
 
@@ -897,9 +1005,11 @@ func (e *Engine) resolveValuePair(bt predicate.Binding, attrT string, vt data.Va
 	if answer, ok := e.askOracle(bs.Rel, bs.Tuple.EID, attrS, []data.Value{vt, vs}); ok {
 		return answer, true
 	}
+	e.mu.Lock()
 	e.report.Unresolved = append(e.report.Unresolved, UnresolvedConflict{
 		Conflict: &truth.Conflict{Kind: truth.ValueConflict, Rel: bt.Rel, Attr: attrT, EID: bt.Tuple.EID, Old: vt, New: vs},
 	})
+	e.mu.Unlock()
 	return data.Value{}, false
 }
 

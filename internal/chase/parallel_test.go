@@ -1,0 +1,74 @@
+// External test package: exercises the parallel chase through the same
+// workload + bench wiring the experiments use, without an import cycle.
+package chase_test
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/baselines"
+	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/workload"
+)
+
+// TestParallelChaseDeterminism pins the two guarantees of the parallel
+// round, per workload over one shared trained environment:
+//
+//  1. Running the same work units on 8 worker goroutines is bit-identical
+//     to running them serially — same fix set AND same report counters
+//     (per-unit buffers merge in generation order, oracle questions are
+//     memoised order-independently).
+//  2. By Church-Rosser, the Workers=8 fix set equals the Workers=1 fix
+//     set even though the HyperCube partitioning generates entirely
+//     different work units (counters legitimately differ there: block
+//     combinations re-enumerate boundary valuations).
+func TestParallelChaseDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *workload.Dataset
+	}{
+		{"ecommerce", workload.Ecommerce},
+		{"logistics", func() *workload.Dataset { return workload.Logistics(workload.Config{N: 120, Seed: 7}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bench := baselines.NewBench(tc.mk(), 8)
+			run := func(workers int, parallel bool) (string, *chase.Report) {
+				opts := chase.DefaultOptions()
+				opts.Workers = workers
+				opts.Parallel = parallel
+				opts.Oracle = bench.GoldOracle()
+				opts.EIDRefs = bench.DS.EIDRefs
+				eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
+				rep, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng.Truth().Snapshot(), rep
+			}
+
+			w1Snap, _ := run(1, false)
+			w8SerialSnap, w8SerialRep := run(8, false)
+			w8ParSnap, w8ParRep := run(8, true)
+
+			if w8ParSnap != w8SerialSnap {
+				t.Errorf("parallel round differs from serial round at Workers=8:\nserial=%s\nparallel=%s",
+					w8SerialSnap, w8ParSnap)
+			}
+			if w8ParSnap != w1Snap {
+				t.Errorf("Workers=8 fix set differs from Workers=1:\nW1=%s\nW8=%s", w1Snap, w8ParSnap)
+			}
+			if w8ParRep.Valuations != w8SerialRep.Valuations {
+				t.Errorf("parallel round changed enumeration: %d valuations vs %d serial",
+					w8ParRep.Valuations, w8SerialRep.Valuations)
+			}
+			if w8ParRep.OracleCalls != w8SerialRep.OracleCalls {
+				t.Errorf("parallel round changed oracle effort: %d calls vs %d serial",
+					w8ParRep.OracleCalls, w8SerialRep.OracleCalls)
+			}
+			if w8ParRep.Rounds != w8SerialRep.Rounds {
+				t.Errorf("parallel round changed convergence: %d rounds vs %d serial",
+					w8ParRep.Rounds, w8SerialRep.Rounds)
+			}
+		})
+	}
+}

@@ -75,6 +75,11 @@ type Detector struct {
 	env   *predicate.Env
 	rules []*ree.Rule
 	opts  Options
+	// ex is shared by every work unit of every rule (exec.Executor is safe
+	// for concurrent use), so LSH blocker indexes built for one rule's
+	// partition are reused by every other rule blocking on the same
+	// (relation, attrs, partition).
+	ex *exec.Executor
 }
 
 // New creates a detector.
@@ -88,7 +93,7 @@ func New(env *predicate.Env, rules []*ree.Rule, opts Options) *Detector {
 			opts.Blocks = 4
 		}
 	}
-	return &Detector{env: env, rules: rules, opts: opts}
+	return &Detector{env: env, rules: rules, opts: opts, ex: exec.New(env)}
 }
 
 // Detect runs batch detection over the whole database and returns the
@@ -383,11 +388,10 @@ func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
 	if err := r.Validate(d.env.DB); err != nil {
 		return nil, err
 	}
-	ex := exec.New(d.env)
 	mkRun := func(restrictVar map[string][]*data.Tuple, estRows int) func() {
 		return func() {
 			var local []*Error
-			_, err := ex.Run(r, exec.Options{
+			_, err := d.ex.Run(r, exec.Options{
 				UseBlocking: d.opts.UseBlocking,
 				Dirty:       dirty,
 				RestrictVar: restrictVar,

@@ -17,7 +17,10 @@ package exec
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strings"
+	"sync"
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
@@ -55,18 +58,33 @@ type Stats struct {
 	MLCalls    int // ML predicate evaluations (post-blocking)
 }
 
-// Executor caches per-relation indexes and blockers across rules.
+// blockerEntry is one cached LSH index: the blocker plus the id→tuple map
+// needed to resolve its candidate ids back to tuples.
+type blockerEntry struct {
+	b    *ml.Blocker
+	byID map[int]*data.Tuple
+}
+
+// Executor caches per-relation indexes and blockers across rules. Run is
+// safe for concurrent use by multiple goroutines: the environment and LSH
+// planes are read-only, all enumeration state is per-call, and the blocker
+// cache is guarded by a mutex — the parallel chase and detector share one
+// executor across their worker pools.
 type Executor struct {
-	env      *predicate.Env
-	blockers map[string]*ml.Blocker // key: rel + attrs signature
-	lsh      *ml.LSH
+	env *predicate.Env
+	lsh *ml.LSH
+
+	// mu guards blockers; key: rel + attrs signature + partition
+	// fingerprint (see blockerKey).
+	mu       sync.Mutex
+	blockers map[string]*blockerEntry
 }
 
 // New creates an executor over the environment.
 func New(env *predicate.Env) *Executor {
 	return &Executor{
 		env:      env,
-		blockers: make(map[string]*ml.Blocker),
+		blockers: make(map[string]*blockerEntry),
 		lsh:      ml.NewLSH(8, 6, 17),
 	}
 }
@@ -74,8 +92,64 @@ func New(env *predicate.Env) *Executor {
 // Env returns the executor's environment.
 func (e *Executor) Env() *predicate.Env { return e.env }
 
-// InvalidateBlockers drops cached blockers; call after mutating relations.
-func (e *Executor) InvalidateBlockers() { e.blockers = make(map[string]*ml.Blocker) }
+// InvalidateBlockers drops cached blockers; call after mutating relations
+// or the value view they were embedded through (the chase calls it after
+// every merge step that changes validated values).
+func (e *Executor) InvalidateBlockers() {
+	e.mu.Lock()
+	e.blockers = make(map[string]*blockerEntry)
+	e.mu.Unlock()
+}
+
+// blockerKey fingerprints one blocking request: relation, the embedded
+// attribute list, and the exact tuple partition (FNV-1a over TIDs). Two
+// work units over the same block therefore share one LSH index, while
+// different HyperCube blocks never collide.
+func blockerKey(relName string, attrs []string, tuples []*data.Tuple) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, t := range tuples {
+		v := uint64(t.TID)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return relName + "\x1f" + strings.Join(attrs, ",") + "\x1f" +
+		fmt.Sprintf("%d:%x", len(tuples), h.Sum64())
+}
+
+// blockerFor returns the cached LSH index for (relName, attrs, tuples),
+// building and caching it on a miss. embed turns one tuple into its
+// blocking vector. Concurrent misses on the same key may build twice; the
+// last store wins and both results are equivalent.
+func (e *Executor) blockerFor(relName string, attrs []string, tuples []*data.Tuple,
+	embed func(t *data.Tuple) ml.Vector) *blockerEntry {
+
+	key := blockerKey(relName, attrs, tuples)
+	e.mu.Lock()
+	if ent, ok := e.blockers[key]; ok {
+		e.mu.Unlock()
+		return ent
+	}
+	e.mu.Unlock()
+	ent := &blockerEntry{b: ml.NewBlocker(e.lsh), byID: make(map[int]*data.Tuple, len(tuples))}
+	for _, t := range tuples {
+		ent.byID[t.TID] = t
+		ent.b.Add(t.TID, embed(t))
+	}
+	e.mu.Lock()
+	e.blockers[key] = ent
+	e.mu.Unlock()
+	return ent
+}
+
+// CachedBlockers reports the number of live blocker cache entries.
+func (e *Executor) CachedBlockers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.blockers)
+}
 
 // Run enumerates valuations h of rule r with h |= X, invoking fn for each.
 // fn returns false to stop early. The returned stats describe the run.
@@ -111,10 +185,21 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 	// so the evaluation is undone when the binder backtracks past it.
 	h := predicate.NewValuation()
 	stop := false
-	var bindRest func(i int) error
+	var bindRest func(i int)
 	bound := map[string]bool{}
 	depth := 0
 	evalDepth := make(map[*predicate.Predicate]int, len(r.X))
+
+	// Errors stop enumeration through the same path as an early callback
+	// exit, so every binding level unwinds h/bound/depth/evalDepth on the
+	// way out — the executor stays clean and reusable after a failed run.
+	var finalErr error
+	fail := func(err error) {
+		if finalErr == nil {
+			finalErr = err
+		}
+		stop = true
+	}
 
 	checkAt := func() (bool, error) {
 		for _, p := range r.X {
@@ -162,7 +247,6 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 		}
 	}
 
-	var finalErr error
 	emit := func() bool {
 		// Incremental mode: every emitted valuation must bind at least one
 		// dirty tuple (the driver paths pre-filter; the generic nested-loop
@@ -191,19 +275,20 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 		return true
 	}
 
-	var bindVertexes func(vi int) error
-	bindVertexes = func(vi int) error {
+	var bindVertexes func(vi int)
+	bindVertexes = func(vi int) {
 		if stop {
-			return nil
+			return
 		}
 		if vi == len(r.VertexAtoms) {
 			emit()
-			return nil
+			return
 		}
 		va := r.VertexAtoms[vi]
 		g := e.env.Graphs[va.Graph]
 		if g == nil {
-			return fmt.Errorf("exec: rule %s references unknown graph %q", r.ID, va.Graph)
+			fail(fmt.Errorf("exec: rule %s references unknown graph %q", r.ID, va.Graph))
+			return
 		}
 		for _, v := range g.VertexIDs() {
 			h.BindVertex(va.Var, va.Graph, v)
@@ -211,39 +296,38 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			depth++
 			ok, err := checkAt()
 			if err != nil {
-				return err
-			}
-			if ok {
-				if err := bindVertexes(vi + 1); err != nil {
-					return err
-				}
+				fail(err)
+			} else if ok {
+				bindVertexes(vi + 1)
 			}
 			unwind()
 			depth--
 			delete(bound, va.Var)
 			delete(h.Vertices, va.Var)
 			if stop {
-				return nil
+				return
 			}
 		}
-		return nil
 	}
 
-	bindRest = func(i int) error {
+	bindRest = func(i int) {
 		if stop {
-			return nil
+			return
 		}
 		if i == len(r.Atoms) {
-			return bindVertexes(0)
+			bindVertexes(0)
+			return
 		}
 		a := r.Atoms[i]
 		if bound[a.Var] {
-			return bindRest(i + 1)
+			bindRest(i + 1)
+			return
 		}
 		list := cands[a.Var]
 		// Hash-join shortcut: if an equality predicate links a bound var to
-		// this one, probe an index instead of scanning.
-		if idxList := e.probeJoin(r, a, bound, h, opts); idxList != nil {
+		// this one, probe an index instead of scanning; probeJoin respects
+		// the constant-pushdown candidate set of the variable.
+		if idxList := e.probeJoin(r, a, bound, h, allowed, opts); idxList != nil {
 			list = idxList
 		}
 		for _, t := range list {
@@ -256,22 +340,18 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			depth++
 			ok, err := checkAt()
 			if err != nil {
-				finalErr = err
-				stop = true
+				fail(err)
 			} else if ok {
-				if err := bindRest(i + 1); err != nil {
-					return err
-				}
+				bindRest(i + 1)
 			}
 			unwind()
 			depth--
 			delete(bound, a.Var)
 			delete(h.Tuples, a.Var)
 			if stop {
-				return nil
+				return
 			}
 		}
-		return nil
 	}
 
 	if plan.pairs != nil {
@@ -296,14 +376,9 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			depth++
 			ok, err := checkAt()
 			if err != nil {
-				finalErr = err
-				break
-			}
-			if ok {
-				if err := bindRest(0); err != nil {
-					finalErr = err
-					break
-				}
+				fail(err)
+			} else if ok {
+				bindRest(0)
 			}
 			unwind()
 			depth--
@@ -313,9 +388,7 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			delete(h.Tuples, v2)
 		}
 	} else {
-		if err := bindRest(0); err != nil {
-			finalErr = err
-		}
+		bindRest(0)
 	}
 	return st, finalErr
 }
@@ -467,15 +540,12 @@ func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options)
 	}
 
 	if sameSide {
-		b := ml.NewBlocker(e.lsh)
-		byID := make(map[int]*data.Tuple, len(tuplesT))
-		for _, t := range tuplesT {
-			byID[t.TID] = t
-			b.Add(t.TID, embed(relT, relTName, t, p.As))
-		}
+		ent := e.blockerFor(relTName, p.As, tuplesT, func(t *data.Tuple) ml.Vector {
+			return embed(relT, relTName, t, p.As)
+		})
 		out := make([][2]*data.Tuple, 0)
-		for _, pr := range b.CandidatePairs() {
-			t, s := byID[pr[0]], byID[pr[1]]
+		for _, pr := range ent.b.CandidatePairs() {
+			t, s := ent.byID[pr[0]], ent.byID[pr[1]]
 			if dirtyOK(opts, r, p.T, t, p.S, s) {
 				out = append(out, [2]*data.Tuple{t, s})
 			}
@@ -488,16 +558,13 @@ func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options)
 		return out
 	}
 	// Cross-relation: index S, probe with T.
-	b := ml.NewBlocker(e.lsh)
-	byID := make(map[int]*data.Tuple, len(tuplesS))
-	for _, s := range tuplesS {
-		byID[s.TID] = s
-		b.Add(s.TID, embed(relS, relSName, s, p.Bs))
-	}
+	ent := e.blockerFor(relSName, p.Bs, tuplesS, func(s *data.Tuple) ml.Vector {
+		return embed(relS, relSName, s, p.Bs)
+	})
 	out := make([][2]*data.Tuple, 0)
 	for _, t := range tuplesT {
-		for _, sid := range b.CandidatesOf(embed(relT, relTName, t, p.As), -1) {
-			s := byID[sid]
+		for _, sid := range ent.b.CandidatesOf(embed(relT, relTName, t, p.As), -1) {
+			s := ent.byID[sid]
 			if dirtyOK(opts, r, p.T, t, p.S, s) {
 				out = append(out, [2]*data.Tuple{t, s})
 			}
@@ -549,12 +616,17 @@ func dirtyOK(opts Options, r *ree.Rule, v1 string, t1 *data.Tuple, v2 string, t2
 
 // probeJoin, during recursive binding, returns an indexed candidate list
 // for atom a when some already-bound variable is linked to it by an
-// equality predicate. Returns nil when no index applies.
-func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *predicate.Valuation, opts Options) []*data.Tuple {
+// equality predicate. The probe result is intersected with the variable's
+// constant-pushdown candidate set (allowed), so tuples already eliminated
+// by single-variable predicates are never re-enumerated. Returns nil when
+// no index applies.
+func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *predicate.Valuation,
+	allowed map[string]map[int]bool, opts Options) []*data.Tuple {
 	rel := e.env.DB.Rel(a.Rel)
 	if rel == nil {
 		return nil
 	}
+	allow := allowed[a.Var]
 	for _, p := range r.X {
 		if p.Kind != predicate.KAttr || p.Op != predicate.Eq {
 			continue
@@ -581,8 +653,11 @@ func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *
 		if fi < 0 {
 			continue
 		}
-		var out []*data.Tuple
+		out := make([]*data.Tuple, 0, 4)
 		for _, t := range partitionOf(rel, a.Rel, a.Var, opts) {
+			if allow != nil && !allow[t.TID] {
+				continue
+			}
 			if valueThrough(e.env, a.Rel, t, freeAttr, fi).Equal(v) {
 				out = append(out, t)
 			}

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"math/rand"
+	"sort"
 )
 
 // LSH implements random-hyperplane locality-sensitive hashing over the
@@ -81,12 +82,21 @@ func (b *Blocker) Add(id int, v Vector) {
 
 // CandidatePairs enumerates the deduplicated (i, j) pairs, i < j, that
 // share at least one band bucket. The verify step then runs the actual ML
-// model only on these.
+// model only on these. Buckets are visited in sorted signature order so
+// the pair order — and everything downstream that is sensitive to
+// enumeration order, like oracle consultation order — is deterministic
+// across runs.
 func (b *Blocker) CandidatePairs() [][2]int {
 	seen := make(map[[2]int]bool)
 	var out [][2]int
 	for _, band := range b.buckets {
-		for _, ids := range band {
+		sigs := make([]uint64, 0, len(band))
+		for sig := range band {
+			sigs = append(sigs, sig)
+		}
+		sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+		for _, sig := range sigs {
+			ids := band[sig]
 			for x := 0; x < len(ids); x++ {
 				for y := x + 1; y < len(ids); y++ {
 					i, j := ids[x], ids[y]

@@ -30,7 +30,9 @@ func NewUnionFind() *UnionFind {
 }
 
 // Find returns the class representative of x, creating a singleton class on
-// first sight.
+// first sight. It mutates the structure (path compression, singleton
+// creation) and must only be called from write paths; concurrent readers
+// use FindRO.
 func (u *UnionFind) Find(x string) string {
 	p, ok := u.parent[x]
 	if !ok {
@@ -44,6 +46,21 @@ func (u *UnionFind) Find(x string) string {
 	root := u.Find(p)
 	u.parent[x] = root
 	return root
+}
+
+// FindRO returns the class representative of x without mutating the
+// structure: no path compression, and an unseen x is its own representative.
+// Safe for concurrent use as long as no writer runs at the same time — the
+// chase reads the start-of-round fix set from many workers and applies
+// fixes only after they join.
+func (u *UnionFind) FindRO(x string) string {
+	for {
+		p, ok := u.parent[x]
+		if !ok || p == x {
+			return x
+		}
+		x = p
+	}
 }
 
 // Union merges the classes of a and b; it reports whether anything changed.
@@ -64,13 +81,17 @@ func (u *UnionFind) Union(a, b string) bool {
 	return true
 }
 
-// Members returns every element of x's class (including x).
+// Members returns every element of x's class (including x). Read-only:
+// safe for concurrent readers while no writer runs.
 func (u *UnionFind) Members(x string) []string {
-	return u.members[u.Find(x)]
+	if m, ok := u.members[u.FindRO(x)]; ok {
+		return m
+	}
+	return []string{x}
 }
 
-// Same reports whether a and b are in the same class.
-func (u *UnionFind) Same(a, b string) bool { return u.Find(a) == u.Find(b) }
+// Same reports whether a and b are in the same class. Read-only.
+func (u *UnionFind) Same(a, b string) bool { return u.FindRO(a) == u.FindRO(b) }
 
 // Clone deep-copies the structure.
 func (u *UnionFind) Clone() *UnionFind {
@@ -163,11 +184,13 @@ func canonPair(a, b string) eidPair {
 }
 
 // SameEntity reports whether the two EIDs are validated identical.
+// Read-only: safe for concurrent readers while no fix is being applied.
 func (f *FixSet) SameEntity(a, b string) bool { return f.eids.Same(a, b) }
 
 // DistinctEntity reports whether the two EIDs are validated distinct.
+// Read-only: safe for concurrent readers while no fix is being applied.
 func (f *FixSet) DistinctEntity(a, b string) bool {
-	return f.neq[canonPair(f.eids.Find(a), f.eids.Find(b))]
+	return f.neq[canonPair(f.eids.FindRO(a), f.eids.FindRO(b))]
 }
 
 // MergeEIDs validates a = b. It fails with an EIDConflict when the pair is
@@ -252,8 +275,10 @@ func (f *FixSet) SetCell(rel, eid, attr string, v data.Value) (changed bool, con
 }
 
 // Cell returns the validated constant for (rel, eid, attr), if any.
+// Read-only: safe for concurrent readers while no fix is being applied —
+// the parallel chase reads the start-of-round fix set from every worker.
 func (f *FixSet) Cell(rel, eid, attr string) (data.Value, bool) {
-	v, ok := f.cells[cellKey{rel, attr, f.eids.Find(eid)}]
+	v, ok := f.cells[cellKey{rel, attr, f.eids.FindRO(eid)}]
 	return v, ok
 }
 
@@ -265,7 +290,8 @@ func (f *FixSet) ReplaceCell(rel, eid, attr string, v data.Value) {
 }
 
 // ClassMembers returns every EID validated identical to eid (including
-// itself).
+// itself). Read-only: safe for concurrent readers while no fix is being
+// applied.
 func (f *FixSet) ClassMembers(eid string) []string { return f.eids.Members(eid) }
 
 // ReplaceOrder swaps the whole validated order for rel.attr — used by the
@@ -330,7 +356,7 @@ func (f *FixSet) Stats() (merges, cellFixes, orderFixes int) {
 func (f *FixSet) Classes() [][]string {
 	byRoot := make(map[string][]string)
 	for e := range f.eids.parent {
-		r := f.eids.Find(e)
+		r := f.eids.FindRO(e)
 		byRoot[r] = append(byRoot[r], e)
 	}
 	var out [][]string
@@ -380,7 +406,7 @@ func (f *FixSet) Snapshot() string {
 	// Group EIDs by class.
 	classes := make(map[string][]string)
 	for e := range f.eids.parent {
-		r := f.eids.Find(e)
+		r := f.eids.FindRO(e)
 		classes[r] = append(classes[r], e)
 	}
 	var lines []string

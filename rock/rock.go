@@ -81,8 +81,16 @@ const (
 
 // Options tunes a pipeline.
 type Options struct {
-	// Workers is the simulated cluster size for parallel detection.
+	// Workers sets the cluster size: the HyperCube block count for
+	// detection and the chase, and — with Parallel — the number of real
+	// worker goroutines executing work units.
 	Workers int
+	// Parallel runs chase work units on a real goroutine worker pool of
+	// size Workers (results are bit-identical to serial execution; see
+	// internal/chase). When false, chase units run serially and
+	// parallelism is only simulated for the makespan metric. Detection
+	// always executes its units on the worker pool.
+	Parallel bool
 	// UseBlocking enables LSH blocking for ML predicates.
 	UseBlocking bool
 	// Lazy enables lazy rule activation in the chase.
@@ -96,7 +104,7 @@ type Options struct {
 
 // DefaultOptions returns Rock's shipped configuration.
 func DefaultOptions() Options {
-	return Options{Workers: 4, UseBlocking: true, Lazy: true}
+	return Options{Workers: 4, Parallel: true, UseBlocking: true, Lazy: true}
 }
 
 // Pipeline is the end-to-end cleaning flow over one database: register
@@ -376,6 +384,8 @@ func (p *Pipeline) Clean() (*Report, error) {
 		Lazy:        p.opts.Lazy,
 		UseBlocking: p.opts.UseBlocking,
 		MaxRounds:   p.opts.MaxRounds,
+		Workers:     p.opts.Workers,
+		Parallel:    p.opts.Parallel,
 		EIDRefs:     p.eidRefs,
 	}
 	if p.opts.Oracle != nil {
