@@ -171,23 +171,32 @@ func BenchmarkFig4lScaleCorrect(b *testing.B) {
 // single-core machine the variants only measure pool overhead, so the
 // simulated SimMakespan metric remains the cluster-scaling proxy.
 func BenchmarkChaseParallel(b *testing.B) {
-	ds := workload.Logistics(benchConfig())
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				bench := baselines.NewBench(ds, workers)
-				opts := chase.DefaultOptions()
-				opts.Workers = workers
-				opts.Parallel = workers > 1
-				opts.Oracle = bench.GoldOracle()
-				eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
-				b.StartTimer()
-				if _, err := eng.Run(); err != nil {
-					b.Fatal(err)
+	workloads := []struct {
+		name string
+		mk   func() *workload.Dataset
+	}{
+		{"ecommerce", workload.Ecommerce},
+		{"logistics", func() *workload.Dataset { return workload.Logistics(benchConfig()) }},
+	}
+	for _, wl := range workloads {
+		ds := wl.mk()
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					bench := baselines.NewBench(ds, workers)
+					opts := chase.DefaultOptions()
+					opts.Workers = workers
+					opts.Parallel = workers > 1
+					opts.Oracle = bench.GoldOracle()
+					eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
+					b.StartTimer()
+					if _, err := eng.Run(); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

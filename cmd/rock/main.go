@@ -137,6 +137,7 @@ func cmdClean(args []string, correct bool) error {
 	rulesFile := fs.String("rules", "", "rules file (default: <in>/rules.ree)")
 	workers := fs.Int("workers", 4, "cluster size (HyperCube blocks and worker goroutines)")
 	parallel := fs.Bool("parallel", true, "run chase work units on a real worker pool (false: serial + simulated makespan only)")
+	predication := fs.Bool("predication", true, "precompute ML predications per chase round (versioned embedding store + sharded prediction cache, paper §5.4)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,6 +151,7 @@ func cmdClean(args []string, correct bool) error {
 	opts := rock.DefaultOptions()
 	opts.Workers = *workers
 	opts.Parallel = *parallel
+	opts.Predication = *predication
 	p := rock.NewPipelineWith(db, opts)
 	p.RegisterMatcher("M_ER", 0.82)
 	p.RegisterMatcher("M_addr", 0.82)
@@ -194,6 +196,18 @@ func cmdClean(args []string, correct bool) error {
 		len(rep.MergedEntities), rep.OrderedPairs, rep.UnresolvedConflicts)
 	fmt.Printf("quality: completeness=%.3f consistency=%.3f\n",
 		rep.Assessment.Completeness, rep.Assessment.Consistency)
+	if ps := rep.Predication; ps.Lookups() > 0 {
+		fmt.Printf("ml predication: %.1f%% hit rate (%d hits / %d lookups), %d warmed, %d evictions; embeddings: %d reused / %d computed, %d tuple invalidations\n",
+			100*ps.HitRate(), ps.Hits, ps.Lookups(), ps.Warmed, ps.Evictions,
+			ps.EmbedHits, ps.EmbedMisses, ps.Invalidations)
+		if br := rep.PredicationByRound; len(br) > 1 {
+			first, last := br[0], br[len(br)-1]
+			if n := last.Lookups() - first.Lookups(); n > 0 {
+				fmt.Printf("ml predication (chase rounds only): %.1f%% hit rate (%d hits / %d lookups)\n",
+					100*float64(last.Hits-first.Hits)/float64(n), last.Hits-first.Hits, n)
+			}
+		}
+	}
 	// Write corrected relations back.
 	for _, name := range db.Names() {
 		f, err := os.Create(filepath.Join(*in, name+".csv"))

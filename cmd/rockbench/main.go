@@ -2,14 +2,17 @@
 // DESIGN.md for the experiment index and EXPERIMENTS.md for paper-vs-
 // measured numbers):
 //
-//	rockbench -exp all                # every panel
-//	rockbench -exp fig4h -n 2000      # one panel at a larger scale
+//	rockbench -exp all                          # every panel
+//	rockbench -exp fig4h -n 2000                # one panel at a larger scale
+//	rockbench -exp predication -json BENCH.json # machine-readable output
 //
 // Experiments: fig4a..fig4l (the panels of Figure 4), rules (discovered
-// rule counts), ablation (the design-choice ablations).
+// rule counts), ablation (the design-choice ablations), predication (the
+// §5.4 ML predication layer).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,29 +22,51 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, ablation, all")
-		n       = flag.Int("n", 400, "base tuples per application dataset")
-		seed    = flag.Int64("seed", 2024, "generator seed")
-		workers = flag.Int("workers", 4, "default simulated cluster size")
+		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, ablation, predication, all")
+		n        = flag.Int("n", 400, "base tuples per application dataset")
+		seed     = flag.Int64("seed", 2024, "generator seed")
+		workers  = flag.Int("workers", 4, "default simulated cluster size")
+		jsonPath = flag.String("json", "", "also write the result tables as JSON to this file")
 	)
 	flag.Parse()
 
 	cfg := benchkit.Config{N: *n, Seed: *seed, Workers: *workers}
+	var tables []*benchkit.Table
+	var err error
 	if *exp == "all" {
-		tables, err := benchkit.All(cfg)
-		for _, t := range tables {
-			t.Print(os.Stdout)
+		tables, err = benchkit.All(cfg)
+	} else {
+		var t *benchkit.Table
+		t, err = benchkit.ByID(*exp, cfg)
+		if t != nil {
+			tables = []*benchkit.Table{t}
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rockbench:", err)
-			os.Exit(1)
-		}
-		return
 	}
-	t, err := benchkit.ByID(*exp, cfg)
+	for _, t := range tables {
+		t.Print(os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rockbench:", err)
 		os.Exit(1)
 	}
-	t.Print(os.Stdout)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "rockbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, tables []*benchkit.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

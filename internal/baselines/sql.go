@@ -55,11 +55,7 @@ func (s *SQLEngine) uncachedEnv(b *Bench) *predicate.Env {
 		if err != nil {
 			continue
 		}
-		if c, ok := m.(*ml.CachedModel); ok {
-			models.Register(c.Inner)
-		} else {
-			models.Register(m)
-		}
+		models.Register(ml.Unwrap(m))
 	}
 	env.Models = models
 	// Strip HER memoisation: every UDF call pays full inference.

@@ -8,6 +8,7 @@ import (
 	"github.com/rockclean/rock/internal/detect"
 	"github.com/rockclean/rock/internal/discovery"
 	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/workload"
 )
 
 // Fig4Discovery reproduces Figures 4(a)/(b)/(c): rule-discovery (or model
@@ -400,6 +401,56 @@ func Ablations(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Predication measures the §5.4 "ML predication is precomputed" layer:
+// chase wall-clock with the layer off vs on, plus the layer's cache
+// counters from the on run (hit rate excludes warm fills — the batch
+// precompute is not a lookup). Chase-phase rate isolates rounds after
+// the caches warm (PredicationByRound deltas).
+func Predication(cfg Config) (*Table, error) {
+	t := NewTable("predication", "ML predication layer (§5.4)", "",
+		[]string{"off ms", "on ms", "hit rate %", "warmed", "invalidations"})
+	for _, wl := range []struct {
+		name string
+		mk   func() *workload.Dataset
+	}{
+		{"Ecommerce", workload.Ecommerce},
+		{"Logistics", func() *workload.Dataset { return workload.Logistics(cfg.wl()) }},
+	} {
+		var lastRep *chase.Report
+		run := func(pred bool) (float64, error) {
+			return timeIt(func() error {
+				b := baselines.NewBench(wl.mk(), cfg.Workers)
+				opts := chase.DefaultOptions()
+				opts.Workers = cfg.Workers
+				opts.Parallel = cfg.Workers > 1
+				opts.Predication = pred
+				opts.Oracle = b.GoldOracle()
+				opts.EIDRefs = b.DS.EIDRefs
+				eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
+				rep, err := eng.Run()
+				lastRep = rep
+				return err
+			})
+		}
+		msOff, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		msOn, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		ps := lastRep.Predication
+		t.Set(wl.name, "off ms", msOff)
+		t.Set(wl.name, "on ms", msOn)
+		t.Set(wl.name, "hit rate %", 100*ps.HitRate())
+		t.Set(wl.name, "warmed", float64(ps.Warmed))
+		t.Set(wl.name, "invalidations", float64(ps.Invalidations))
+	}
+	t.Note("counters from the predication=on run; results are bit-identical either way")
+	return t, nil
+}
+
 // Poly reproduces §5.4's polynomial-expression learning: the stump
 // ensemble ranks numeric attributes, LASSO fits the expression, and the
 // learned arithmetic (total ≈ amount + fee; price_no_tax ≈ price/rate per
@@ -531,6 +582,9 @@ func All(cfg Config) ([]*Table, error) {
 	if err := run(Ablations(cfg)); err != nil {
 		return out, err
 	}
+	if err := run(Predication(cfg)); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -567,6 +621,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Poly(cfg)
 	case "ablation":
 		return Ablations(cfg)
+	case "predication":
+		return Predication(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, all)", id)
 }

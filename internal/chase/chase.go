@@ -60,6 +60,22 @@ type Options struct {
 	Lazy bool
 	// UseBlocking enables LSH blocking for ML predicates.
 	UseBlocking bool
+	// Predication enables the precomputed ML predication layer (paper
+	// §5.4): per-tuple embeddings cache in a versioned store invalidated
+	// at tuple granularity, model predictions serve from a sharded
+	// bounded cache, and each round batch-scores its candidate (model,
+	// pair) predications across the worker pool before work units fan
+	// out — so ML access during deduction is read-mostly. Results are
+	// bit-identical with the layer on or off (the caches memoise pure
+	// computations); Report.Predication carries the cache counters.
+	Predication bool
+	// Pred, when set (and Predication is on), is a shared predication
+	// layer instead of an engine-private one — the pipeline passes the
+	// layer its detection phase already filled, so chase rounds serve
+	// detection-scored pairs as hits. The embedding store is still
+	// engine-scoped in effect: entries key by (tuple, version) and the
+	// engine invalidates versions as it applies fixes.
+	Pred *ml.Predication
 	// Oracle simulates the user to whom Rock presents ER/CR conflicts
 	// (paper §4.2, case (1)): given the conflicting cell and the candidate
 	// values, it returns the correct value. Nil leaves such conflicts
@@ -77,7 +93,7 @@ type Options struct {
 
 // DefaultOptions is the configuration Rock ships with.
 func DefaultOptions() Options {
-	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true}
+	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true, Predication: true}
 }
 
 // FixKind classifies a deduced fix.
@@ -149,6 +165,17 @@ type Report struct {
 	// plus merge); with Options.Parallel the enumeration phase genuinely
 	// overlaps on the worker pool.
 	WallClock time.Duration
+	// Predication carries the ML predication layer's cumulative cache
+	// counters (prediction hits/misses/evictions, embedding reuse, tuple
+	// invalidations); zero when Options.Predication is off.
+	Predication ml.PredStats
+	// PredicationByRound snapshots the cumulative Predication counters
+	// once before the first chase round (the baseline: with a shared
+	// layer it covers the detection phase) and then at the end of every
+	// round. Deltas between consecutive entries give per-round rates:
+	// once the caches are warm, steady-state rounds should serve almost
+	// entirely from them.
+	PredicationByRound []ml.PredStats
 }
 
 // Engine chases one database with one rule set.
@@ -165,7 +192,9 @@ type Engine struct {
 	// tuplesByEID indexes tuples by their raw EID per relation for dirty
 	// propagation.
 	tuplesByEID map[string]map[string][]*data.Tuple
-	// ring and nodes simulate work-unit placement for makespan accounting.
+	// cl is the run-wide worker pool; ring and nodes (borrowed from cl)
+	// simulate work-unit placement for makespan accounting.
+	cl    *cluster.Cluster
 	ring  *crystal.Ring
 	nodes []string
 	// oracleMemo caches user answers per (rel, entity-class, attr): the
@@ -176,6 +205,11 @@ type Engine struct {
 	// the decision through the model — decisions are sticky, which both
 	// matches the certain-fix discipline and guarantees convergence.
 	resolvedCells map[string]bool
+
+	// pred is the §5.4 predication layer (nil when Options.Predication is
+	// off): its EmbedStore backs the executor's blocking vectors and its
+	// PredCache backs every registered model via PredicatedModel.
+	pred *ml.Predication
 
 	// mu guards the engine state that deduction may touch from worker
 	// goroutines during a parallel round: the oracle memo and the report's
@@ -205,12 +239,12 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		oracleMemo:    make(map[string]data.Value),
 		resolvedCells: make(map[string]bool),
 	}
-	e.ring = crystal.NewRing(64)
-	for i := 0; i < opts.Workers; i++ {
-		n := fmt.Sprintf("node-%d", i)
-		e.ring.AddNode(n)
-		e.nodes = append(e.nodes, n)
-	}
+	// One worker pool for the whole run: the consistent-hash ring and
+	// scheduler are built once here and drained by every parallel round
+	// (a drain leaves the scheduler empty, so rounds can reuse it).
+	e.cl = cluster.New(opts.Workers)
+	e.ring = e.cl.Ring
+	e.nodes = e.cl.Nodes()
 	for name, rel := range env.DB.Relations {
 		idx := make(map[string][]*data.Tuple)
 		for _, t := range rel.Tuples {
@@ -239,6 +273,24 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		return e.u.OrderIfAny(rel, attr)
 	}
 	e.exec = exec.New(env)
+	if opts.Predication {
+		if opts.Pred != nil {
+			e.pred = opts.Pred
+		} else {
+			e.pred = ml.NewPredication()
+		}
+		// Re-register every model read through the shared prediction
+		// cache. Unwrap first so stacked memo layers (CachedModel) don't
+		// double-key the same pair; the wrapped models are pure memoisers,
+		// so engines sharing the env (with the layer on or off) see
+		// identical predictions.
+		for _, name := range env.Models.Names() {
+			if m, err := env.Models.Get(name); err == nil {
+				env.Models.Register(e.pred.Wrap(ml.Unwrap(m)))
+			}
+		}
+		e.exec.SetEmbedStore(e.pred.Embeds)
+	}
 	return e
 }
 
@@ -288,6 +340,12 @@ func (e *Engine) RunIncremental(dirty map[string]map[int]bool) (*Report, error) 
 func (e *Engine) runUnified(rules []*ree.Rule, initialDirty map[string]map[int]bool) (*Report, error) {
 	active := append([]*ree.Rule(nil), rules...)
 	dirty := initialDirty // nil on batch round 0: everything dirty
+	if e.pred != nil && len(e.report.PredicationByRound) == 0 {
+		// Baseline snapshot before the first round: with a shared layer
+		// the counters already include the detection phase, and deltas
+		// between consecutive snapshots isolate each chase round.
+		e.report.PredicationByRound = append(e.report.PredicationByRound, e.pred.Stats())
+	}
 	for round := 0; round < e.opts.MaxRounds; round++ {
 		if len(active) == 0 {
 			break
@@ -378,6 +436,14 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	ordered := append([]*ree.Rule(nil), rules...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 
+	// Batch predication (paper §5.4): score every (model, pair) the
+	// round's blocked ML predicates will consult, in parallel, before the
+	// units fan out — deduction then reads predictions instead of
+	// computing them inside the enumeration loop.
+	if e.pred != nil && e.opts.UseBlocking {
+		e.precomputePredications(ordered, dirty)
+	}
+
 	blocks := e.partition()
 	type unitWork struct {
 		rule *ree.Rule
@@ -408,7 +474,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		res.cost = time.Since(start)
 	}
 	if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
-		cl := cluster.New(e.opts.Workers)
+		cl := e.cl
 		for i := range work {
 			i := i
 			w := work[i]
@@ -467,11 +533,49 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	e.report.SimMakespan += time.Since(applyStart)
 	if len(accepted) > 0 {
 		// Accepted fixes change the values units read through env.ValueOf,
-		// so any blocker index built over them is stale.
+		// so any blocker index built over them is stale — and so are the
+		// cached embeddings of exactly the touched tuples (same
+		// granularity that re-activates rules).
 		e.exec.InvalidateBlockers()
+		e.exec.InvalidateTuples(e.dirtySet(accepted))
+	}
+	if e.pred != nil {
+		e.report.Predication = e.pred.Stats()
+		e.report.PredicationByRound = append(e.report.PredicationByRound, e.report.Predication)
 	}
 	e.report.WallClock += time.Since(roundStart)
 	return accepted, nil
+}
+
+// precomputePredications warms the prediction cache with this round's
+// candidate (model, pair) scores, spread across the worker pool
+// (cluster.ParallelMap). Warming is pure memoisation of deterministic
+// model calls, so the parallel fill cannot perturb chase results; any
+// pair it misses still computes lazily during deduction.
+func (e *Engine) precomputePredications(rules []*ree.Rule, dirty map[string]map[int]bool) {
+	var jobs []exec.MLJob
+	opts := exec.Options{UseBlocking: true, Dirty: dirty}
+	for _, r := range rules {
+		jobs = append(jobs, e.exec.MLJobs(r, opts)...)
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	workers := e.opts.Workers
+	if !e.opts.Parallel {
+		workers = 1
+	}
+	cluster.ParallelMap(workers, jobs, func(_ int, j exec.MLJob) {
+		m, err := e.env.Models.Get(j.Model)
+		if err != nil {
+			return
+		}
+		if pm, ok := m.(*ml.PredicatedModel); ok {
+			pm.Warm(j.Left, j.Right)
+		} else {
+			m.Predict(j.Left, j.Right)
+		}
+	})
 }
 
 // fixKey canonicalises a fix for in-round deduplication (the rule id is

@@ -32,10 +32,11 @@ func TestParallelChaseDeterminism(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			bench := baselines.NewBench(tc.mk(), 8)
-			run := func(workers int, parallel bool) (string, *chase.Report) {
+			run := func(workers int, parallel, predication bool) (string, *chase.Report) {
 				opts := chase.DefaultOptions()
 				opts.Workers = workers
 				opts.Parallel = parallel
+				opts.Predication = predication
 				opts.Oracle = bench.GoldOracle()
 				opts.EIDRefs = bench.DS.EIDRefs
 				eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
@@ -46,28 +47,40 @@ func TestParallelChaseDeterminism(t *testing.T) {
 				return eng.Truth().Snapshot(), rep
 			}
 
-			w1Snap, _ := run(1, false)
-			w8SerialSnap, w8SerialRep := run(8, false)
-			w8ParSnap, w8ParRep := run(8, true)
+			// The §5.4 predication layer is pure memoisation, so the full
+			// matrix — workers × parallel × predication — must land on one
+			// fix set.
+			var baseSnap string
+			for _, predication := range []bool{true, false} {
+				w1Snap, _ := run(1, false, predication)
+				w8SerialSnap, w8SerialRep := run(8, false, predication)
+				w8ParSnap, w8ParRep := run(8, true, predication)
 
-			if w8ParSnap != w8SerialSnap {
-				t.Errorf("parallel round differs from serial round at Workers=8:\nserial=%s\nparallel=%s",
-					w8SerialSnap, w8ParSnap)
-			}
-			if w8ParSnap != w1Snap {
-				t.Errorf("Workers=8 fix set differs from Workers=1:\nW1=%s\nW8=%s", w1Snap, w8ParSnap)
-			}
-			if w8ParRep.Valuations != w8SerialRep.Valuations {
-				t.Errorf("parallel round changed enumeration: %d valuations vs %d serial",
-					w8ParRep.Valuations, w8SerialRep.Valuations)
-			}
-			if w8ParRep.OracleCalls != w8SerialRep.OracleCalls {
-				t.Errorf("parallel round changed oracle effort: %d calls vs %d serial",
-					w8ParRep.OracleCalls, w8SerialRep.OracleCalls)
-			}
-			if w8ParRep.Rounds != w8SerialRep.Rounds {
-				t.Errorf("parallel round changed convergence: %d rounds vs %d serial",
-					w8ParRep.Rounds, w8SerialRep.Rounds)
+				if w8ParSnap != w8SerialSnap {
+					t.Errorf("predication=%t: parallel round differs from serial round at Workers=8:\nserial=%s\nparallel=%s",
+						predication, w8SerialSnap, w8ParSnap)
+				}
+				if w8ParSnap != w1Snap {
+					t.Errorf("predication=%t: Workers=8 fix set differs from Workers=1:\nW1=%s\nW8=%s",
+						predication, w1Snap, w8ParSnap)
+				}
+				if w8ParRep.Valuations != w8SerialRep.Valuations {
+					t.Errorf("predication=%t: parallel round changed enumeration: %d valuations vs %d serial",
+						predication, w8ParRep.Valuations, w8SerialRep.Valuations)
+				}
+				if w8ParRep.OracleCalls != w8SerialRep.OracleCalls {
+					t.Errorf("predication=%t: parallel round changed oracle effort: %d calls vs %d serial",
+						predication, w8ParRep.OracleCalls, w8SerialRep.OracleCalls)
+				}
+				if w8ParRep.Rounds != w8SerialRep.Rounds {
+					t.Errorf("predication=%t: parallel round changed convergence: %d rounds vs %d serial",
+						predication, w8ParRep.Rounds, w8SerialRep.Rounds)
+				}
+				if baseSnap == "" {
+					baseSnap = w8ParSnap
+				} else if w8ParSnap != baseSnap {
+					t.Errorf("fix set depends on predication setting:\non=%s\noff=%s", baseSnap, w8ParSnap)
+				}
 			}
 		})
 	}

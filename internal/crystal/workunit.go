@@ -24,6 +24,7 @@ type Scheduler struct {
 	mu     sync.Mutex
 	queues map[string][]*WorkUnit // node -> pending units (max-cost first)
 	loads  map[string]float64     // node -> pending cost
+	names  []string               // node names, sorted (deterministic scans)
 	steals int
 }
 
@@ -37,6 +38,11 @@ func NewScheduler(nodes []string) *Scheduler {
 		s.queues[n] = nil
 		s.loads[n] = 0
 	}
+	s.names = make([]string, 0, len(s.queues))
+	for n := range s.queues {
+		s.names = append(s.names, n)
+	}
+	sort.Strings(s.names)
 	return s
 }
 
@@ -67,13 +73,8 @@ func (s *Scheduler) AssignBalanced(u *WorkUnit) string {
 
 func (s *Scheduler) leastLoadedLocked() string {
 	best, bestLoad := "", -1.0
-	// Deterministic tie-break by node name.
-	names := make([]string, 0, len(s.queues))
-	for n := range s.queues {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	// Deterministic tie-break by node name (s.names is pre-sorted).
+	for _, n := range s.names {
 		if bestLoad < 0 || s.loads[n] < bestLoad {
 			best, bestLoad = n, s.loads[n]
 		}
@@ -99,12 +100,7 @@ func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 	}
 	// Find the most loaded peer.
 	victim, maxLoad := "", 0.0
-	names := make([]string, 0, len(s.queues))
-	for n := range s.queues {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range s.names {
 		if n != node && len(s.queues[n]) > 0 && s.loads[n] > maxLoad {
 			victim, maxLoad = n, s.loads[n]
 		}

@@ -18,6 +18,7 @@ import (
 	"github.com/rockclean/rock/internal/crystal"
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/exec"
+	"github.com/rockclean/rock/internal/ml"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -63,6 +64,14 @@ type Options struct {
 	UseBlocking bool
 	// Steal enables work stealing between workers.
 	Steal bool
+	// Pred, when set, is a predication layer shared with later pipeline
+	// phases: detection's ML calls fill its content-keyed prediction
+	// cache, so the chase serves the same (model, pair) scores as hits
+	// instead of recomputing them (paper §5.4, "ML predication is
+	// precomputed"). The layer's embedding store is NOT used here —
+	// embeddings are keyed by tuple identity and detection reads raw
+	// values while the chase reads through accumulated fixes.
+	Pred *ml.Predication
 }
 
 // DefaultOptions is Rock's shipped configuration.
@@ -93,7 +102,23 @@ func New(env *predicate.Env, rules []*ree.Rule, opts Options) *Detector {
 			opts.Blocks = 4
 		}
 	}
-	return &Detector{env: env, rules: rules, opts: opts, ex: exec.New(env)}
+	d := &Detector{env: env, rules: rules, opts: opts, ex: exec.New(env)}
+	// Detection reads raw values (no ValueOf hook) and a Detector is
+	// created per call over an immutable snapshot, so a per-detector
+	// embedding store needs no invalidation: cross-relation ML probes and
+	// cross-rule blocker rebuilds embed each tuple once instead of once
+	// per rule per unit.
+	d.ex.SetEmbedStore(ml.NewEmbedStore(0))
+	if opts.Pred != nil {
+		// Route registry models through the shared prediction cache so
+		// scores computed during detection carry over to the chase.
+		for _, name := range env.Models.Names() {
+			if m, err := env.Models.Get(name); err == nil {
+				env.Models.Register(opts.Pred.Wrap(ml.Unwrap(m)))
+			}
+		}
+	}
+	return d
 }
 
 // Detect runs batch detection over the whole database and returns the

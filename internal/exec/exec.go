@@ -74,6 +74,11 @@ type Executor struct {
 	env *predicate.Env
 	lsh *ml.LSH
 
+	// embeds, when set, memoises per-tuple blocking vectors across rules
+	// and rounds with versioned invalidation (the §5.4 predication
+	// layer). Installed once before any Run; nil means embed on demand.
+	embeds *ml.EmbedStore
+
 	// mu guards blockers; key: rel + attrs signature + partition
 	// fingerprint (see blockerKey).
 	mu       sync.Mutex
@@ -91,6 +96,27 @@ func New(env *predicate.Env) *Executor {
 
 // Env returns the executor's environment.
 func (e *Executor) Env() *predicate.Env { return e.env }
+
+// SetEmbedStore installs the versioned per-tuple embedding store. Call
+// before the first Run; the store itself is safe for concurrent use.
+func (e *Executor) SetEmbedStore(s *ml.EmbedStore) { e.embeds = s }
+
+// EmbedStore returns the installed store (nil when embedding on demand).
+func (e *Executor) EmbedStore() *ml.EmbedStore { return e.embeds }
+
+// InvalidateTuples retires the cached embeddings of exactly the given
+// tuples (dirty[rel] is a TID set) — the tuple-granular counterpart of
+// InvalidateBlockers. No-op without a store.
+func (e *Executor) InvalidateTuples(dirty map[string]map[int]bool) {
+	if e.embeds == nil {
+		return
+	}
+	for rel, tids := range dirty {
+		for tid := range tids {
+			e.embeds.Invalidate(rel, tid)
+		}
+	}
+}
 
 // InvalidateBlockers drops cached blockers; call after mutating relations
 // or the value view they were embedded through (the chase calls it after
@@ -531,17 +557,27 @@ func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options)
 	tuplesS := partitionOf(relS, relSName, p.S, opts)
 	sameSide := relTName == relSName && sameAttrs(p.As, p.Bs)
 
-	embed := func(rel *data.Relation, relName string, t *data.Tuple, attrs []string) ml.Vector {
-		vals := make([]data.Value, len(attrs))
-		for i, a := range attrs {
-			vals[i] = valueThrough(e.env, relName, t, a, rel.Schema.Index(a))
+	// Reads go through the embedding store when installed: a tuple probed
+	// by many rules (or re-probed across rounds) embeds once per version
+	// instead of once per probe.
+	sigAs, sigBs := strings.Join(p.As, ","), strings.Join(p.Bs, ",")
+	embed := func(rel *data.Relation, relName string, t *data.Tuple, attrs []string, sig string) ml.Vector {
+		compute := func() ml.Vector {
+			vals := make([]data.Value, len(attrs))
+			for i, a := range attrs {
+				vals[i] = valueThrough(e.env, relName, t, a, rel.Schema.Index(a))
+			}
+			return ml.EmbedValues(vals)
 		}
-		return ml.EmbedValues(vals)
+		if e.embeds != nil {
+			return e.embeds.Embed(relName, t.TID, sig, compute)
+		}
+		return compute()
 	}
 
 	if sameSide {
 		ent := e.blockerFor(relTName, p.As, tuplesT, func(t *data.Tuple) ml.Vector {
-			return embed(relT, relTName, t, p.As)
+			return embed(relT, relTName, t, p.As, sigAs)
 		})
 		out := make([][2]*data.Tuple, 0)
 		for _, pr := range ent.b.CandidatePairs() {
@@ -559,11 +595,11 @@ func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options)
 	}
 	// Cross-relation: index S, probe with T.
 	ent := e.blockerFor(relSName, p.Bs, tuplesS, func(s *data.Tuple) ml.Vector {
-		return embed(relS, relSName, s, p.Bs)
+		return embed(relS, relSName, s, p.Bs, sigBs)
 	})
 	out := make([][2]*data.Tuple, 0)
 	for _, t := range tuplesT {
-		for _, sid := range ent.b.CandidatesOf(embed(relT, relTName, t, p.As), -1) {
+		for _, sid := range ent.b.CandidatesOf(embed(relT, relTName, t, p.As, sigAs), -1) {
 			s := ent.byID[sid]
 			if dirtyOK(opts, r, p.T, t, p.S, s) {
 				out = append(out, [2]*data.Tuple{t, s})
@@ -571,6 +607,92 @@ func (e *Executor) blockPairs(r *ree.Rule, p *predicate.Predicate, opts Options)
 		}
 	}
 	return out
+}
+
+// MLJob is one (model, pair) predication to precompute: the attribute
+// value vectors an ML predicate will score during rule evaluation.
+type MLJob struct {
+	Model string
+	Left  []data.Value
+	Right []data.Value
+}
+
+// MLJobs enumerates the predications rule r will need this round: when
+// the planner drives enumeration with a blocked ML predicate
+// (filter-and-verify), the model verifies exactly one (left, right)
+// vector pair per LSH candidate pair — that is the set returned here.
+// The chase scores it in parallel before fanning work units out (paper
+// §5.4, "ML predication is precomputed"), so deduction reads
+// predictions instead of computing them. Join-driven rules return nil:
+// their ML predicates score only the pairs surviving the join and
+// earlier predicates, a subset not worth over-computing. Work-unit
+// candidate pairs are a subset of the full-relation pairs returned here
+// (an LSH bucket hash depends only on the vector), and any residual
+// miss during evaluation still computes correctly — precompute is an
+// optimisation, never a correctness dependency.
+func (e *Executor) MLJobs(r *ree.Rule, opts Options) []MLJob {
+	if !opts.UseBlocking {
+		return nil
+	}
+	p := e.mlDriverOf(r)
+	if p == nil {
+		return nil
+	}
+	pairs := e.blockPairs(r, p, opts)
+	if len(pairs) == 0 {
+		return nil
+	}
+	relTName, relSName := r.RelOf(p.T), r.RelOf(p.S)
+	out := make([]MLJob, 0, len(pairs))
+	for _, pr := range pairs {
+		out = append(out, MLJob{
+			Model: p.Model,
+			Left:  e.mlValues(relTName, pr[0], p.As),
+			Right: e.mlValues(relSName, pr[1], p.Bs),
+		})
+	}
+	return out
+}
+
+// mlDriverOf mirrors plan's driver selection without materialising any
+// pairs: it returns the ML predicate blocking would drive rule r with,
+// or nil when an equality hash join takes precedence (plan prefers it)
+// or no two-variable ML predicate resolves.
+func (e *Executor) mlDriverOf(r *ree.Rule) *predicate.Predicate {
+	if len(r.Atoms) < 2 {
+		return nil
+	}
+	for _, p := range r.X {
+		if p.Kind == predicate.KAttr && p.Op == predicate.Eq && p.T != p.S {
+			relT, relS := e.env.DB.Rel(r.RelOf(p.T)), e.env.DB.Rel(r.RelOf(p.S))
+			if relT != nil && relS != nil && relT.Schema.Index(p.A) >= 0 && relS.Schema.Index(p.B) >= 0 {
+				return nil // join-driven
+			}
+		}
+	}
+	for _, p := range r.X {
+		if p.Kind == predicate.KML && p.T != p.S {
+			if e.env.DB.Rel(r.RelOf(p.T)) != nil && e.env.DB.Rel(r.RelOf(p.S)) != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// mlValues reads the attribute vector an ML predicate scores, through
+// the env's value view (fix set U during chasing, raw data otherwise).
+func (e *Executor) mlValues(relName string, t *data.Tuple, attrs []string) []data.Value {
+	rel := e.env.DB.Rel(relName)
+	vals := make([]data.Value, len(attrs))
+	for i, a := range attrs {
+		idx := -1
+		if rel != nil {
+			idx = rel.Schema.Index(a)
+		}
+		vals[i] = valueThrough(e.env, relName, t, a, idx)
+	}
+	return vals
 }
 
 func sameAttrs(a, b []string) bool {

@@ -23,6 +23,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strings"
+	"sync"
 
 	"github.com/rockclean/rock/internal/data"
 )
@@ -159,11 +160,22 @@ func StringSim(a, b string) float64 {
 	if c < 0 {
 		c = 0
 	}
+	// The O(len²) edit-distance pass only changes the outcome for short
+	// values (a typo in a long string barely moves 1 - dist/len, and
+	// n-gram cosine already covers token overlap), so pathological long
+	// pairs short-circuit to cosine-only similarity.
+	if len(na) > MaxEditLen || len(nb) > MaxEditLen {
+		return c
+	}
 	if e := EditSim(na, nb); e > c {
 		return e
 	}
 	return c
 }
+
+// MaxEditLen is the per-string length cutoff beyond which StringSim
+// skips the quadratic Damerau-Levenshtein pass.
+const MaxEditLen = 256
 
 // EditSim is normalised Damerau-Levenshtein similarity:
 // 1 - dist/max(len). Transpositions count as one edit.
@@ -180,13 +192,25 @@ func EditSim(a, b string) float64 {
 	return 1 - float64(d)/float64(max)
 }
 
+// damerauScratch recycles the three DP rows damerau needs; pooling them
+// removes three allocations per EditSim call on the chase hot path.
+type damerauScratch struct{ rows []int }
+
+var damerauPool = sync.Pool{New: func() interface{} { return &damerauScratch{} }}
+
 // damerau computes the Damerau-Levenshtein distance (optimal string
 // alignment variant) between byte strings.
 func damerau(a, b string) int {
 	la, lb := len(a), len(b)
-	prev2 := make([]int, lb+1)
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	w := lb + 1
+	sc := damerauPool.Get().(*damerauScratch)
+	if cap(sc.rows) < 3*w {
+		sc.rows = make([]int, 3*w)
+	}
+	rows := sc.rows[:3*w]
+	prev2 := rows[0*w : 1*w : 1*w]
+	prev := rows[1*w : 2*w : 2*w]
+	cur := rows[2*w : 3*w : 3*w]
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -213,5 +237,7 @@ func damerau(a, b string) int {
 		}
 		prev2, prev, cur = prev, cur, prev2
 	}
-	return prev[lb]
+	d := prev[lb]
+	damerauPool.Put(sc)
+	return d
 }

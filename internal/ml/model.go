@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/rockclean/rock/internal/data"
@@ -18,6 +19,15 @@ type Model interface {
 	Predict(left, right []data.Value) bool
 	// Confidence returns the decision strength in [0, 1].
 	Confidence(left, right []data.Value) float64
+}
+
+// Thresholder is implemented by models whose Boolean decision is
+// "Confidence >= threshold". Caching layers (CachedModel,
+// PredicatedModel) use it to serve Predict straight from the confidence
+// cache for any such model, not just the built-in ones.
+type Thresholder interface {
+	// DecisionThreshold returns the confidence cut-off for Predict.
+	DecisionThreshold() float64
 }
 
 // Registry resolves model names appearing in parsed rules to Model
@@ -101,6 +111,9 @@ func (m *SimilarityMatcher) Predict(left, right []data.Value) bool {
 	return m.Confidence(left, right) >= m.Threshold
 }
 
+// DecisionThreshold implements Thresholder.
+func (m *SimilarityMatcher) DecisionThreshold() float64 { return m.Threshold }
+
 // FuncModel adapts an arbitrary confidence function to the Model interface;
 // handy in tests and for wrapping trained classifiers.
 type FuncModel struct {
@@ -122,6 +135,9 @@ func (m *FuncModel) Predict(left, right []data.Value) bool {
 	return m.Score(left, right) >= m.Threshold
 }
 
+// DecisionThreshold implements Thresholder.
+func (m *FuncModel) DecisionThreshold() float64 { return m.Threshold }
+
 // CachedModel memoises Predict/Confidence results keyed by the value
 // vectors. Rock pre-computes ML predictions once the predicates are ready
 // (paper §5.4, "ML predication"); the cache is the in-process realisation.
@@ -130,13 +146,14 @@ type CachedModel struct {
 
 	mu    sync.Mutex
 	cache map[string]float64
+	preds map[string]bool
 	hits  int
 	calls int
 }
 
 // NewCachedModel wraps a model with a memo cache.
 func NewCachedModel(inner Model) *CachedModel {
-	return &CachedModel{Inner: inner, cache: make(map[string]float64)}
+	return &CachedModel{Inner: inner, cache: make(map[string]float64), preds: make(map[string]bool)}
 }
 
 // Name implements Model.
@@ -160,19 +177,27 @@ func (c *CachedModel) Confidence(left, right []data.Value) float64 {
 	return v
 }
 
-// Predict implements Model.
+// Predict implements Model. Thresholder models derive the decision from
+// the (cached) confidence; other models get their Boolean decisions
+// memoised directly, so no model type ever bypasses the cache.
 func (c *CachedModel) Predict(left, right []data.Value) bool {
-	var threshold float64
-	switch m := c.Inner.(type) {
-	case *SimilarityMatcher:
-		threshold = m.Threshold
-	case *FuncModel:
-		threshold = m.Threshold
-	default:
-		// Fall back to the inner model's own decision, uncached.
-		return c.Inner.Predict(left, right)
+	if th, ok := c.Inner.(Thresholder); ok {
+		return c.Confidence(left, right) >= th.DecisionThreshold()
 	}
-	return c.Confidence(left, right) >= threshold
+	key := pairKey(left, right)
+	c.mu.Lock()
+	c.calls++
+	if v, ok := c.preds[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := c.Inner.Predict(left, right)
+	c.mu.Lock()
+	c.preds[key] = v
+	c.mu.Unlock()
+	return v
 }
 
 // Stats reports cache effectiveness: total calls and hits.
@@ -182,14 +207,33 @@ func (c *CachedModel) Stats() (calls, hits int) {
 	return c.calls, c.hits
 }
 
+// pairKey renders both value vectors into one canonical key. It sizes a
+// strings.Builder upfront so the whole key is a single allocation
+// (naive += concatenation copies O(n²) bytes; see BenchmarkPairKey).
 func pairKey(left, right []data.Value) string {
-	s := ""
+	keys := make([]string, 0, len(left)+len(right))
+	n := 1 + len(left) + len(right) // separators
 	for _, v := range left {
-		s += v.Key() + "\x1e"
+		k := v.Key()
+		keys = append(keys, k)
+		n += len(k)
 	}
-	s += "\x1d"
 	for _, v := range right {
-		s += v.Key() + "\x1e"
+		k := v.Key()
+		keys = append(keys, k)
+		n += len(k)
 	}
-	return s
+	var b strings.Builder
+	b.Grow(n)
+	for i, k := range keys {
+		if i == len(left) {
+			b.WriteByte(0x1d)
+		}
+		b.WriteString(k)
+		b.WriteByte(0x1e)
+	}
+	if len(right) == 0 {
+		b.WriteByte(0x1d)
+	}
+	return b.String()
 }

@@ -1,0 +1,565 @@
+package ml
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rockclean/rock/internal/data"
+)
+
+// This file is the in-process realisation of the paper's "ML predication
+// is precomputed" optimisation (§5.4): heavyweight model invocations are
+// hoisted out of rule enumeration and served from a prediction store, so
+// the chase's hot path scales with the number of distinct
+// tuple-attribute vectors instead of (rules × pairs × rounds).
+//
+// Three tiers cooperate:
+//
+//   - EmbedStore caches per-tuple attribute embeddings keyed by
+//     (relation, tuple ID, attr set, version). The chase bumps a tuple's
+//     version when it applies a fix to the tuple's class, so entries
+//     invalidate precisely instead of whole partitions being rebuilt.
+//   - PredCache memoises model Confidence/Predict results under compact
+//     interned keys across 2^predShardBits lock-striped shards, replacing
+//     CachedModel's single mutex + O(n²) string-concat keys.
+//   - PredicatedModel wraps a Model so Predict/Confidence read through
+//     PredCache; the chase batch-scores all (model, pair) predications
+//     for a round in parallel before fanning work units out, making model
+//     access during deduction read-mostly.
+
+// Thresholded predictions are keyed by content (the value vectors), so
+// cached entries are pure and never go stale; only the tuple-identity
+// keyed EmbedStore needs invalidation.
+
+const (
+	internShards   = 16
+	predShardBits  = 5 // 32 shards
+	embedShardBits = 5 // 32 shards
+
+	// defaultPredCap bounds the prediction cache (entries, across all
+	// shards); defaultEmbedCap bounds the embedding store. Eviction is
+	// arbitrary-victim: entries are content-keyed (pure), so evicting any
+	// of them affects only speed, never results.
+	defaultPredCap  = 1 << 16
+	defaultEmbedCap = 1 << 14
+)
+
+func fnv32str(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// interner maps strings to dense uint32 IDs so cache keys become three
+// machine words instead of concatenated value text. Interning is exact
+// (no hash truncation), so distinct vectors can never collide into one
+// cache entry. The table grows with the number of distinct strings seen;
+// value domains are bounded by the dataset, so no eviction is needed.
+type interner struct {
+	next   atomic.Uint32
+	shards [internShards]internShard
+}
+
+type internShard struct {
+	mu  sync.RWMutex
+	ids map[string]uint32
+}
+
+func newInterner() *interner {
+	in := &interner{}
+	for i := range in.shards {
+		in.shards[i].ids = make(map[string]uint32)
+	}
+	return in
+}
+
+// ID returns the stable dense ID for s, allocating one on first sight.
+func (in *interner) ID(s string) uint32 {
+	sh := &in.shards[fnv32str(s)%internShards]
+	sh.mu.RLock()
+	id, ok := sh.ids[s]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.ids[s]; ok {
+		return id
+	}
+	id = in.next.Add(1)
+	sh.ids[s] = id
+	return id
+}
+
+// sideKey renders one attribute-value vector as a canonical string for
+// interning (one side of CachedModel's pairKey).
+func sideKey(vals []data.Value) string {
+	keys := make([]string, len(vals))
+	n := len(vals)
+	for i, v := range vals {
+		keys[i] = v.Key()
+		n += len(keys[i])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// predKey identifies one (model, left vector, right vector) predication.
+type predKey struct {
+	model, left, right uint32
+}
+
+func (k predKey) shard() uint32 {
+	h := k.left*0x9e3779b1 ^ k.right*0x85ebca77 ^ k.model*0xc2b2ae35
+	h ^= h >> 15
+	return h & (1<<predShardBits - 1)
+}
+
+// PredCache is the sharded, bounded prediction store: Confidence scores
+// and Boolean decisions memoised under interned predKeys. All methods
+// are safe for concurrent use; contention is spread across
+// 2^predShardBits lock-striped shards.
+type PredCache struct {
+	intern      *interner
+	capPerShard int
+	shards      [1 << predShardBits]predShard
+}
+
+type predShard struct {
+	mu   sync.Mutex
+	conf map[predKey]float64
+	pred map[predKey]bool
+
+	hits, misses, evictions, warmed uint64
+}
+
+// NewPredCache creates a cache bounded to roughly capacity entries in
+// total; capacity <= 0 selects the default.
+func NewPredCache(capacity int) *PredCache { return newPredCache(newInterner(), capacity) }
+
+func newPredCache(in *interner, capacity int) *PredCache {
+	if capacity <= 0 {
+		capacity = defaultPredCap
+	}
+	per := capacity >> predShardBits
+	if per < 8 {
+		per = 8
+	}
+	c := &PredCache{intern: in, capPerShard: per}
+	for i := range c.shards {
+		c.shards[i].conf = make(map[predKey]float64)
+		c.shards[i].pred = make(map[predKey]bool)
+	}
+	return c
+}
+
+func (c *PredCache) getConf(k predKey) (float64, bool) {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	v, ok := sh.conf[k]
+	if ok {
+		sh.hits++
+	} else {
+		sh.misses++
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (c *PredCache) putConf(k predKey, v float64) {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	sh.evict(c.capPerShard)
+	sh.conf[k] = v
+	sh.mu.Unlock()
+}
+
+func (c *PredCache) getPred(k predKey) (bool, bool) {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	v, ok := sh.pred[k]
+	if ok {
+		sh.hits++
+	} else {
+		sh.misses++
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (c *PredCache) putPred(k predKey, v bool) {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	sh.evict(c.capPerShard)
+	sh.pred[k] = v
+	sh.mu.Unlock()
+}
+
+// evict makes room for one more entry; called with sh.mu held. Victims
+// are arbitrary (map order): entries are pure memoisation, so any
+// choice is correct, and counting beats bookkeeping an LRU list under
+// the shard lock.
+func (sh *predShard) evict(capPerShard int) {
+	if len(sh.conf)+len(sh.pred) < capPerShard {
+		return
+	}
+	target := capPerShard * 3 / 4
+	for k := range sh.conf {
+		if len(sh.conf)+len(sh.pred) <= target {
+			break
+		}
+		delete(sh.conf, k)
+		sh.evictions++
+	}
+	for k := range sh.pred {
+		if len(sh.conf)+len(sh.pred) <= target {
+			break
+		}
+		delete(sh.pred, k)
+		sh.evictions++
+	}
+}
+
+// warm stores a precomputed entry without touching hit/miss counters:
+// warming is the batch precompute phase, not a lookup, so those counters
+// keep measuring deduction-time serving. Returns false when the entry was
+// already present (nothing to compute).
+func (c *PredCache) warmConf(k predKey, compute func() float64) bool {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	_, ok := sh.conf[k]
+	sh.mu.Unlock()
+	if ok {
+		return false
+	}
+	v := compute()
+	sh.mu.Lock()
+	sh.evict(c.capPerShard)
+	sh.conf[k] = v
+	sh.warmed++
+	sh.mu.Unlock()
+	return true
+}
+
+func (c *PredCache) warmPred(k predKey, compute func() bool) bool {
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	_, ok := sh.pred[k]
+	sh.mu.Unlock()
+	if ok {
+		return false
+	}
+	v := compute()
+	sh.mu.Lock()
+	sh.evict(c.capPerShard)
+	sh.pred[k] = v
+	sh.warmed++
+	sh.mu.Unlock()
+	return true
+}
+
+// Stats returns cumulative hit/miss/eviction/warm counters.
+func (c *PredCache) Stats() (hits, misses, evictions, warmed uint64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		evictions += sh.evictions
+		warmed += sh.warmed
+		sh.mu.Unlock()
+	}
+	return
+}
+
+// Len reports the current number of cached entries (for tests).
+func (c *PredCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.conf) + len(sh.pred)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// tupleKey identifies a tuple by interned relation name + tuple ID.
+type tupleKey struct {
+	rel uint32
+	tid int32
+}
+
+// embedKey is tupleKey plus the interned attribute-set signature and the
+// tuple's version at compute time. Bumping the version retires every
+// entry of the tuple at once without touching the map (stale entries age
+// out through capacity eviction).
+type embedKey struct {
+	t     tupleKey
+	attrs uint32
+	ver   uint32
+}
+
+// EmbedStore caches per-tuple attribute embeddings with versioned
+// invalidation. Unlike PredCache its entries are keyed by tuple
+// *identity*, and the value an embedding reflects changes when the chase
+// applies a fix to the tuple — so consumers must call Invalidate for
+// each touched tuple (the chase derives the set from its dirty-tuple
+// tracking, the same granularity that re-activates rules).
+type EmbedStore struct {
+	intern      *interner
+	capPerShard int
+	shards      [1 << embedShardBits]embedShard
+}
+
+type embedShard struct {
+	mu     sync.Mutex
+	vers   map[tupleKey]uint32
+	embeds map[embedKey]Vector
+
+	hits, misses, invalidations, evictions uint64
+}
+
+// NewEmbedStore creates a store bounded to roughly capacity vectors in
+// total; capacity <= 0 selects the default.
+func NewEmbedStore(capacity int) *EmbedStore { return newEmbedStore(newInterner(), capacity) }
+
+func newEmbedStore(in *interner, capacity int) *EmbedStore {
+	if capacity <= 0 {
+		capacity = defaultEmbedCap
+	}
+	per := capacity >> embedShardBits
+	if per < 8 {
+		per = 8
+	}
+	s := &EmbedStore{intern: in, capPerShard: per}
+	for i := range s.shards {
+		s.shards[i].vers = make(map[tupleKey]uint32)
+		s.shards[i].embeds = make(map[embedKey]Vector)
+	}
+	return s
+}
+
+func (s *EmbedStore) shardOf(tk tupleKey) *embedShard {
+	h := uint32(tk.tid)*0x9e3779b1 ^ tk.rel*0x85ebca77
+	h ^= h >> 15
+	return &s.shards[h&(1<<embedShardBits-1)]
+}
+
+// Embed returns the cached embedding for (rel, tid, attrsSig) at the
+// tuple's current version, calling compute on a miss. attrsSig is any
+// canonical rendering of the attribute set (e.g. strings.Join(attrs,
+// ",")). compute runs outside the shard lock; concurrent misses may
+// compute twice, which is benign because compute is deterministic.
+func (s *EmbedStore) Embed(rel string, tid int, attrsSig string, compute func() Vector) Vector {
+	tk := tupleKey{rel: s.intern.ID(rel), tid: int32(tid)}
+	aid := s.intern.ID(attrsSig)
+	sh := s.shardOf(tk)
+	sh.mu.Lock()
+	k := embedKey{t: tk, attrs: aid, ver: sh.vers[tk]}
+	if v, ok := sh.embeds[k]; ok {
+		sh.hits++
+		sh.mu.Unlock()
+		return v
+	}
+	sh.misses++
+	sh.mu.Unlock()
+	v := compute()
+	sh.mu.Lock()
+	if len(sh.embeds) >= s.capPerShard {
+		target := s.capPerShard * 3 / 4
+		for old := range sh.embeds {
+			if len(sh.embeds) <= target {
+				break
+			}
+			delete(sh.embeds, old)
+			sh.evictions++
+		}
+	}
+	sh.embeds[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Invalidate retires every cached embedding of (rel, tid) by bumping the
+// tuple's version. O(1): stale entries are unreachable immediately and
+// reclaimed by capacity eviction.
+func (s *EmbedStore) Invalidate(rel string, tid int) {
+	tk := tupleKey{rel: s.intern.ID(rel), tid: int32(tid)}
+	sh := s.shardOf(tk)
+	sh.mu.Lock()
+	sh.vers[tk]++
+	sh.invalidations++
+	sh.mu.Unlock()
+}
+
+// Stats returns cumulative hit/miss/invalidation/eviction counters.
+func (s *EmbedStore) Stats() (hits, misses, invalidations, evictions uint64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		invalidations += sh.invalidations
+		evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return
+}
+
+// PredStats is a point-in-time snapshot of the predication layer's
+// counters, surfaced through chase.Report and the rock CLI.
+type PredStats struct {
+	// Prediction cache (PredCache). Hits/Misses count deduction-time
+	// lookups only; Warmed counts entries filled by the round-level batch
+	// precompute (which is not a lookup).
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Warmed    uint64
+	// Embedding store (EmbedStore).
+	EmbedHits      uint64
+	EmbedMisses    uint64
+	EmbedEvictions uint64
+	Invalidations  uint64
+}
+
+// Lookups is the total number of prediction-cache probes.
+func (s PredStats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate is Hits/Lookups in [0, 1]; 0 when the cache was never probed.
+func (s PredStats) HitRate() float64 {
+	l := s.Lookups()
+	if l == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(l)
+}
+
+// Predication bundles the embedding store and prediction cache that one
+// chase (or detection) run shares across rules, rounds, and workers. The
+// two tiers share one interner so relation/attr/value signatures occupy
+// a single ID space.
+type Predication struct {
+	Embeds *EmbedStore
+	Preds  *PredCache
+}
+
+// NewPredication creates a predication layer with default capacities.
+func NewPredication() *Predication {
+	in := newInterner()
+	return &Predication{
+		Embeds: newEmbedStore(in, 0),
+		Preds:  newPredCache(in, 0),
+	}
+}
+
+// Stats snapshots both tiers.
+func (p *Predication) Stats() PredStats {
+	var st PredStats
+	st.Hits, st.Misses, st.Evictions, st.Warmed = p.Preds.Stats()
+	st.EmbedHits, st.EmbedMisses, st.Invalidations, st.EmbedEvictions = p.Embeds.Stats()
+	return st
+}
+
+// Wrap returns m reading through the layer's prediction cache. Callers
+// normally Unwrap first so stacked caches don't double-memoise.
+func (p *Predication) Wrap(m Model) *PredicatedModel {
+	pm := &PredicatedModel{
+		Inner: m,
+		cache: p.Preds,
+		id:    p.Preds.intern.ID("model\x00" + m.Name()),
+	}
+	if th, ok := m.(Thresholder); ok {
+		pm.threshold = th.DecisionThreshold()
+		pm.thresholded = true
+	}
+	return pm
+}
+
+// PredicatedModel serves Predict/Confidence from a shared PredCache.
+// For Thresholder models Predict is derived from the cached confidence;
+// other models get their Boolean decisions memoised directly. The left
+// and right vectors intern separately, so a tuple appearing in many
+// candidate pairs keys its side once.
+type PredicatedModel struct {
+	Inner Model
+
+	cache       *PredCache
+	id          uint32
+	threshold   float64
+	thresholded bool
+}
+
+// Name implements Model.
+func (m *PredicatedModel) Name() string { return m.Inner.Name() }
+
+func (m *PredicatedModel) key(left, right []data.Value) predKey {
+	return predKey{
+		model: m.id,
+		left:  m.cache.intern.ID(sideKey(left)),
+		right: m.cache.intern.ID(sideKey(right)),
+	}
+}
+
+// Confidence implements Model, memoised in the shared cache.
+func (m *PredicatedModel) Confidence(left, right []data.Value) float64 {
+	k := m.key(left, right)
+	if v, ok := m.cache.getConf(k); ok {
+		return v
+	}
+	v := m.Inner.Confidence(left, right)
+	m.cache.putConf(k, v)
+	return v
+}
+
+// Predict implements Model.
+func (m *PredicatedModel) Predict(left, right []data.Value) bool {
+	if m.thresholded {
+		return m.Confidence(left, right) >= m.threshold
+	}
+	k := m.key(left, right)
+	if v, ok := m.cache.getPred(k); ok {
+		return v
+	}
+	v := m.Inner.Predict(left, right)
+	m.cache.putPred(k, v)
+	return v
+}
+
+// Warm precomputes the predication for (left, right) and stores it in the
+// shared cache without counting a lookup. The chase calls this for every
+// candidate (model, pair) of a round before fanning work units out
+// (paper §5.4); deduction then serves the same keys as hits.
+func (m *PredicatedModel) Warm(left, right []data.Value) {
+	k := m.key(left, right)
+	if m.thresholded {
+		m.cache.warmConf(k, func() float64 { return m.Inner.Confidence(left, right) })
+		return
+	}
+	m.cache.warmPred(k, func() bool { return m.Inner.Predict(left, right) })
+}
+
+// Unwrap strips memoisation wrappers (CachedModel, PredicatedModel) and
+// returns the underlying scoring model.
+func Unwrap(m Model) Model {
+	for {
+		switch w := m.(type) {
+		case *CachedModel:
+			m = w.Inner
+		case *PredicatedModel:
+			m = w.Inner
+		default:
+			return m
+		}
+	}
+}

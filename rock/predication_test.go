@@ -1,0 +1,90 @@
+package rock
+
+import (
+	"testing"
+
+	"github.com/rockclean/rock/internal/workload"
+)
+
+// ecommercePipeline builds the paper's running example through the public
+// facade (the same setup as TestPublicPipelineOnEcommerce).
+func ecommercePipeline(t *testing.T, opts Options) *Pipeline {
+	t.Helper()
+	ds := workload.Ecommerce()
+	p := NewPipelineWith(ds.DB, opts)
+	p.RegisterMatcher("M_ER", 0.82)
+	p.TrainCorrelationModels()
+	p.RegisterGraph(ds.Graph, 0.6)
+	p.DeclareEntityRef("Trans", "pid")
+	for _, r := range ds.Rules {
+		if _, err := p.AddRule(r.String()); err != nil {
+			t.Fatalf("rule %s: %v", r.ID, err)
+		}
+	}
+	return p
+}
+
+// TestPredicationHitRateEcommerce checks the §5.4 design goal: once
+// detection has filled the shared prediction cache, chase rounds serve
+// their ML predications from it — steady-state rounds run at > 90% hit
+// rate on the ecommerce workload.
+func TestPredicationHitRateEcommerce(t *testing.T) {
+	p := ecommercePipeline(t, DefaultOptions())
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predication.Lookups() == 0 {
+		t.Fatal("predication cache never probed; is the layer wired in?")
+	}
+	br := rep.PredicationByRound
+	if len(br) < 2 {
+		t.Fatalf("expected a baseline + per-round snapshots, got %d", len(br))
+	}
+	first, last := br[0], br[len(br)-1]
+	lookups := last.Lookups() - first.Lookups()
+	if lookups == 0 {
+		t.Fatal("no chase-phase predication lookups on ecommerce")
+	}
+	hits := last.Hits - first.Hits
+	rate := float64(hits) / float64(lookups)
+	t.Logf("chase-phase predication: %d hits / %d lookups (%.1f%%); overall %d hits / %d lookups",
+		hits, lookups, 100*rate, last.Hits, last.Lookups())
+	if rate <= 0.9 {
+		t.Errorf("steady-state predication hit rate %.3f, want > 0.9", rate)
+	}
+}
+
+// TestPredicationOffMatchesOn verifies the layer is pure memoisation: a
+// Clean run with predication disabled produces identical corrections,
+// merges and rounds.
+func TestPredicationOffMatchesOn(t *testing.T) {
+	run := func(pred bool) *Report {
+		opts := DefaultOptions()
+		opts.Predication = pred
+		rep, err := ecommercePipeline(t, opts).Clean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	on, off := run(true), run(false)
+	if len(on.Corrections) != len(off.Corrections) {
+		t.Fatalf("corrections differ: on=%d off=%d", len(on.Corrections), len(off.Corrections))
+	}
+	for i := range on.Corrections {
+		a, b := on.Corrections[i], off.Corrections[i]
+		if a.Cell != b.Cell || !a.New.Equal(b.New) {
+			t.Errorf("correction %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if on.ChaseRounds != off.ChaseRounds {
+		t.Errorf("rounds differ: on=%d off=%d", on.ChaseRounds, off.ChaseRounds)
+	}
+	if len(on.MergedEntities) != len(off.MergedEntities) {
+		t.Errorf("merges differ: on=%d off=%d", len(on.MergedEntities), len(off.MergedEntities))
+	}
+	if off.Predication.Lookups() != 0 {
+		t.Errorf("predication off but counters moved: %+v", off.Predication)
+	}
+}

@@ -93,6 +93,12 @@ type Options struct {
 	Parallel bool
 	// UseBlocking enables LSH blocking for ML predicates.
 	UseBlocking bool
+	// Predication enables the precomputed ML predication layer (paper
+	// §5.4): versioned per-tuple embedding store, sharded prediction
+	// cache, and round-level batch scoring across the worker pool.
+	// Results are bit-identical with the layer on or off;
+	// Report.Predication carries the cache counters.
+	Predication bool
 	// Lazy enables lazy rule activation in the chase.
 	Lazy bool
 	// MaxRounds bounds the chase fixpoint loop.
@@ -104,7 +110,7 @@ type Options struct {
 
 // DefaultOptions returns Rock's shipped configuration.
 func DefaultOptions() Options {
-	return Options{Workers: 4, Parallel: true, UseBlocking: true, Lazy: true}
+	return Options{Workers: 4, Parallel: true, UseBlocking: true, Predication: true, Lazy: true}
 }
 
 // Pipeline is the end-to-end cleaning flow over one database: register
@@ -326,10 +332,15 @@ type DetectedError struct {
 }
 
 // Detect runs batch error detection with the registered rules.
-func (p *Pipeline) Detect() ([]DetectedError, error) {
+func (p *Pipeline) Detect() ([]DetectedError, error) { return p.detectWith(nil) }
+
+// detectWith runs detection, optionally filling a predication layer that
+// a subsequent chase will serve from.
+func (p *Pipeline) detectWith(pred *ml.Predication) ([]DetectedError, error) {
 	o := detect.DefaultOptions()
 	o.Workers = p.opts.Workers
 	o.UseBlocking = p.opts.UseBlocking
+	o.Pred = pred
 	d := detect.New(p.env, p.rules, o)
 	errs, err := d.Detect()
 	if err != nil {
@@ -367,15 +378,36 @@ type Report struct {
 	UnresolvedConflicts int
 	// OracleCalls counts user consultations.
 	OracleCalls int
+	// Predication carries the ML predication layer's cache counters
+	// (zero value when Options.Predication is off). The layer spans the
+	// whole Clean run: detection fills the prediction cache, the chase
+	// serves from it.
+	Predication PredicationStats
+	// PredicationByRound holds one counter snapshot taken before the
+	// first chase round (covering the detection phase) and one after
+	// every chase round; deltas isolate per-round hit rates.
+	PredicationByRound []PredicationStats
 	// Assessment reports post-cleaning data quality.
 	Assessment quality.Assessment
 }
+
+// PredicationStats re-exports the predication layer's counter snapshot:
+// prediction-cache hits/misses/evictions, embedding-store reuse, and
+// tuple invalidations (see ml.PredStats).
+type PredicationStats = ml.PredStats
 
 // Clean detects and corrects: it chases the database with the registered
 // rules and ground truth, materialises the validated fixes back into the
 // relations, and returns the report.
 func (p *Pipeline) Clean() (*Report, error) {
-	errs, err := p.Detect()
+	// One predication layer spans the whole run: detection fills the
+	// content-keyed prediction cache, the chase serves from it (and from
+	// its tuple-versioned embedding store) during deduction.
+	var pred *ml.Predication
+	if p.opts.Predication {
+		pred = ml.NewPredication()
+	}
+	errs, err := p.detectWith(pred)
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +415,8 @@ func (p *Pipeline) Clean() (*Report, error) {
 		Mode:        chase.Unified,
 		Lazy:        p.opts.Lazy,
 		UseBlocking: p.opts.UseBlocking,
+		Predication: p.opts.Predication,
+		Pred:        pred,
 		MaxRounds:   p.opts.MaxRounds,
 		Workers:     p.opts.Workers,
 		Parallel:    p.opts.Parallel,
@@ -401,6 +435,8 @@ func (p *Pipeline) Clean() (*Report, error) {
 		ChaseRounds:         chaseRep.Rounds,
 		UnresolvedConflicts: len(chaseRep.Unresolved),
 		OracleCalls:         chaseRep.OracleCalls,
+		Predication:         chaseRep.Predication,
+		PredicationByRound:  chaseRep.PredicationByRound,
 	}
 	// Collect corrections before materialising.
 	u := eng.Truth()
