@@ -13,11 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/workload"
 	"github.com/rockclean/rock/rock"
 )
@@ -50,8 +55,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rock gen    -app bank|logistics|sales -n N -out DIR   generate a demo dataset (+ curated rules)
-  rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool]   detect and correct errors in place
-  rock detect -in DIR -rules FILE [-workers N]                    detect errors only
+  rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool] [-steal=bool]
+              [-v] [-metrics-out FILE] [-pprof ADDR]      detect and correct errors in place
+  rock detect -in DIR -rules FILE [-workers N] [-metrics-out FILE]   detect errors only
   rock demo                                             run the paper's e-commerce walk-through`)
 }
 
@@ -138,20 +144,35 @@ func cmdClean(args []string, correct bool) error {
 	workers := fs.Int("workers", 4, "cluster size (HyperCube blocks and worker goroutines)")
 	parallel := fs.Bool("parallel", true, "run chase work units on a real worker pool (false: serial + simulated makespan only)")
 	predication := fs.Bool("predication", true, "precompute ML predications per chase round (versioned embedding store + sharded prediction cache, paper §5.4)")
+	steal := fs.Bool("steal", true, "enable work stealing between workers (off: the §5.2 load-balancing ablation)")
+	verbose := fs.Bool("v", false, "print the per-round chase trace table")
+	metricsOut := fs.String("metrics-out", "", "write the run's observability snapshot (counters, histograms, event log) as JSON to FILE")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rulesFile == "" {
 		*rulesFile = filepath.Join(*in, "rules.ree")
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rock: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	db, err := loadDB(*in)
 	if err != nil {
 		return err
 	}
+	reg := obs.New()
 	opts := rock.DefaultOptions()
 	opts.Workers = *workers
 	opts.Parallel = *parallel
 	opts.Predication = *predication
+	opts.Steal = *steal
+	opts.Obs = reg
 	p := rock.NewPipelineWith(db, opts)
 	p.RegisterMatcher("M_ER", 0.82)
 	p.RegisterMatcher("M_addr", 0.82)
@@ -184,11 +205,14 @@ func cmdClean(args []string, correct bool) error {
 				fmt.Printf("  [%s/%s] %v\n", e.RuleID, e.Task, e.Cells)
 			}
 		}
-		return nil
+		return writeMetrics(reg.Snapshot(), *metricsOut)
 	}
 	rep, err := p.Clean()
 	if err != nil {
 		return err
+	}
+	if *verbose {
+		printTrace(rep.RoundTrace)
 	}
 	fmt.Printf("detected %d errors; applied %d corrections in %d chase rounds\n",
 		len(rep.Errors), len(rep.Corrections), rep.ChaseRounds)
@@ -223,7 +247,55 @@ func cmdClean(args []string, correct bool) error {
 		}
 	}
 	fmt.Printf("corrected relations written back to %s\n", *in)
+	return writeMetrics(rep.Metrics, *metricsOut)
+}
+
+// writeMetrics dumps an observability snapshot as indented JSON; a no-op
+// when path is empty.
+func writeMetrics(snap obs.Snapshot, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics written to %s\n", path)
 	return nil
+}
+
+// printTrace renders the chase's per-round trace table (rock clean -v).
+func printTrace(trace []rock.ChaseRoundTrace) {
+	if len(trace) == 0 {
+		return
+	}
+	fmt.Println("chase rounds:")
+	fmt.Printf("  %5s %6s %6s %10s %8s %8s %8s %7s %12s  %s\n",
+		"round", "rules", "units", "valuations", "ml_calls", "applied", "rejected", "steals", "duration", "node units")
+	for _, r := range trace {
+		nodes := make([]string, 0, len(r.NodeUnits))
+		for n := range r.NodeUnits {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		var nu strings.Builder
+		for i, n := range nodes {
+			if i > 0 {
+				nu.WriteString(" ")
+			}
+			fmt.Fprintf(&nu, "%s:%d", n, r.NodeUnits[n])
+		}
+		fmt.Printf("  %5d %6d %6d %10d %8d %8d %8d %7d %12s  %s\n",
+			r.Round, r.Rules, r.Units, r.Valuations, r.MLCalls, r.Applied, r.Rejected, r.Steals,
+			r.Duration.Round(time.Microsecond), nu.String())
+	}
 }
 
 func cmdDemo() error {

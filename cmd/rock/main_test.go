@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/rockclean/rock/internal/obs"
+	"github.com/rockclean/rock/rock"
 )
 
 // TestGenCleanRoundTrip drives the CLI flow end to end: generate a Bank
@@ -54,6 +58,111 @@ func TestGenCleanRoundTrip(t *testing.T) {
 	countNulls := func(b []byte) int { return strings.Count(string(b), ",null") }
 	if countNulls(after) >= countNulls(before) {
 		t.Errorf("imputation should reduce nulls: %d -> %d", countNulls(before), countNulls(after))
+	}
+}
+
+// TestCleanMetricsOut checks the acceptance contract of -metrics-out: the
+// exported JSON snapshot must agree exactly with the library Report for
+// the same run — round count, fix counts, ML calls, and per-node unit
+// counts. Serial mode (-parallel=false) makes every counter deterministic,
+// so a reference run through the rock API pins the expected values.
+func TestCleanMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdGen([]string{"-app", "bank", "-n", "120", "-seed", "5", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run through the library API on the same dataset.
+	db, err := loadDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rock.DefaultOptions()
+	opts.Workers = 4
+	opts.Parallel = false
+	opts.Predication = true
+	opts.Obs = obs.New()
+	p := rock.NewPipelineWith(db, opts)
+	p.RegisterMatcher("M_ER", 0.82)
+	p.RegisterMatcher("M_addr", 0.82)
+	p.RegisterMatcher("M_SKU", 0.82)
+	p.TrainCorrelationModels()
+	text, err := os.ReadFile(filepath.Join(dir, "rules.ree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ParseRules(string(text)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Clean()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := filepath.Join(dir, "metrics.json")
+	if err := cmdClean([]string{"-in", dir, "-parallel=false", "-metrics-out", metrics}, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+
+	if got, want := snap.Counters["chase.rounds"], uint64(rep.ChaseRounds); got != want {
+		t.Errorf("chase.rounds = %d, want %d (Report.ChaseRounds)", got, want)
+	}
+	if got, want := int(snap.Counters["chase.rounds"]), len(rep.RoundTrace); got != want {
+		t.Errorf("chase.rounds = %d, want %d trace rows", got, want)
+	}
+	// Per-round trace sums pin the run-total counters.
+	var units, vals, mls, applied, rejected uint64
+	perNode := map[string]uint64{}
+	for _, r := range rep.RoundTrace {
+		units += uint64(r.Units)
+		vals += uint64(r.Valuations)
+		mls += uint64(r.MLCalls)
+		applied += uint64(r.Applied)
+		rejected += uint64(r.Rejected)
+		for n, c := range r.NodeUnits {
+			perNode[n] += uint64(c)
+		}
+	}
+	for name, want := range map[string]uint64{
+		"chase.units":          units,
+		"chase.valuations":     vals,
+		"chase.ml_calls":       mls,
+		"chase.fixes.applied":  applied,
+		"chase.fixes.rejected": rejected,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (Report trace total)", name, got, want)
+		}
+	}
+	for n, want := range perNode {
+		if got := snap.Counters["chase.node."+n+".units"]; got != want {
+			t.Errorf("chase.node.%s.units = %d, want %d", n, got, want)
+		}
+	}
+	// Serial mode never steals.
+	if got := snap.Counters["chase.steals"]; got != 0 {
+		t.Errorf("chase.steals = %d, want 0 in serial mode", got)
+	}
+	// The reference Report's own Metrics were recorded the same way; the
+	// deterministic chase counters must be identical across the two runs.
+	// (detect.* node/steal counters vary run to run: the detect pool
+	// steals regardless of -parallel, so work distribution is scheduling-
+	// dependent there.)
+	for name, want := range rep.Metrics.Counters {
+		if !strings.HasPrefix(name, "chase.") || strings.HasSuffix(name, "_ns") {
+			continue // wall-clock counters legitimately differ
+		}
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d (API reference run)", name, got, want)
+		}
 	}
 }
 

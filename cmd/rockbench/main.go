@@ -8,7 +8,8 @@
 //
 // Experiments: fig4a..fig4l (the panels of Figure 4), rules (discovered
 // rule counts), ablation (the design-choice ablations), predication (the
-// §5.4 ML predication layer).
+// §5.4 ML predication layer), steal (the §5.2 work-stealing ablation,
+// asserted against the obs steal counters).
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, ablation, predication, all")
+		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, ablation, predication, steal, all")
 		n        = flag.Int("n", 400, "base tuples per application dataset")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		workers  = flag.Int("workers", 4, "default simulated cluster size")

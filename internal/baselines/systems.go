@@ -247,7 +247,7 @@ func (v *RockVariant) Correct(b *Bench) (*quality.Corrections, error) {
 	if gamma == nil {
 		gamma = truth.NewFixSet()
 	}
-	opts := chase.Options{Mode: v.Mode, Lazy: v.Lazy, UseBlocking: v.Blocking, Predication: v.Blocking, Oracle: b.GoldOracle(), EIDRefs: b.DS.EIDRefs}
+	opts := chase.Options{Mode: v.Mode, Lazy: v.Lazy, UseBlocking: v.Blocking, Predication: v.Blocking, Steal: true, Oracle: b.GoldOracle(), EIDRefs: b.DS.EIDRefs}
 	eng := chase.New(b.Env, v.rules(b), gamma, opts)
 	if _, err := eng.Run(); err != nil {
 		return nil, err

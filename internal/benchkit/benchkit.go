@@ -28,6 +28,11 @@ type Table struct {
 	Cells   map[string]map[string]float64 // row -> col -> value
 	Missing map[string]map[string]bool    // NA cells (unsupported combos)
 	Notes   []string
+	// Metrics carries the obs-registry counters of the experiment's
+	// instrumented runs (keys prefixed with the run's row label), so the
+	// BENCH_*.json rows ship the same numbers `rock clean -metrics-out`
+	// reports. Nil for experiments that don't thread a registry.
+	Metrics map[string]uint64 `json:",omitempty"`
 }
 
 // NewTable creates an empty table.

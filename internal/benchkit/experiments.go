@@ -7,6 +7,7 @@ import (
 	"github.com/rockclean/rock/internal/chase"
 	"github.com/rockclean/rock/internal/detect"
 	"github.com/rockclean/rock/internal/discovery"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/quality"
 	"github.com/rockclean/rock/internal/workload"
 )
@@ -409,6 +410,7 @@ func Ablations(cfg Config) (*Table, error) {
 func Predication(cfg Config) (*Table, error) {
 	t := NewTable("predication", "ML predication layer (§5.4)", "",
 		[]string{"off ms", "on ms", "hit rate %", "warmed", "invalidations"})
+	t.Metrics = make(map[string]uint64)
 	for _, wl := range []struct {
 		name string
 		mk   func() *workload.Dataset
@@ -417,6 +419,7 @@ func Predication(cfg Config) (*Table, error) {
 		{"Logistics", func() *workload.Dataset { return workload.Logistics(cfg.wl()) }},
 	} {
 		var lastRep *chase.Report
+		reg := obs.New()
 		run := func(pred bool) (float64, error) {
 			return timeIt(func() error {
 				b := baselines.NewBench(wl.mk(), cfg.Workers)
@@ -424,6 +427,9 @@ func Predication(cfg Config) (*Table, error) {
 				opts.Workers = cfg.Workers
 				opts.Parallel = cfg.Workers > 1
 				opts.Predication = pred
+				if pred {
+					opts.Obs = reg
+				}
 				opts.Oracle = b.GoldOracle()
 				opts.EIDRefs = b.DS.EIDRefs
 				eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
@@ -446,8 +452,51 @@ func Predication(cfg Config) (*Table, error) {
 		t.Set(wl.name, "hit rate %", 100*ps.HitRate())
 		t.Set(wl.name, "warmed", float64(ps.Warmed))
 		t.Set(wl.name, "invalidations", float64(ps.Invalidations))
+		for k, v := range reg.Snapshot().Counters {
+			t.Metrics[wl.name+"."+k] = v
+		}
 	}
 	t.Note("counters from the predication=on run; results are bit-identical either way")
+	return t, nil
+}
+
+// Steal reproduces the work-stealing ablation (paper §5.2, load-balancing
+// strategy (3)): chase simulated makespan with stealing on vs off. The
+// obs steal counter asserts the ablation is real — the off run must
+// record exactly zero chase-phase steals, or the experiment errors.
+func Steal(cfg Config) (*Table, error) {
+	t := NewTable("steal", "work-stealing ablation (§5.2)", "",
+		[]string{"makespan ms", "steals"})
+	t.Metrics = make(map[string]uint64)
+	for _, mode := range []struct {
+		name  string
+		steal bool
+	}{{"steal=on", true}, {"steal=off", false}} {
+		ds := appDataset("Logistics", cfg)
+		b := baselines.NewBench(ds, cfg.Workers)
+		reg := obs.New()
+		opts := chase.DefaultOptions()
+		opts.Workers = cfg.Workers
+		opts.Steal = mode.steal
+		opts.Obs = reg
+		opts.Oracle = b.GoldOracle()
+		opts.EIDRefs = b.DS.EIDRefs
+		eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
+		rep, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		steals := reg.CounterValue("chase.steals")
+		if !mode.steal && steals != 0 {
+			return nil, fmt.Errorf("steal ablation: chase recorded %d steals with Steal=false", steals)
+		}
+		t.Set(mode.name, "makespan ms", float64(rep.SimMakespan.Microseconds())/1000.0)
+		t.Set(mode.name, "steals", float64(steals))
+		for k, v := range reg.Snapshot().Counters {
+			t.Metrics[mode.name+"."+k] = v
+		}
+	}
+	t.Note("chase results are identical either way — stealing only re-assigns work units; the off row's steal counter is asserted zero")
 	return t, nil
 }
 
@@ -585,6 +634,9 @@ func All(cfg Config) ([]*Table, error) {
 	if err := run(Predication(cfg)); err != nil {
 		return out, err
 	}
+	if err := run(Steal(cfg)); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -623,6 +675,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Ablations(cfg)
 	case "predication":
 		return Predication(cfg)
+	case "steal":
+		return Steal(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, all)", id)
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/exec"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 	"github.com/rockclean/rock/internal/truth"
@@ -48,12 +49,21 @@ type Options struct {
 	// Parallel — the size of the real goroutine worker pool.
 	Workers int
 	// Parallel executes each round's work units on a pool of Workers
-	// goroutines (with work stealing) instead of a serial loop. The result
+	// goroutines (with work stealing when Steal is set) instead of a
+	// serial loop. The result
 	// is bit-identical to serial execution: units enumerate against the
 	// immutable start-of-round fix set, buffer their candidate fixes, and
 	// the buffers merge in deterministic (rule ID, unit part) order before
 	// the serial apply step.
 	Parallel bool
+	// Steal enables work stealing between the pool's workers during a
+	// parallel round, and drives the stolen-overlap model of the
+	// simulated makespan (Report.SimMakespan). On in Rock proper; the
+	// work-stealing ablation (paper §5.2/§6) turns it off for the chase
+	// phase exactly as detect.Options.Steal does for detection. The
+	// chase result is identical either way — stealing only re-assigns
+	// units between workers — which the obs steal counters verify.
+	Steal bool
 	// Lazy enables the lazy-activation machinery (rule activation by fix
 	// kind + dirty-tuple filtering). Off, every round re-enumerates every
 	// rule over all data — the ablation baseline (DESIGN.md §ablations).
@@ -83,6 +93,13 @@ type Options struct {
 	// toward Report.OracleCalls — the manual-effort metric the paper's
 	// bank client tracks ("reduces manual efforts by 8×").
 	Oracle func(rel, eid, attr string, candidates []data.Value) (data.Value, bool)
+	// Obs receives every metric and trace event the engine records
+	// (counters "chase.*", histograms, the per-round event log). Nil
+	// makes the engine create a private registry, so Report fields —
+	// which are views over the registry — are always backed by one.
+	// Share a registry across detection and chase (as rock.Pipeline
+	// does) to get one run-wide metrics dump.
+	Obs *obs.Registry
 	// EIDRefs declares foreign entity references: "Rel.Attr" keys whose
 	// values are EIDs of another relation's entities. A rule consequence
 	// equating two such attributes identifies the referenced entities —
@@ -93,7 +110,7 @@ type Options struct {
 
 // DefaultOptions is the configuration Rock ships with.
 func DefaultOptions() Options {
-	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true, Predication: true}
+	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true, Steal: true, Predication: true}
 }
 
 // FixKind classifies a deduced fix.
@@ -176,6 +193,30 @@ type Report struct {
 	// once the caches are warm, steady-state rounds should serve almost
 	// entirely from them.
 	PredicationByRound []ml.PredStats
+	// Trace is the per-round trace table: one row per chase round with
+	// the round's work-unit, valuation, fix, steal and timing detail
+	// (rock clean -v renders it).
+	Trace []RoundTrace
+	// Metrics is the engine's observability snapshot, taken when Run or
+	// RunIncremental returns. The scalar fields above (Rounds,
+	// Valuations, MLCalls, WallClock, SimMakespan) are views over the
+	// same registry, so Metrics.Counters["chase.rounds"] == Rounds etc.
+	// — exactly one source of truth.
+	Metrics obs.Snapshot
+}
+
+// RoundTrace is one row of the per-round trace table.
+type RoundTrace struct {
+	Round      int            `json:"round"`
+	Rules      int            `json:"rules"` // active rules this round
+	Units      int            `json:"units"` // work units executed
+	Valuations int            `json:"valuations"`
+	MLCalls    int            `json:"ml_calls"`
+	Applied    int            `json:"applied"`  // fixes accepted into U
+	Rejected   int            `json:"rejected"` // deduped candidates not accepted
+	Steals     int            `json:"steals"`   // work steals during the round's drain
+	NodeUnits  map[string]int `json:"node_units"`
+	Duration   time.Duration  `json:"duration_ns"`
 }
 
 // Engine chases one database with one rule set.
@@ -211,6 +252,11 @@ type Engine struct {
 	// PredCache backs every registered model via PredicatedModel.
 	pred *ml.Predication
 
+	// obs is the run's observability registry (Options.Obs or an
+	// engine-private one — never nil). The scalar Report fields are views
+	// over its "chase.*" counters, refreshed by syncReport.
+	obs *obs.Registry
+
 	// mu guards the engine state that deduction may touch from worker
 	// goroutines during a parallel round: the oracle memo and the report's
 	// resolution counters/unresolved list. The fix set u is read-only
@@ -239,10 +285,15 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		oracleMemo:    make(map[string]data.Value),
 		resolvedCells: make(map[string]bool),
 	}
+	e.obs = opts.Obs
+	if e.obs == nil {
+		e.obs = obs.New()
+	}
 	// One worker pool for the whole run: the consistent-hash ring and
 	// scheduler are built once here and drained by every parallel round
 	// (a drain leaves the scheduler empty, so rounds can reuse it).
 	e.cl = cluster.New(opts.Workers)
+	e.cl.SetObs(e.obs, "chase")
 	e.ring = e.cl.Ring
 	e.nodes = e.cl.Nodes()
 	for name, rel := range env.DB.Relations {
@@ -273,6 +324,7 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		return e.u.OrderIfAny(rel, attr)
 	}
 	e.exec = exec.New(env)
+	e.exec.SetObs(e.obs)
 	if opts.Predication {
 		if opts.Pred != nil {
 			e.pred = opts.Pred
@@ -298,19 +350,48 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 func (e *Engine) Truth() *truth.FixSet { return e.u }
 
 // Report returns the run summary; valid after Run.
-func (e *Engine) Report() *Report { return &e.report }
+func (e *Engine) Report() *Report {
+	e.syncReport()
+	return &e.report
+}
+
+// Obs exposes the engine's observability registry (never nil).
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// syncReport refreshes the scalar Report fields from the registry — the
+// fields are views, the registry is the source of truth.
+func (e *Engine) syncReport() {
+	e.report.Rounds = int(e.obs.CounterValue("chase.rounds"))
+	e.report.Valuations = int(e.obs.CounterValue("chase.valuations"))
+	e.report.MLCalls = int(e.obs.CounterValue("chase.ml_calls"))
+	e.report.WallClock = time.Duration(e.obs.CounterValue("chase.wall_ns"))
+	e.report.SimMakespan = time.Duration(e.obs.CounterValue("chase.sim_makespan_ns"))
+}
+
+// finish seals the report at the end of a Run/RunIncremental: sync the
+// view fields and snapshot the full registry into Report.Metrics.
+func (e *Engine) finish() {
+	e.syncReport()
+	e.report.Metrics = e.obs.Snapshot()
+}
 
 // Run executes the chase to its Church-Rosser fixpoint and returns the
 // report. The result is independent of rule order (verified by tests).
 func (e *Engine) Run() (*Report, error) {
+	var (
+		rep *Report
+		err error
+	)
 	switch e.opts.Mode {
 	case Sequential:
-		return e.runSequential()
+		rep, err = e.runSequential()
 	case SinglePass:
-		return e.runSinglePass()
+		rep, err = e.runSinglePass()
 	default:
-		return e.runUnified(e.rules, nil)
+		rep, err = e.runUnified(e.rules, nil)
 	}
+	e.finish()
+	return rep, err
 }
 
 // RunIncremental chases in response to updates ΔD (paper §3: "Rock
@@ -321,6 +402,7 @@ func (e *Engine) Run() (*Report, error) {
 // there. Call after Run (or on a fresh engine over already-clean data).
 func (e *Engine) RunIncremental(dirty map[string]map[int]bool) (*Report, error) {
 	if len(dirty) == 0 {
+		e.finish()
 		return &e.report, nil
 	}
 	// Refresh the EID index for tuples inserted since construction.
@@ -331,7 +413,9 @@ func (e *Engine) RunIncremental(dirty map[string]map[int]bool) (*Report, error) 
 		}
 		e.tuplesByEID[name] = idx
 	}
-	return e.runUnified(e.rules, dirty)
+	rep, err := e.runUnified(e.rules, dirty)
+	e.finish()
+	return rep, err
 }
 
 // runUnified is the main fixpoint loop over the given rule subset.
@@ -350,7 +434,7 @@ func (e *Engine) runUnified(rules []*ree.Rule, initialDirty map[string]map[int]b
 		if len(active) == 0 {
 			break
 		}
-		e.report.Rounds++
+		e.obs.Inc("chase.rounds")
 		newFixes, err := e.runRound(active, dirty)
 		if err != nil {
 			return &e.report, err
@@ -404,7 +488,7 @@ func (e *Engine) runSinglePass() (*Report, error) {
 		if len(rules) == 0 {
 			continue
 		}
-		e.report.Rounds++
+		e.obs.Inc("chase.rounds")
 		if _, err := e.runRound(rules, nil); err != nil {
 			return &e.report, err
 		}
@@ -431,6 +515,8 @@ func (e *Engine) runSinglePass() (*Report, error) {
 // cluster sizes beyond this host's core count (see DESIGN.md).
 func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]Fix, error) {
 	roundStart := time.Now()
+	round := int(e.obs.CounterValue("chase.rounds")) // caller already counted this round
+	e.obs.Emit(obs.Event{Kind: "round.start", Round: round, N: int64(len(rules))})
 	// Deterministic rule order for reproducibility; Church-Rosser makes
 	// the final result order-independent anyway.
 	ordered := append([]*ree.Rule(nil), rules...)
@@ -473,6 +559,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		})
 		res.cost = time.Since(start)
 	}
+	var drain cluster.DrainStats
 	if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
 		cl := e.cl
 		for i := range work {
@@ -490,28 +577,40 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 				Run:     func() { runUnit(i) },
 			})
 		}
-		cl.Drain(cluster.Options{Steal: true})
+		drain = cl.DrainWithStats(cluster.Options{Steal: e.opts.Steal})
 	} else {
+		// Serial path: attribute units to their affinity owner so the
+		// per-node counters mean the same thing in both modes.
+		drain.PerNode = make(map[string]int)
 		for i := range work {
 			runUnit(i)
+			node := e.ring.Owner(work[i].unit.part)
+			drain.PerNode[node]++
+			e.obs.Inc("chase.node." + node + ".units")
 		}
 	}
+	e.obs.Add("chase.units", uint64(len(work)))
 
 	// Merge the per-unit buffers back in generation order.
 	var candidates []Fix
 	var sims []cluster.SimUnit
+	var roundVal, roundML int
+	unitHist := e.obs.Histogram("chase.unit")
 	for i := range work {
 		res := &results[i]
-		e.report.Valuations += res.st.Valuations
-		e.report.MLCalls += res.st.MLCalls
+		roundVal += res.st.Valuations
+		roundML += res.st.MLCalls
 		if res.err != nil {
 			return nil, res.err
 		}
 		candidates = append(candidates, res.fixes...)
 		sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(work[i].unit.part), Cost: res.cost})
+		unitHist.Observe(res.cost)
 	}
+	e.obs.Add("chase.valuations", uint64(roundVal))
+	e.obs.Add("chase.ml_calls", uint64(roundML))
 	if len(sims) > 0 {
-		e.report.SimMakespan += cluster.SimulateMakespan(sims, e.nodes, true)
+		e.obs.Add("chase.sim_makespan_ns", uint64(cluster.SimulateMakespan(sims, e.nodes, e.opts.Steal)))
 	}
 	// Merge step: apply the deduced fixes in deterministic order. Every
 	// matching valuation deduces the same fix, so candidates are heavily
@@ -520,6 +619,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	applyStart := time.Now()
 	seenFix := make(map[string]bool, len(candidates))
 	var accepted []Fix
+	rejected := 0
 	for _, fx := range candidates {
 		key := fixKey(fx)
 		if seenFix[key] {
@@ -528,9 +628,15 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		seenFix[key] = true
 		if e.apply(fx) {
 			accepted = append(accepted, fx)
+			e.obs.Emit(obs.Event{Kind: "fix.applied", Round: round, Rule: fx.RuleID, Detail: fx.String()})
+		} else {
+			rejected++
+			e.obs.Emit(obs.Event{Kind: "fix.rejected", Round: round, Rule: fx.RuleID, Detail: fx.String()})
 		}
 	}
-	e.report.SimMakespan += time.Since(applyStart)
+	e.obs.Add("chase.fixes.applied", uint64(len(accepted)))
+	e.obs.Add("chase.fixes.rejected", uint64(rejected))
+	e.obs.Add("chase.sim_makespan_ns", uint64(time.Since(applyStart)))
 	if len(accepted) > 0 {
 		// Accepted fixes change the values units read through env.ValueOf,
 		// so any blocker index built over them is stale — and so are the
@@ -542,8 +648,23 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	if e.pred != nil {
 		e.report.Predication = e.pred.Stats()
 		e.report.PredicationByRound = append(e.report.PredicationByRound, e.report.Predication)
+		e.pred.PublishTo(e.obs)
 	}
-	e.report.WallClock += time.Since(roundStart)
+	e.obs.Add("chase.wall_ns", uint64(time.Since(roundStart)))
+	e.report.Trace = append(e.report.Trace, RoundTrace{
+		Round:      round,
+		Rules:      len(ordered),
+		Units:      len(work),
+		Valuations: roundVal,
+		MLCalls:    roundML,
+		Applied:    len(accepted),
+		Rejected:   rejected,
+		Steals:     drain.Steals,
+		NodeUnits:  drain.PerNode,
+		Duration:   time.Since(roundStart),
+	})
+	e.obs.Emit(obs.Event{Kind: "round.end", Round: round, N: int64(len(accepted))})
+	e.syncReport()
 	return accepted, nil
 }
 
@@ -1152,6 +1273,7 @@ func (e *Engine) activate(all []*ree.Rule, fixes []Fix) []*ree.Rule {
 	for _, r := range all {
 		if e.ruleFeeds(r, cellTouched, orderTouched, merged) {
 			out = append(out, r)
+			e.obs.Emit(obs.Event{Kind: "rule.activated", Rule: r.ID})
 		}
 	}
 	return out

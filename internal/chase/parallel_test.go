@@ -3,10 +3,16 @@
 package chase_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/rockclean/rock/internal/baselines"
 	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/obs"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+	"github.com/rockclean/rock/internal/truth"
 	"github.com/rockclean/rock/internal/workload"
 )
 
@@ -83,5 +89,225 @@ func TestParallelChaseDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestIncrementalMatchesBatchMatrix pins the incremental mode's dirty-set
+// propagation across rounds: for every combination of Parallel ×
+// Predication × Steal, chasing the base data and then RunIncremental over
+// ΔD must land on exactly the fix set a batch chase over base+ΔD
+// produces. ΔD is built so fixes cascade (imputation in round 1 enables
+// an ER merge in round 2), exercising activation across rounds.
+func TestIncrementalMatchesBatchMatrix(t *testing.T) {
+	type row struct {
+		eid    string
+		values []data.Value
+	}
+	mkRow := func(eid, ln, fn, home, status string) row {
+		h := data.Null(data.TString)
+		if home != "" {
+			h = data.S(home)
+		}
+		return row{eid, []data.Value{data.S(ln), data.S(fn), h, data.S(status), data.Null(data.TString)}}
+	}
+	base := []row{
+		mkRow("p1", "Jones", "C", "addr one", "single"),
+		mkRow("p2", "Jones", "C", "", "single"),
+		mkRow("p3", "Brown", "B", "addr nine", "married"),
+	}
+	delta := []row{
+		mkRow("p9", "Jones", "C", "", "single"),
+		mkRow("p10", "Smith", "A", "addr two", "single"),
+		mkRow("p11", "Smith", "A", "", "single"),
+	}
+	mkEnv := func() (*predicate.Env, *data.Relation) {
+		schema := data.MustSchema("Person",
+			data.Attribute{Name: "LN", Type: data.TString},
+			data.Attribute{Name: "FN", Type: data.TString},
+			data.Attribute{Name: "home", Type: data.TString},
+			data.Attribute{Name: "status", Type: data.TString},
+			data.Attribute{Name: "spouse", Type: data.TString},
+		)
+		rel := data.NewRelation(schema)
+		db := data.NewDatabase()
+		db.Add(rel)
+		return predicate.NewEnv(db), rel
+	}
+	mkRules := func(db *data.Database) []*ree.Rule {
+		mi := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", db)
+		mi.ID = "mi"
+		er := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.home = s.home -> t.eid = s.eid", db)
+		er.ID = "er"
+		return []*ree.Rule{mi, er}
+	}
+	for _, parallel := range []bool{false, true} {
+		for _, predication := range []bool{false, true} {
+			for _, steal := range []bool{false, true} {
+				name := fmt.Sprintf("parallel=%t/predication=%t/steal=%t", parallel, predication, steal)
+				t.Run(name, func(t *testing.T) {
+					opts := chase.DefaultOptions()
+					opts.Workers = 4
+					opts.Parallel = parallel
+					opts.Predication = predication
+					opts.Steal = steal
+
+					// Batch reference over base + ΔD.
+					envB, relB := mkEnv()
+					for _, r := range append(append([]row(nil), base...), delta...) {
+						relB.Insert(r.eid, r.values...)
+					}
+					engB := chase.New(envB, mkRules(envB.DB), truth.NewFixSet(), opts)
+					if _, err := engB.Run(); err != nil {
+						t.Fatal(err)
+					}
+
+					// Base chase, then incremental over ΔD.
+					envI, relI := mkEnv()
+					for _, r := range base {
+						relI.Insert(r.eid, r.values...)
+					}
+					engI := chase.New(envI, mkRules(envI.DB), truth.NewFixSet(), opts)
+					if _, err := engI.Run(); err != nil {
+						t.Fatal(err)
+					}
+					dirty := map[string]map[int]bool{"Person": {}}
+					for _, r := range delta {
+						nt := relI.Insert(r.eid, r.values...)
+						dirty["Person"][nt.TID] = true
+					}
+					if _, err := engI.RunIncremental(dirty); err != nil {
+						t.Fatal(err)
+					}
+
+					if got, want := engI.Truth().Snapshot(), engB.Truth().Snapshot(); got != want {
+						t.Errorf("incremental fix set differs from batch:\nbatch=%s\nincremental=%s", want, got)
+					}
+					// The cascade actually happened: p9 imputed, Smiths merged.
+					if v, ok := engI.Truth().Cell("Person", "p9", "home"); !ok || v.Str() != "addr one" {
+						t.Errorf("incremental imputation missing: %v %v", v, ok)
+					}
+					if !engI.Truth().SameEntity("p10", "p11") {
+						t.Error("incremental run must merge p10/p11 after imputing p11.home")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestObsMetricsAgreeWithReport pins the "views over the registry"
+// contract: the scalar Report fields, the fix counts, the per-round trace
+// and the registry counters are one consistent dataset.
+func TestObsMetricsAgreeWithReport(t *testing.T) {
+	bench := baselines.NewBench(workload.Ecommerce(), 8)
+	reg := obs.New()
+	opts := chase.DefaultOptions()
+	opts.Workers = 8
+	opts.Obs = reg
+	opts.Oracle = bench.GoldOracle()
+	opts.EIDRefs = bench.DS.EIDRefs
+	eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
+	rep, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics.Counters
+	if m == nil {
+		t.Fatal("Report.Metrics not populated")
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"chase.rounds", m["chase.rounds"], rep.Rounds},
+		{"chase.valuations", m["chase.valuations"], rep.Valuations},
+		{"chase.ml_calls", m["chase.ml_calls"], rep.MLCalls},
+		{"chase.fixes.applied", m["chase.fixes.applied"], len(rep.Applied)},
+	}
+	for _, c := range checks {
+		if c.got != uint64(c.want) {
+			t.Errorf("%s = %d, but Report says %d", c.name, c.got, c.want)
+		}
+	}
+	if m["chase.wall_ns"] != uint64(rep.WallClock) {
+		t.Errorf("chase.wall_ns = %d, but Report.WallClock = %d", m["chase.wall_ns"], rep.WallClock)
+	}
+	if m["chase.sim_makespan_ns"] != uint64(rep.SimMakespan) {
+		t.Errorf("chase.sim_makespan_ns = %d, but Report.SimMakespan = %d", m["chase.sim_makespan_ns"], rep.SimMakespan)
+	}
+	// The engine recorded into the registry the caller passed in.
+	if reg.CounterValue("chase.rounds") != uint64(rep.Rounds) {
+		t.Error("Options.Obs registry not the one the engine recorded into")
+	}
+	// Per-round trace: node counts sum to the round's submitted units, and
+	// the trace totals reconcile with the counters.
+	if len(rep.Trace) != rep.Rounds {
+		t.Fatalf("trace has %d rows for %d rounds", len(rep.Trace), rep.Rounds)
+	}
+	var units, applied, vals uint64
+	for _, tr := range rep.Trace {
+		sum := 0
+		for _, n := range tr.NodeUnits {
+			sum += n
+		}
+		if sum != tr.Units {
+			t.Errorf("round %d: node units sum to %d, want %d (%v)", tr.Round, sum, tr.Units, tr.NodeUnits)
+		}
+		units += uint64(tr.Units)
+		applied += uint64(tr.Applied)
+		vals += uint64(tr.Valuations)
+	}
+	if units != m["chase.units"] {
+		t.Errorf("trace units total %d, counter %d", units, m["chase.units"])
+	}
+	if applied != m["chase.fixes.applied"] {
+		t.Errorf("trace applied total %d, counter %d", applied, m["chase.fixes.applied"])
+	}
+	if vals != m["chase.valuations"] {
+		t.Errorf("trace valuations total %d, counter %d", vals, m["chase.valuations"])
+	}
+	// The node counters match the trace per node.
+	perNode := map[string]uint64{}
+	for _, tr := range rep.Trace {
+		for n, c := range tr.NodeUnits {
+			perNode[n] += uint64(c)
+		}
+	}
+	for n, c := range perNode {
+		if got := m["chase.node."+n+".units"]; got != c {
+			t.Errorf("chase.node.%s.units = %d, trace says %d", n, got, c)
+		}
+	}
+}
+
+// TestChaseStealAblation is the steal-plumbing regression: the chase used
+// to hardcode Steal=true into its drains, so the work-stealing ablation
+// silently measured nothing. With Steal=false the chase-phase steal
+// counter must be exactly zero, and the fix set must not change.
+func TestChaseStealAblation(t *testing.T) {
+	ds := func() *workload.Dataset { return workload.Logistics(workload.Config{N: 120, Seed: 7}) }
+	run := func(steal bool) (string, *obs.Registry) {
+		bench := baselines.NewBench(ds(), 8)
+		reg := obs.New()
+		opts := chase.DefaultOptions()
+		opts.Workers = 8
+		opts.Steal = steal
+		opts.Obs = reg
+		opts.Oracle = bench.GoldOracle()
+		opts.EIDRefs = bench.DS.EIDRefs
+		eng := chase.New(bench.Env, bench.Rules, bench.DS.Gamma, opts)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Truth().Snapshot(), reg
+	}
+	onSnap, _ := run(true)
+	offSnap, offReg := run(false)
+	if got := offReg.CounterValue("chase.steals"); got != 0 {
+		t.Errorf("Steal=false chase recorded %d steals, want 0", got)
+	}
+	if onSnap != offSnap {
+		t.Errorf("fix set depends on stealing:\non=%s\noff=%s", onSnap, offSnap)
 	}
 }

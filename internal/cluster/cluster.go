@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/obs"
 )
 
 // Cluster is a set of named workers sharing a ring and scheduler.
@@ -19,8 +20,14 @@ type Cluster struct {
 	Sched *crystal.Scheduler
 	nodes []string
 
+	// reg/prefix route the cluster's observability into the owning
+	// phase's registry ("detect" or "chase"); nil records nothing.
+	reg    *obs.Registry
+	prefix string
+
 	mu       sync.Mutex
-	executed map[string]int // node -> units run
+	executed map[string]int // node -> units run in the CURRENT drain
+	total    map[string]int // node -> units run since cluster creation
 }
 
 // New creates a cluster of n workers named node-0..node-(n-1).
@@ -39,6 +46,26 @@ func New(n int) *Cluster {
 		Sched:    crystal.NewScheduler(nodes),
 		nodes:    nodes,
 		executed: make(map[string]int, n),
+		total:    make(map[string]int, n),
+	}
+}
+
+// SetObs routes the cluster's metrics and events into reg under the
+// given name prefix (e.g. "chase" yields "chase.steals",
+// "chase.node.node-0.units", "chase.queue_depth"). A nil registry (the
+// default) records nothing. Steal events are reported as they happen
+// via the scheduler's OnSteal hook.
+func (c *Cluster) SetObs(reg *obs.Registry, prefix string) {
+	c.reg = reg
+	c.prefix = prefix
+	if reg == nil {
+		c.Sched.OnSteal = nil
+		return
+	}
+	steals := reg.Counter(prefix + ".steals")
+	c.Sched.OnSteal = func(thief, victim string, u *crystal.WorkUnit) {
+		steals.Inc()
+		reg.Emit(obs.Event{Kind: "steal", Node: thief, Rule: u.RuleID, Detail: "from " + victim})
 	}
 }
 
@@ -61,10 +88,37 @@ type Options struct {
 	Steal bool
 }
 
+// DrainStats describes one drain: per-node unit counts for THIS drain
+// only, the number of steals it performed, and the queue depth when it
+// started.
+type DrainStats struct {
+	PerNode map[string]int
+	Steals  int
+	Queued  int
+}
+
 // Drain runs every queued unit to completion across all workers and
-// returns per-node unit counts. Each worker loops: pop (or steal) a unit,
-// run it, repeat until the scheduler is empty.
+// returns per-node unit counts for this drain. Each worker loops: pop
+// (or steal) a unit, run it, repeat until the scheduler is empty.
+//
+// The counts are per-drain (reset on entry): the chase drains the same
+// shared cluster once per round, and utilization stats derived from
+// cumulative counts would inflate every round after the first.
+// Executed() keeps the cumulative view.
 func (c *Cluster) Drain(opts Options) map[string]int {
+	return c.DrainWithStats(opts).PerNode
+}
+
+// DrainWithStats is Drain returning the full per-drain statistics.
+func (c *Cluster) DrainWithStats(opts Options) DrainStats {
+	st := DrainStats{Queued: c.Sched.Pending()}
+	stealsBefore := c.Sched.Steals()
+	c.mu.Lock()
+	c.executed = make(map[string]int, len(c.nodes))
+	c.mu.Unlock()
+	if c.reg != nil {
+		c.reg.SetGauge(c.prefix+".queue_depth", int64(st.Queued))
+	}
 	var wg sync.WaitGroup
 	for _, node := range c.nodes {
 		wg.Add(1)
@@ -80,15 +134,33 @@ func (c *Cluster) Drain(opts Options) map[string]int {
 				}
 				c.mu.Lock()
 				c.executed[node]++
+				c.total[node]++
 				c.mu.Unlock()
+				if c.reg != nil {
+					c.reg.Inc(c.prefix + ".node." + node + ".units")
+					c.reg.Emit(obs.Event{Kind: "unit.executed", Node: node, Rule: u.RuleID, Detail: u.Part})
+				}
 			}
 		}(node)
 	}
 	wg.Wait()
+	st.Steals = c.Sched.Steals() - stealsBefore
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.executed))
+	st.PerNode = make(map[string]int, len(c.executed))
 	for k, v := range c.executed {
+		st.PerNode[k] = v
+	}
+	return st
+}
+
+// Executed returns the cumulative per-node unit counts across every
+// drain since the cluster was created.
+func (c *Cluster) Executed() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.total))
+	for k, v := range c.total {
 		out[k] = v
 	}
 	return out

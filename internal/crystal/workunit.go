@@ -21,6 +21,12 @@ type WorkUnit struct {
 // estimation at generation time, and (3) non-centralised work
 // re-assignment — an idle node fetches units from the most loaded peer.
 type Scheduler struct {
+	// OnSteal, when set, observes every work re-assignment as it happens:
+	// thief fetched u from victim's queue. Called outside the scheduler
+	// lock; set it before draining (the cluster layer wires it to the
+	// observability registry).
+	OnSteal func(thief, victim string, u *WorkUnit)
+
 	mu     sync.Mutex
 	queues map[string][]*WorkUnit // node -> pending units (max-cost first)
 	loads  map[string]float64     // node -> pending cost
@@ -88,14 +94,15 @@ func (s *Scheduler) leastLoadedLocked() string {
 // it evokes the work manager to fetch work units from other nodes").
 func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if q := s.queues[node]; len(q) > 0 {
 		u := q[len(q)-1]
 		s.queues[node] = q[:len(q)-1]
 		s.loads[node] -= u.EstCost
+		s.mu.Unlock()
 		return u
 	}
 	if !steal {
+		s.mu.Unlock()
 		return nil
 	}
 	// Find the most loaded peer.
@@ -106,6 +113,7 @@ func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 		}
 	}
 	if victim == "" {
+		s.mu.Unlock()
 		return nil
 	}
 	// Steal the costliest unit (front of queue after sort-on-assign order
@@ -121,6 +129,11 @@ func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 	s.queues[victim] = append(q[:bi], q[bi+1:]...)
 	s.loads[victim] -= u.EstCost
 	s.steals++
+	onSteal := s.OnSteal
+	s.mu.Unlock()
+	if onSteal != nil {
+		onSteal(node, victim, u)
+	}
 	return u
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/exec"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -72,6 +73,10 @@ type Options struct {
 	// embeddings are keyed by tuple identity and detection reads raw
 	// values while the chase reads through accumulated fixes.
 	Pred *ml.Predication
+	// Obs receives the detection phase's metrics and events under the
+	// "detect.*" prefix (units, wall clock, per-node counts, steals,
+	// blocker cache hits). Nil records nothing.
+	Obs *obs.Registry
 }
 
 // DefaultOptions is Rock's shipped configuration.
@@ -103,6 +108,7 @@ func New(env *predicate.Env, rules []*ree.Rule, opts Options) *Detector {
 		}
 	}
 	d := &Detector{env: env, rules: rules, opts: opts, ex: exec.New(env)}
+	d.ex.SetObs(opts.Obs)
 	// Detection reads raw values (no ValueOf hook) and a Detector is
 	// created per call over an immutable snapshot, so a per-detector
 	// embedding store needs no invalidation: cross-relation ML probes and
@@ -150,7 +156,9 @@ func (d *Detector) DetectSimulated() ([]*Error, time.Duration, error) {
 }
 
 func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Error, time.Duration, error) {
+	start := time.Now()
 	cl := cluster.New(d.opts.Workers)
+	cl.SetObs(d.opts.Obs, "detect")
 	var mu sync.Mutex
 	seen := make(map[string]bool)
 	var out []*Error
@@ -174,15 +182,22 @@ func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Err
 		}
 		all = append(all, units...)
 	}
+	d.opts.Obs.Add("detect.units", uint64(len(all)))
 	var makespan time.Duration
 	if simulate {
+		hist := d.opts.Obs.Histogram("detect.unit")
 		sims := make([]cluster.SimUnit, 0, len(all))
 		for _, u := range all {
-			start := time.Now()
+			node := cl.Ring.Owner(u.Part)
+			unitStart := time.Now()
 			u.Run()
-			sims = append(sims, cluster.SimUnit{Node: cl.Ring.Owner(u.Part), Cost: time.Since(start)})
+			cost := time.Since(unitStart)
+			sims = append(sims, cluster.SimUnit{Node: node, Cost: cost})
+			hist.Observe(cost)
+			d.opts.Obs.Inc("detect.node." + node + ".units")
 		}
 		makespan = cluster.SimulateMakespan(sims, cl.Nodes(), d.opts.Steal)
+		d.opts.Obs.Add("detect.sim_makespan_ns", uint64(makespan))
 	} else {
 		for _, u := range all {
 			cl.Submit(u)
@@ -190,10 +205,16 @@ func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Err
 		cl.Drain(cluster.Options{Steal: d.opts.Steal})
 	}
 	if firstErr != nil {
+		d.opts.Obs.Inc("detect.errors.run")
 		return nil, 0, firstErr
 	}
 	out = AttributeCulpritsFreq(out, d.culpritScore())
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	d.opts.Obs.Add("detect.errors.found", uint64(len(out)))
+	d.opts.Obs.Add("detect.wall_ns", uint64(time.Since(start)))
+	if d.opts.Pred != nil {
+		d.opts.Pred.PublishTo(d.opts.Obs)
+	}
 	return out, makespan, nil
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -79,6 +80,11 @@ type Executor struct {
 	// layer). Installed once before any Run; nil means embed on demand.
 	embeds *ml.EmbedStore
 
+	// reg, when set, receives blocker-cache hit/miss/invalidation
+	// counters ("exec.blocker.*"); nil records nothing (obs methods are
+	// nil-safe).
+	reg *obs.Registry
+
 	// mu guards blockers; key: rel + attrs signature + partition
 	// fingerprint (see blockerKey).
 	mu       sync.Mutex
@@ -100,6 +106,10 @@ func (e *Executor) Env() *predicate.Env { return e.env }
 // SetEmbedStore installs the versioned per-tuple embedding store. Call
 // before the first Run; the store itself is safe for concurrent use.
 func (e *Executor) SetEmbedStore(s *ml.EmbedStore) { e.embeds = s }
+
+// SetObs routes the executor's cache counters into reg. Call before the
+// first Run; nil (the default) records nothing.
+func (e *Executor) SetObs(reg *obs.Registry) { e.reg = reg }
 
 // EmbedStore returns the installed store (nil when embedding on demand).
 func (e *Executor) EmbedStore() *ml.EmbedStore { return e.embeds }
@@ -125,6 +135,7 @@ func (e *Executor) InvalidateBlockers() {
 	e.mu.Lock()
 	e.blockers = make(map[string]*blockerEntry)
 	e.mu.Unlock()
+	e.reg.Inc("exec.blocker.invalidations")
 }
 
 // blockerKey fingerprints one blocking request: relation, the embedded
@@ -156,9 +167,11 @@ func (e *Executor) blockerFor(relName string, attrs []string, tuples []*data.Tup
 	e.mu.Lock()
 	if ent, ok := e.blockers[key]; ok {
 		e.mu.Unlock()
+		e.reg.Inc("exec.blocker.hits")
 		return ent
 	}
 	e.mu.Unlock()
+	e.reg.Inc("exec.blocker.misses")
 	ent := &blockerEntry{b: ml.NewBlocker(e.lsh), byID: make(map[int]*data.Tuple, len(tuples))}
 	for _, t := range tuples {
 		ent.byID[t.TID] = t

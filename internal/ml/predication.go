@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/obs"
 )
 
 // This file is the in-process realisation of the paper's "ML predication
@@ -469,6 +470,26 @@ func (p *Predication) Stats() PredStats {
 	st.Hits, st.Misses, st.Evictions, st.Warmed = p.Preds.Stats()
 	st.EmbedHits, st.EmbedMisses, st.Invalidations, st.EmbedEvictions = p.Embeds.Stats()
 	return st
+}
+
+// PublishTo mirrors the layer's cumulative counters into an
+// observability registry as "pred.*" gauges (gauges, not counters: the
+// layer's own shard counters are the source of truth and the snapshot
+// is absolute). The chase republishes after every round so -metrics-out
+// dumps always carry the layer's latest state. Nil-safe on both sides.
+func (p *Predication) PublishTo(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	st := p.Stats()
+	reg.SetGauge("pred.hits", int64(st.Hits))
+	reg.SetGauge("pred.misses", int64(st.Misses))
+	reg.SetGauge("pred.evictions", int64(st.Evictions))
+	reg.SetGauge("pred.warmed", int64(st.Warmed))
+	reg.SetGauge("pred.embed.hits", int64(st.EmbedHits))
+	reg.SetGauge("pred.embed.misses", int64(st.EmbedMisses))
+	reg.SetGauge("pred.embed.evictions", int64(st.EmbedEvictions))
+	reg.SetGauge("pred.invalidations", int64(st.Invalidations))
 }
 
 // Wrap returns m reading through the layer's prediction cache. Callers

@@ -66,6 +66,8 @@ func (d *Delta) DetectIncremental() ([]DetectedError, error) {
 	o := detect.DefaultOptions()
 	o.Workers = d.p.opts.Workers
 	o.UseBlocking = d.p.opts.UseBlocking
+	o.Steal = d.p.opts.Steal
+	o.Obs = d.p.opts.Obs
 	det := detect.New(d.p.env, d.p.rules, o)
 	errs, err := det.DetectIncremental(d.dirty)
 	if err != nil {
@@ -87,6 +89,10 @@ func (d *Delta) CleanIncremental() ([]Correction, error) {
 		Lazy:        d.p.opts.Lazy,
 		UseBlocking: d.p.opts.UseBlocking,
 		MaxRounds:   d.p.opts.MaxRounds,
+		Workers:     d.p.opts.Workers,
+		Parallel:    d.p.opts.Parallel,
+		Steal:       d.p.opts.Steal,
+		Obs:         d.p.opts.Obs,
 		EIDRefs:     d.p.eidRefs,
 	}
 	if d.p.opts.Oracle != nil {

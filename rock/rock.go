@@ -26,6 +26,7 @@ import (
 	"github.com/rockclean/rock/internal/discovery"
 	"github.com/rockclean/rock/internal/kg"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/quality"
 	"github.com/rockclean/rock/internal/ree"
@@ -101,16 +102,26 @@ type Options struct {
 	Predication bool
 	// Lazy enables lazy rule activation in the chase.
 	Lazy bool
+	// Steal enables work stealing between workers in both the detection
+	// and chase phases (and in the simulated-makespan model). On in Rock
+	// proper; the work-stealing ablation turns it off. Results are
+	// identical either way — stealing only re-assigns work units.
+	Steal bool
 	// MaxRounds bounds the chase fixpoint loop.
 	MaxRounds int
 	// Oracle, when set, answers ER/CR conflicts the learned resolvers
 	// cannot decide — Rock presents such conflicts to the user.
 	Oracle func(rel, eid, attr string, candidates []Value) (Value, bool)
+	// Obs, when set, receives every metric and trace event of the run
+	// (detection "detect.*", chase "chase.*", predication "pred.*",
+	// executor "exec.*"). Nil makes Clean create a run-private registry;
+	// either way Report.Metrics carries the final snapshot.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns Rock's shipped configuration.
 func DefaultOptions() Options {
-	return Options{Workers: 4, Parallel: true, UseBlocking: true, Predication: true, Lazy: true}
+	return Options{Workers: 4, Parallel: true, UseBlocking: true, Predication: true, Lazy: true, Steal: true}
 }
 
 // Pipeline is the end-to-end cleaning flow over one database: register
@@ -332,15 +343,17 @@ type DetectedError struct {
 }
 
 // Detect runs batch error detection with the registered rules.
-func (p *Pipeline) Detect() ([]DetectedError, error) { return p.detectWith(nil) }
+func (p *Pipeline) Detect() ([]DetectedError, error) { return p.detectWith(nil, p.opts.Obs) }
 
 // detectWith runs detection, optionally filling a predication layer that
-// a subsequent chase will serve from.
-func (p *Pipeline) detectWith(pred *ml.Predication) ([]DetectedError, error) {
+// a subsequent chase will serve from and recording into reg.
+func (p *Pipeline) detectWith(pred *ml.Predication, reg *obs.Registry) ([]DetectedError, error) {
 	o := detect.DefaultOptions()
 	o.Workers = p.opts.Workers
 	o.UseBlocking = p.opts.UseBlocking
+	o.Steal = p.opts.Steal
 	o.Pred = pred
+	o.Obs = reg
 	d := detect.New(p.env, p.rules, o)
 	errs, err := d.Detect()
 	if err != nil {
@@ -389,7 +402,19 @@ type Report struct {
 	PredicationByRound []PredicationStats
 	// Assessment reports post-cleaning data quality.
 	Assessment quality.Assessment
+	// RoundTrace is the chase's per-round trace table (rounds, units,
+	// valuations, ML calls, fixes, steals, per-node counts, duration).
+	RoundTrace []ChaseRoundTrace
+	// Metrics is the unified observability snapshot of the whole run —
+	// detection, chase, predication and executor counters, histograms and
+	// the bounded event log. The scalar fields above are views over the
+	// same registry (e.g. Metrics.Counters["chase.rounds"] ==
+	// ChaseRounds); -metrics-out dumps exactly this.
+	Metrics obs.Snapshot
 }
+
+// ChaseRoundTrace re-exports the chase engine's per-round trace row.
+type ChaseRoundTrace = chase.RoundTrace
 
 // PredicationStats re-exports the predication layer's counter snapshot:
 // prediction-cache hits/misses/evictions, embedding-store reuse, and
@@ -400,6 +425,12 @@ type PredicationStats = ml.PredStats
 // rules and ground truth, materialises the validated fixes back into the
 // relations, and returns the report.
 func (p *Pipeline) Clean() (*Report, error) {
+	// One observability registry spans the whole run: detection records
+	// "detect.*", the chase "chase.*", and Report.Metrics snapshots both.
+	reg := p.opts.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
 	// One predication layer spans the whole run: detection fills the
 	// content-keyed prediction cache, the chase serves from it (and from
 	// its tuple-versioned embedding store) during deduction.
@@ -407,7 +438,7 @@ func (p *Pipeline) Clean() (*Report, error) {
 	if p.opts.Predication {
 		pred = ml.NewPredication()
 	}
-	errs, err := p.detectWith(pred)
+	errs, err := p.detectWith(pred, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -420,6 +451,8 @@ func (p *Pipeline) Clean() (*Report, error) {
 		MaxRounds:   p.opts.MaxRounds,
 		Workers:     p.opts.Workers,
 		Parallel:    p.opts.Parallel,
+		Steal:       p.opts.Steal,
+		Obs:         reg,
 		EIDRefs:     p.eidRefs,
 	}
 	if p.opts.Oracle != nil {
@@ -437,6 +470,7 @@ func (p *Pipeline) Clean() (*Report, error) {
 		OracleCalls:         chaseRep.OracleCalls,
 		Predication:         chaseRep.Predication,
 		PredicationByRound:  chaseRep.PredicationByRound,
+		RoundTrace:          chaseRep.Trace,
 	}
 	// Collect corrections before materialising.
 	u := eng.Truth()
@@ -469,6 +503,7 @@ func (p *Pipeline) Clean() (*Report, error) {
 		violating += len(e.Cells)
 	}
 	rep.Assessment = quality.Assess(p.db, violating-len(rep.Corrections))
+	rep.Metrics = reg.Snapshot()
 	return rep, nil
 }
 
