@@ -56,6 +56,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rock gen    -app bank|logistics|sales -n N -out DIR   generate a demo dataset (+ curated rules)
   rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool] [-steal=bool]
+              [-timeout D] [-retries N]
               [-v] [-metrics-out FILE] [-pprof ADDR]      detect and correct errors in place
   rock detect -in DIR -rules FILE [-workers N] [-metrics-out FILE]   detect errors only
   rock demo                                             run the paper's e-commerce walk-through`)
@@ -145,6 +146,8 @@ func cmdClean(args []string, correct bool) error {
 	parallel := fs.Bool("parallel", true, "run chase work units on a real worker pool (false: serial + simulated makespan only)")
 	predication := fs.Bool("predication", true, "precompute ML predications per chase round (versioned embedding store + sharded prediction cache, paper §5.4)")
 	steal := fs.Bool("steal", true, "enable work stealing between workers (off: the §5.2 load-balancing ablation)")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole run (e.g. 30s); on expiry the fixes established so far are kept and the report is marked partial")
+	retries := fs.Int("retries", 2, "max retries for a panicking work unit before it is reported as failed")
 	verbose := fs.Bool("v", false, "print the per-round chase trace table")
 	metricsOut := fs.String("metrics-out", "", "write the run's observability snapshot (counters, histograms, event log) as JSON to FILE")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
@@ -173,6 +176,8 @@ func cmdClean(args []string, correct bool) error {
 	opts.Predication = *predication
 	opts.Steal = *steal
 	opts.Obs = reg
+	opts.Deadline = *timeout
+	opts.MaxRetries = *retries
 	p := rock.NewPipelineWith(db, opts)
 	p.RegisterMatcher("M_ER", 0.82)
 	p.RegisterMatcher("M_addr", 0.82)
@@ -213,6 +218,12 @@ func cmdClean(args []string, correct bool) error {
 	}
 	if *verbose {
 		printTrace(rep.RoundTrace)
+	}
+	if rep.Partial {
+		fmt.Printf("PARTIAL RUN: deadline/cancellation or unit failures cut the run short; results below are sound but incomplete\n")
+		for _, ue := range rep.UnitErrors {
+			fmt.Fprintf(os.Stderr, "  failed unit: %s\n", ue.Error())
+		}
 	}
 	fmt.Printf("detected %d errors; applied %d corrections in %d chase rounds\n",
 		len(rep.Errors), len(rep.Corrections), rep.ChaseRounds)

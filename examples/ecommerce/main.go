@@ -60,7 +60,7 @@ func main() {
 	wiki := rock.NewGraph("Wiki")
 	apple := wiki.AddVertex("Apple Taobao Flagship")
 	beijing := wiki.AddVertex("Beijing")
-	wiki.MustEdge(apple, "LocationAt", beijing)
+	rock.MustEdge(wiki, apple, "LocationAt", beijing)
 
 	p := rock.NewPipeline(db)
 	p.RegisterMatcher("M_ER", 0.82) // the commodity/discount-code matcher of ϕ1

@@ -36,7 +36,7 @@ func main() {
 	for _, city := range []string{"Shanghai", "Shenzhen"} {
 		cv := geo.AddVertex(city)
 		av := geo.AddVertex(city + " Metro Area")
-		geo.MustEdge(cv, "AreaOf", av)
+		rock.MustEdge(geo, cv, "AreaOf", av)
 	}
 
 	p := rock.NewPipeline(db)

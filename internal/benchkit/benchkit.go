@@ -139,28 +139,28 @@ func (c Config) wl() workload.Config {
 	return workload.Config{N: c.N, Seed: c.Seed}
 }
 
-func appDataset(app string, cfg Config) *workload.Dataset {
+func appDataset(app string, cfg Config) (*workload.Dataset, error) {
 	switch strings.ToLower(app) {
 	case "bank":
-		return workload.Bank(cfg.wl())
+		return workload.Bank(cfg.wl()), nil
 	case "logistics":
-		return workload.Logistics(cfg.wl())
+		return workload.Logistics(cfg.wl()), nil
 	case "sales":
-		return workload.Sales(cfg.wl())
+		return workload.Sales(cfg.wl()), nil
 	}
-	panic("benchkit: unknown application " + app)
+	return nil, fmt.Errorf("benchkit: unknown application %q (valid: Bank, Logistics, Sales)", app)
 }
 
-func appTasks(app string) []string {
+func appTasks(app string) ([]string, error) {
 	switch strings.ToLower(app) {
 	case "bank":
-		return []string{"CNC", "CIC", "TPA", "ESClean"}
+		return []string{"CNC", "CIC", "TPA", "ESClean"}, nil
 	case "logistics":
-		return []string{"RS", "RR", "SN", "RClean"}
+		return []string{"RS", "RR", "SN", "RClean"}, nil
 	case "sales":
-		return []string{"CIN", "CCN", "TPWT", "SClean"}
+		return []string{"CIN", "CCN", "TPWT", "SClean"}, nil
 	}
-	panic("benchkit: unknown application " + app)
+	return nil, fmt.Errorf("benchkit: unknown application %q (valid: Bank, Logistics, Sales)", app)
 }
 
 // timeIt measures one call in milliseconds.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rockclean/rock/internal/baselines"
 	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/cluster"
 	"github.com/rockclean/rock/internal/detect"
 	"github.com/rockclean/rock/internal/discovery"
 	"github.com/rockclean/rock/internal/obs"
@@ -19,11 +20,21 @@ import (
 func Fig4Discovery(app string, cfg Config) (*Table, error) {
 	cols := []string{"Rock", "Rock_noML", "ES", "T5s", "RB"}
 	t := NewTable(figIDFor(app, "discovery"), app+": rule discovery time", "ms", cols)
-	for _, task := range appTasks(app) {
+	tasks, err := appTasks(app)
+	if err != nil {
+		return nil, err
+	}
+	for _, task := range tasks {
 		for _, sysName := range cols {
-			ds := appDataset(app, cfg)
+			ds, err := appDataset(app, cfg)
+			if err != nil {
+				return nil, err
+			}
 			b := taskBench(ds, task, cfg.Workers)
-			sys := systemByName(sysName)
+			sys, err := systemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
 			ms, err := timeIt(func() error {
 				_, err := sys.Discover(b)
 				return err
@@ -43,11 +54,21 @@ func Fig4Discovery(app string, cfg Config) (*Table, error) {
 func Fig4DetectF1(app string, cfg Config) (*Table, error) {
 	cols := []string{"Rock", "Rock_noML", "ES", "T5s", "RB"}
 	t := NewTable(figIDFor(app, "detectf1"), app+": error detection accuracy", "F1", cols)
-	for _, task := range appTasks(app) {
+	tasks, err := appTasks(app)
+	if err != nil {
+		return nil, err
+	}
+	for _, task := range tasks {
 		for _, sysName := range cols {
-			ds := appDataset(app, cfg)
+			ds, err := appDataset(app, cfg)
+			if err != nil {
+				return nil, err
+			}
 			b := taskBench(ds, task, cfg.Workers)
-			sys := systemByName(sysName)
+			sys, err := systemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
 			cells, dups, err := sys.Detect(b)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s/%s: %w", app, task, sysName, err)
@@ -72,9 +93,15 @@ func Fig4gDetectTime(cfg Config) (*Table, error) {
 	cfg.N *= 2 // cost gaps compound with data size (the paper runs full scale)
 	for _, app := range sortedApps {
 		for _, sysName := range cols {
-			ds := appDataset(app, cfg)
+			ds, err := appDataset(app, cfg)
+			if err != nil {
+				return nil, err
+			}
 			b := baselines.NewBench(ds, cfg.Workers)
-			sys := systemByName(sysName)
+			sys, err := systemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
 			ms, err := timeIt(func() error {
 				_, _, err := sys.Detect(b)
 				return err
@@ -101,7 +128,10 @@ func Fig4hScaleDetect(cfg Config) (*Table, error) {
 	cfg.N *= 4
 	var t4, t20 float64
 	for _, n := range []int{4, 8, 12, 16, 20} {
-		ds := appDataset("Logistics", cfg)
+		ds, err := appDataset("Logistics", cfg)
+		if err != nil {
+			return nil, err
+		}
 		b := baselines.NewBench(ds, n)
 		o := detect.DefaultOptions()
 		o.Workers = n
@@ -132,9 +162,15 @@ func Fig4iCorrectF1(cfg Config) (*Table, error) {
 	t := NewTable("fig4i", "error correction accuracy per application", "F1", cols)
 	for _, app := range sortedApps {
 		for _, sysName := range cols {
-			ds := appDataset(app, cfg)
+			ds, err := appDataset(app, cfg)
+			if err != nil {
+				return nil, err
+			}
 			b := baselines.NewBench(ds, cfg.Workers)
-			sys := systemByName(sysName)
+			sys, err := systemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
 			corr, err := sys.Correct(b)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", app, sysName, err)
@@ -170,9 +206,15 @@ func Fig4jSalesTasks(cfg Config) (*Table, error) {
 		"RB":  {"TD": true, "ER": true},
 	}
 	for _, sysName := range cols {
-		ds := appDataset("Sales", cfg)
+		ds, err := appDataset("Sales", cfg)
+		if err != nil {
+			return nil, err
+		}
 		b := baselines.NewBench(ds, cfg.Workers)
-		sys := systemByName(sysName)
+		sys, err := systemByName(sysName)
+		if err != nil {
+			return nil, err
+		}
 		corr, err := sys.Correct(b)
 		if err != nil {
 			return nil, fmt.Errorf("fig4j/%s: %w", sysName, err)
@@ -201,9 +243,15 @@ func Fig4kCorrectTime(cfg Config) (*Table, error) {
 	var rockTotal, sqlTotal float64
 	for _, app := range sortedApps {
 		for _, sysName := range cols {
-			ds := appDataset(app, cfg)
+			ds, err := appDataset(app, cfg)
+			if err != nil {
+				return nil, err
+			}
 			b := baselines.NewBench(ds, cfg.Workers)
-			sys := systemByName(sysName)
+			sys, err := systemByName(sysName)
+			if err != nil {
+				return nil, err
+			}
 			ms, err := timeIt(func() error {
 				_, err := sys.Correct(b)
 				return err
@@ -237,7 +285,10 @@ func Fig4lScaleCorrect(cfg Config) (*Table, error) {
 	cfg.N *= 4 // the paper scales on the full dataset; see Fig4hScaleDetect
 	var t4, t20 float64
 	for _, n := range []int{4, 8, 12, 16, 20} {
-		ds := appDataset("Logistics", cfg)
+		ds, err := appDataset("Logistics", cfg)
+		if err != nil {
+			return nil, err
+		}
 		b := baselines.NewBench(ds, n)
 		gamma := b.DS.Gamma
 		opts := chase.DefaultOptions()
@@ -269,7 +320,10 @@ func Fig4lScaleCorrect(cfg Config) (*Table, error) {
 func RuleCounts(cfg Config) (*Table, error) {
 	t := NewTable("rules", "discovered REE++s per application", "count", []string{"Rock"})
 	for _, app := range sortedApps {
-		ds := appDataset(app, cfg)
+		ds, err := appDataset(app, cfg)
+		if err != nil {
+			return nil, err
+		}
 		b := baselines.NewBench(ds, cfg.Workers)
 		rules, err := baselines.Rock().Discover(b)
 		if err != nil {
@@ -286,7 +340,10 @@ func RuleCounts(cfg Config) (*Table, error) {
 // blocking, lazy chase, sampling and stealing.
 func Ablations(cfg Config) (*Table, error) {
 	t := NewTable("ablation", "ablation summary (Bank)", "", []string{"value"})
-	ds := appDataset("Bank", cfg)
+	ds, err := appDataset("Bank", cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// (1) ML predicates: detection F1 gap.
 	bFull := baselines.NewBench(ds, cfg.Workers)
@@ -472,7 +529,10 @@ func Steal(cfg Config) (*Table, error) {
 		name  string
 		steal bool
 	}{{"steal=on", true}, {"steal=off", false}} {
-		ds := appDataset("Logistics", cfg)
+		ds, err := appDataset("Logistics", cfg)
+		if err != nil {
+			return nil, err
+		}
 		b := baselines.NewBench(ds, cfg.Workers)
 		reg := obs.New()
 		opts := chase.DefaultOptions()
@@ -500,6 +560,100 @@ func Steal(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Faults runs the fault-injection experiment: the same Logistics chase
+// twice on the same seed — once fault-free, once with several work units
+// panicking on their first attempt and one node killed mid-drain — and
+// asserts the two runs deduce the exact same fix set. Recovery (bounded
+// retry with reassignment to a surviving node) must make faults invisible
+// to the result; only the recovery counters differ.
+func Faults(cfg Config) (*Table, error) {
+	t := NewTable("faults", "fault-injection recovery (§5.2)", "",
+		[]string{"ms", "panics", "retries", "reassigned", "killed", "failed", "fixes"})
+	t.Metrics = make(map[string]uint64)
+	fixSets := make(map[string][]string)
+	for _, mode := range []struct {
+		name   string
+		faulty bool
+	}{{"clean", false}, {"faulty", true}} {
+		ds, err := appDataset("Logistics", cfg)
+		if err != nil {
+			return nil, err
+		}
+		b := baselines.NewBench(ds, cfg.Workers)
+		reg := obs.New()
+		opts := chase.DefaultOptions()
+		opts.Workers = cfg.Workers
+		opts.Parallel = cfg.Workers > 1
+		opts.Obs = reg
+		opts.Oracle = b.GoldOracle()
+		opts.EIDRefs = b.DS.EIDRefs
+		if mode.faulty {
+			f := cluster.NewFaultInjector()
+			f.PanicUnit(0, 1)
+			f.PanicUnit(1, 1)
+			f.PanicUnit(5, 1)
+			if cfg.Workers > 1 {
+				// Stealing off makes the kill deterministic: each worker
+				// drains exactly its own queue, so the owner of a part
+				// every two-atom rule emits is certain to execute two
+				// units and die. Fix sets are steal-invariant, so the
+				// clean run stays comparable.
+				opts.Steal = false
+				f.KillNode(cluster.New(cfg.Workers).Ring.Owner("Order-Order/b0-0"), 2)
+			}
+			opts.Faults = f
+		}
+		eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
+		var rep *chase.Report
+		ms, err := timeIt(func() error {
+			var runErr error
+			rep, runErr = eng.Run()
+			return runErr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Partial {
+			return nil, fmt.Errorf("faults: %s run came back partial (%d unit errors) — recovery failed", mode.name, len(rep.UnitErrors))
+		}
+		fixes := make([]string, len(rep.Applied))
+		for i, f := range rep.Applied {
+			fixes[i] = f.String()
+		}
+		fixes = sortStrings(fixes)
+		fixSets[mode.name] = fixes
+		t.Set(mode.name, "ms", ms)
+		t.Set(mode.name, "panics", float64(reg.CounterValue("chase.unit_panics")))
+		t.Set(mode.name, "retries", float64(reg.CounterValue("chase.retries")))
+		t.Set(mode.name, "reassigned", float64(reg.CounterValue("chase.reassigned")))
+		t.Set(mode.name, "killed", float64(reg.CounterValue("chase.node_killed")))
+		t.Set(mode.name, "failed", float64(len(rep.UnitErrors)))
+		t.Set(mode.name, "fixes", float64(len(fixes)))
+		for k, v := range reg.Snapshot().Counters {
+			t.Metrics[mode.name+"."+k] = v
+		}
+	}
+	clean, faulty := fixSets["clean"], fixSets["faulty"]
+	if len(clean) != len(faulty) {
+		return nil, fmt.Errorf("faults: fix sets diverge: clean %d fixes, faulty %d", len(clean), len(faulty))
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			return nil, fmt.Errorf("faults: fix sets diverge at %d: clean %q vs faulty %q", i, clean[i], faulty[i])
+		}
+	}
+	if v := t.Metrics["faulty.chase.unit_panics"]; v == 0 {
+		return nil, fmt.Errorf("faults: faulty run recorded zero unit panics — injection did not fire")
+	}
+	if cfg.Workers > 1 {
+		if v := t.Metrics["faulty.chase.node_killed"]; v != 1 {
+			return nil, fmt.Errorf("faults: expected exactly one node kill, recorded %d", v)
+		}
+	}
+	t.Note("fix sets asserted bit-identical: every injected panic and the killed node were absorbed by retry/reassignment")
+	return t, nil
+}
+
 // Poly reproduces §5.4's polynomial-expression learning: the stump
 // ensemble ranks numeric attributes, LASSO fits the expression, and the
 // learned arithmetic (total ≈ amount + fee; price_no_tax ≈ price/rate per
@@ -513,7 +667,10 @@ func Poly(cfg Config) (*Table, error) {
 		{"Sales", "SalesOrder", "price_no_tax"},
 	}
 	for _, c := range cases {
-		ds := appDataset(c.app, cfg)
+		ds, err := appDataset(c.app, cfg)
+		if err != nil {
+			return nil, err
+		}
 		rel := ds.DB.Rel(c.rel)
 		opts := discovery.DefaultPolyOptions()
 		opts.MinR2 = 0.5 // learned on dirty data
@@ -560,28 +717,28 @@ func figIDFor(app, kind string) string {
 	return "fig4" + suffix
 }
 
-func systemByName(name string) baselines.System {
+func systemByName(name string) (baselines.System, error) {
 	switch name {
 	case "Rock":
-		return baselines.Rock()
+		return baselines.Rock(), nil
 	case "Rock_noML":
-		return baselines.RockNoML()
+		return baselines.RockNoML(), nil
 	case "Rock_seq":
-		return baselines.RockSeq()
+		return baselines.RockSeq(), nil
 	case "Rock_noC":
-		return baselines.RockNoC()
+		return baselines.RockNoC(), nil
 	case "ES":
-		return baselines.NewES()
+		return baselines.NewES(), nil
 	case "T5s":
-		return baselines.NewT5s()
+		return baselines.NewT5s(), nil
 	case "RB":
-		return baselines.NewRB()
+		return baselines.NewRB(), nil
 	case "SparkSQL":
-		return baselines.NewSparkSQL()
+		return baselines.NewSparkSQL(), nil
 	case "Presto":
-		return baselines.NewPresto()
+		return baselines.NewPresto(), nil
 	}
-	panic("benchkit: unknown system " + name)
+	return nil, fmt.Errorf("benchkit: unknown system %q (valid: Rock, Rock_noML, Rock_seq, Rock_noC, ES, T5s, RB, SparkSQL, Presto)", name)
 }
 
 // All runs every experiment in paper order.
@@ -637,6 +794,9 @@ func All(cfg Config) ([]*Table, error) {
 	if err := run(Steal(cfg)); err != nil {
 		return out, err
 	}
+	if err := run(Faults(cfg)); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -677,6 +837,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Predication(cfg)
 	case "steal":
 		return Steal(cfg)
+	case "faults":
+		return Faults(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, all)", id)
 }

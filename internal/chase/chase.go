@@ -9,6 +9,8 @@
 package chase
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -106,11 +108,26 @@ type Options struct {
 	// the paper's ϕ1 ("t.pid = s.pid ... identifies two persons") — rather
 	// than overwriting either value.
 	EIDRefs map[string]bool
+	// MaxRetries bounds how many times a panicking work unit is retried
+	// (reassigned to a different node when one is alive) before it is
+	// given up and surfaced on Report.UnitErrors. Fault tolerance for the
+	// simulated cluster; see cluster.Options.MaxRetries.
+	MaxRetries int
+	// RetryBackoff is the base backoff before a unit retry (attempt k
+	// sleeps k*RetryBackoff).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects failures into every parallel round's
+	// drain (tests and the rockbench "faults" experiment only).
+	Faults *cluster.FaultInjector
 }
 
 // DefaultOptions is the configuration Rock ships with.
 func DefaultOptions() Options {
-	return Options{Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4, Parallel: true, Steal: true, Predication: true}
+	return Options{
+		Mode: Unified, Lazy: true, UseBlocking: true, Workers: 4,
+		Parallel: true, Steal: true, Predication: true,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+	}
 }
 
 // FixKind classifies a deduced fix.
@@ -165,7 +182,15 @@ type UnresolvedConflict struct {
 
 // Report summarises a chase run.
 type Report struct {
-	Rounds      int
+	Rounds int
+	// Partial marks a gracefully degraded run: the chase was cancelled
+	// (deadline or explicit cancel) or some work units failed permanently,
+	// and Applied carries the certain fixes accumulated up to that point
+	// instead of the full fixpoint. Inspect UnitErrors for unit failures.
+	Partial bool
+	// UnitErrors lists work units that panicked on every retry (or lost
+	// their node with no survivor); each failure also sets Partial.
+	UnitErrors  []cluster.UnitError
 	Applied     []Fix
 	Unresolved  []UnresolvedConflict
 	ResolvedTD  int // temporal conflicts resolved by M_rank confidence
@@ -257,6 +282,13 @@ type Engine struct {
 	// over its "chase.*" counters, refreshed by syncReport.
 	obs *obs.Registry
 
+	// ctx is the run's cancellation context (RunCtx/RunIncrementalCtx;
+	// context.Background() otherwise). Checked between rounds here,
+	// between units by the cluster drain, and inside enumeration by the
+	// executor. cancelled latches once any of those observed a cancel.
+	ctx       context.Context
+	cancelled bool
+
 	// mu guards the engine state that deduction may touch from worker
 	// goroutines during a parallel round: the oracle memo and the report's
 	// resolution counters/unresolved list. The fix set u is read-only
@@ -284,6 +316,7 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		tuplesByEID:   make(map[string]map[string][]*data.Tuple),
 		oracleMemo:    make(map[string]data.Value),
 		resolvedCells: make(map[string]bool),
+		ctx:           context.Background(),
 	}
 	e.obs = opts.Obs
 	if e.obs == nil {
@@ -368,6 +401,14 @@ func (e *Engine) syncReport() {
 	e.report.SimMakespan = time.Duration(e.obs.CounterValue("chase.sim_makespan_ns"))
 }
 
+// markPartial flags the run as gracefully degraded and records why.
+func (e *Engine) markPartial(reason string) {
+	if !e.report.Partial {
+		e.obs.Emit(obs.Event{Kind: "chase.partial", Detail: reason})
+	}
+	e.report.Partial = true
+}
+
 // finish seals the report at the end of a Run/RunIncremental: sync the
 // view fields and snapshot the full registry into Report.Metrics.
 func (e *Engine) finish() {
@@ -377,7 +418,18 @@ func (e *Engine) finish() {
 
 // Run executes the chase to its Church-Rosser fixpoint and returns the
 // report. The result is independent of rule order (verified by tests).
-func (e *Engine) Run() (*Report, error) {
+func (e *Engine) Run() (*Report, error) { return e.RunCtx(context.Background()) }
+
+// RunCtx is Run under a cancellation context. Cancelling ctx (or hitting
+// its deadline) degrades gracefully: the chase stops at the next
+// cooperative checkpoint — between rounds, between work units, or inside
+// an enumeration — and returns the certain fixes accumulated so far with
+// Report.Partial=true and a nil error.
+func (e *Engine) RunCtx(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
 	var (
 		rep *Report
 		err error
@@ -401,6 +453,16 @@ func (e *Engine) Run() (*Report, error) {
 // first round, and the normal lazy-activation machinery propagates from
 // there. Call after Run (or on a fresh engine over already-clean data).
 func (e *Engine) RunIncremental(dirty map[string]map[int]bool) (*Report, error) {
+	return e.RunIncrementalCtx(context.Background(), dirty)
+}
+
+// RunIncrementalCtx is RunIncremental under a cancellation context, with
+// the same graceful degradation as RunCtx.
+func (e *Engine) RunIncrementalCtx(ctx context.Context, dirty map[string]map[int]bool) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
 	if len(dirty) == 0 {
 		e.finish()
 		return &e.report, nil
@@ -434,10 +496,26 @@ func (e *Engine) runUnified(rules []*ree.Rule, initialDirty map[string]map[int]b
 		if len(active) == 0 {
 			break
 		}
+		// Cooperative cancellation between rounds: keep the certain fixes
+		// applied so far and return a partial report instead of discarding
+		// the run. (Mid-round cancels are caught by the drain and latch
+		// e.cancelled, handled after runRound below.)
+		if e.ctx.Err() != nil {
+			if !e.cancelled {
+				e.cancelled = true
+				e.obs.Inc("chase.cancelled")
+			}
+			e.markPartial("cancelled between rounds: " + e.ctx.Err().Error())
+			break
+		}
 		e.obs.Inc("chase.rounds")
 		newFixes, err := e.runRound(active, dirty)
 		if err != nil {
 			return &e.report, err
+		}
+		if e.cancelled {
+			e.markPartial("cancelled mid-round")
+			break
 		}
 		if len(newFixes) == 0 {
 			break
@@ -540,6 +618,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		st    exec.Stats
 		err   error
 		cost  time.Duration
+		done  bool
 	}
 	var work []unitWork
 	for _, r := range ordered {
@@ -551,13 +630,18 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	runUnit := func(i int) {
 		w := work[i]
 		res := &results[i]
+		// Reset on entry: a unit retried after a mid-run panic must not
+		// append to a half-filled buffer, or the merged fix set would
+		// diverge from a fault-free run.
+		*res = unitResult{}
 		start := time.Now()
-		opts := exec.Options{UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict}
+		opts := exec.Options{Ctx: e.ctx, UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict}
 		res.st, res.err = e.exec.Run(w.rule, opts, func(h *predicate.Valuation) bool {
 			res.fixes = append(res.fixes, e.deduce(w.rule, h)...)
 			return true
 		})
 		res.cost = time.Since(start)
+		res.done = true
 	}
 	var drain cluster.DrainStats
 	if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
@@ -577,31 +661,67 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 				Run:     func() { runUnit(i) },
 			})
 		}
-		drain = cl.DrainWithStats(cluster.Options{Steal: e.opts.Steal})
+		drain = cl.DrainWithStats(e.ctx, cluster.Options{
+			Steal:        e.opts.Steal,
+			MaxRetries:   e.opts.MaxRetries,
+			RetryBackoff: e.opts.RetryBackoff,
+			Faults:       e.opts.Faults,
+		})
 	} else {
 		// Serial path: attribute units to their affinity owner so the
-		// per-node counters mean the same thing in both modes.
+		// per-node counters mean the same thing in both modes, with the
+		// same fault envelope as the drain — ctx checked between units,
+		// panics isolated and retried in place.
 		drain.PerNode = make(map[string]int)
 		for i := range work {
-			runUnit(i)
+			if e.ctx.Err() != nil {
+				drain.Cancelled = true
+				drain.Skipped = len(work) - i
+				e.obs.Inc("chase.cancelled")
+				break
+			}
 			node := e.ring.Owner(work[i].unit.part)
+			if ue := e.runUnitShielded(i, node, work[i].rule.ID, work[i].unit.part, runUnit); ue != nil {
+				drain.Panics += ue.Attempts
+				drain.Retries += ue.Attempts - 1
+				drain.Failed = append(drain.Failed, *ue)
+				continue
+			}
 			drain.PerNode[node]++
 			e.obs.Inc("chase.node." + node + ".units")
 		}
 	}
+	if drain.Cancelled {
+		e.cancelled = true
+	}
+	if len(drain.Failed) > 0 {
+		e.report.UnitErrors = append(e.report.UnitErrors, drain.Failed...)
+		e.markPartial(fmt.Sprintf("%d work unit(s) failed permanently", len(drain.Failed)))
+	}
 	e.obs.Add("chase.units", uint64(len(work)))
 
-	// Merge the per-unit buffers back in generation order.
+	// Merge the per-unit buffers back in generation order. Units a
+	// cancelled drain never ran (or that failed permanently) are skipped:
+	// the fixes of completed units are still certain and still apply.
 	var candidates []Fix
 	var sims []cluster.SimUnit
 	var roundVal, roundML int
 	unitHist := e.obs.Histogram("chase.unit")
 	for i := range work {
 		res := &results[i]
+		if !res.done {
+			continue
+		}
 		roundVal += res.st.Valuations
 		roundML += res.st.MLCalls
 		if res.err != nil {
-			return nil, res.err
+			// A context error means the unit was cut short mid-enumeration:
+			// its fixes so far are sound, keep them and latch cancellation.
+			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
+				e.cancelled = true
+			} else {
+				return nil, res.err
+			}
 		}
 		candidates = append(candidates, res.fixes...)
 		sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(work[i].unit.part), Cost: res.cost})
@@ -666,6 +786,38 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 	e.obs.Emit(obs.Event{Kind: "round.end", Round: round, N: int64(len(accepted))})
 	e.syncReport()
 	return accepted, nil
+}
+
+// runUnitShielded runs one serial-path unit under recover(), retrying in
+// place up to Options.MaxRetries times — the single-node counterpart of
+// the drain's panic isolation. Returns a UnitError when every attempt
+// panicked, nil on success.
+func (e *Engine) runUnitShielded(i int, node, ruleID, part string, runUnit func(int)) *cluster.UnitError {
+	attempt := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("unit panic: %v", r)
+			}
+		}()
+		runUnit(i)
+		return nil
+	}
+	var err error
+	for a := 0; a <= e.opts.MaxRetries; a++ {
+		if a > 0 {
+			e.obs.Inc("chase.retries")
+			if e.opts.RetryBackoff > 0 {
+				time.Sleep(time.Duration(a) * e.opts.RetryBackoff)
+			}
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+		e.obs.Inc("chase.unit_panics")
+		e.obs.Emit(obs.Event{Kind: "unit.panic", Node: node, Rule: ruleID, Detail: err.Error()})
+	}
+	return &cluster.UnitError{UnitID: i, RuleID: ruleID, Part: part, Node: node,
+		Attempts: e.opts.MaxRetries + 1, Err: err}
 }
 
 // precomputePredications warms the prediction cache with this round's

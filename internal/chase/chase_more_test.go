@@ -6,13 +6,14 @@ import (
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/kg"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 	"github.com/rockclean/rock/internal/truth"
 )
 
 func TestEIDRefConsequenceMergesReferencedEntities(t *testing.T) {
-	schema := data.MustSchema("Trans",
+	schema := must.Schema("Trans",
 		data.Attribute{Name: "pid", Type: data.TString},
 		data.Attribute{Name: "code", Type: data.TString},
 	)
@@ -22,7 +23,7 @@ func TestEIDRefConsequenceMergesReferencedEntities(t *testing.T) {
 	db := data.NewDatabase()
 	db.Add(rel)
 	env := predicate.NewEnv(db)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.code = s.code -> t.pid = s.pid", db)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.code = s.code -> t.pid = s.pid", db)
 	r.ID = "phi1"
 	opts := DefaultOptions()
 	opts.EIDRefs = map[string]bool{"Trans.pid": true}
@@ -43,7 +44,7 @@ func TestEIDRefConsequenceMergesReferencedEntities(t *testing.T) {
 }
 
 func TestKValConsequenceExtractsFromGraph(t *testing.T) {
-	schema := data.MustSchema("Store",
+	schema := must.Schema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 	)
@@ -55,12 +56,12 @@ func TestKValConsequenceExtractsFromGraph(t *testing.T) {
 	g := kg.New("Wiki")
 	apple := g.AddVertex("Apple Taobao Flagship")
 	beijing := g.AddVertex("Beijing")
-	g.MustEdge(apple, "LocationAt", beijing)
+	must.Edge(g, apple, "LocationAt", beijing)
 	env.Graphs["Wiki"] = g
 	env.HER["Store"] = ml.NewHERMatcher("HER", g, schema, 0.6, "name")
 	env.PathM = ml.NewPathMatcher(g, 0.3)
 
-	r := ree.MustParse("Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) ^ null(t.location) -> t.location = val(x.(LocationAt))", db)
+	r := must.Rule("Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) ^ null(t.location) -> t.location = val(x.(LocationAt))", db)
 	r.ID = "phi7"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {
@@ -72,7 +73,7 @@ func TestKValConsequenceExtractsFromGraph(t *testing.T) {
 }
 
 func TestKPredictConsequenceUsesValuePredictor(t *testing.T) {
-	schema := data.MustSchema("Trans",
+	schema := must.Schema("Trans",
 		data.Attribute{Name: "com", Type: data.TString},
 		data.Attribute{Name: "price", Type: data.TFloat},
 	)
@@ -88,7 +89,7 @@ func TestKPredictConsequenceUsesValuePredictor(t *testing.T) {
 	mc.Train(rel.Tuples)
 	env.Pred["M_d"] = ml.NewValuePredictor("M_d", mc, rel.Tuples)
 
-	r := ree.MustParse("Trans(t) ^ null(t.price) -> t.price = M_d(t, price)", db)
+	r := must.Rule("Trans(t) ^ null(t.price) -> t.price = M_d(t, price)", db)
 	r.ID = "phi8"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {
@@ -100,7 +101,7 @@ func TestKPredictConsequenceUsesValuePredictor(t *testing.T) {
 }
 
 func TestTDConflictRetractsLosingEdge(t *testing.T) {
-	schema := data.MustSchema("R", data.Attribute{Name: "v", Type: data.TFloat},
+	schema := must.Schema("R", data.Attribute{Name: "v", Type: data.TFloat},
 		data.Attribute{Name: "tag", Type: data.TString})
 	rel := data.NewRelation(schema)
 	lo := rel.Insert("a", data.F(1), data.S("lo"))
@@ -111,9 +112,9 @@ func TestTDConflictRetractsLosingEdge(t *testing.T) {
 	// Ranker: higher v is newer.
 	env.Ranker = &funcRanker{}
 
-	rBad := ree.MustParse("R(t) ^ R(s) ^ t.tag = 'hi' ^ s.tag = 'lo' -> t <[v] s", db)
+	rBad := must.Rule("R(t) ^ R(s) ^ t.tag = 'hi' ^ s.tag = 'lo' -> t <[v] s", db)
 	rBad.ID = "a-bad"
-	rGood := ree.MustParse("R(t) ^ R(s) ^ t.tag = 'lo' ^ s.tag = 'hi' -> t <[v] s", db)
+	rGood := must.Rule("R(t) ^ R(s) ^ t.tag = 'lo' ^ s.tag = 'hi' -> t <[v] s", db)
 	rGood.ID = "b-good"
 	eng := New(env, []*ree.Rule{rBad, rGood}, truth.NewFixSet(), DefaultOptions())
 	rep, err := eng.Run()
@@ -147,7 +148,7 @@ func TestSimMakespanAccounted(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("a", data.S("X"), data.S("Y"), data.S("h"), data.S("s"), data.Null(data.TString))
 	rel.Insert("b", data.S("X"), data.S("Y"), data.S("h"), data.S("s"), data.Null(data.TString))
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB)
 	r.ID = "er"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	rep, err := eng.Run()
@@ -162,7 +163,7 @@ func TestSimMakespanAccounted(t *testing.T) {
 func TestUnresolvedWithoutOracleOrModels(t *testing.T) {
 	// Two tuples disagree 1-1 with no models, no gamma, no oracle: the
 	// certain-fix discipline refuses to guess.
-	schema := data.MustSchema("R", data.Attribute{Name: "k", Type: data.TString},
+	schema := must.Schema("R", data.Attribute{Name: "k", Type: data.TString},
 		data.Attribute{Name: "v", Type: data.TString})
 	rel := data.NewRelation(schema)
 	a := rel.Insert("x", data.S("key"), data.S("one"))
@@ -170,7 +171,7 @@ func TestUnresolvedWithoutOracleOrModels(t *testing.T) {
 	db := data.NewDatabase()
 	db.Add(rel)
 	env := predicate.NewEnv(db)
-	r := ree.MustParse("R(t) ^ R(s) ^ t.k = s.k -> t.v = s.v", db)
+	r := must.Rule("R(t) ^ R(s) ^ t.k = s.k -> t.v = s.v", db)
 	r.ID = "cr"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	rep, err := eng.Run()
@@ -194,7 +195,7 @@ func TestChaseIdempotent(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("a", data.S("X"), data.S("Y"), data.S("addr"), data.S("single"), data.Null(data.TString))
 	rel.Insert("b", data.S("X"), data.S("Y"), data.Null(data.TString), data.S("single"), data.Null(data.TString))
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB)
 	r.ID = "mi"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {
@@ -236,9 +237,9 @@ func TestFixStrings(t *testing.T) {
 func TestOracleConfirmsExisting(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p1", data.S("A"), data.S("B"), data.S("keep"), data.S("s"), data.Null(data.TString))
-	r1 := ree.MustParse("Person(t) ^ t.LN = 'A' -> t.home = 'keep'", env.DB)
+	r1 := must.Rule("Person(t) ^ t.LN = 'A' -> t.home = 'keep'", env.DB)
 	r1.ID = "a1"
-	r2 := ree.MustParse("Person(t) ^ t.FN = 'B' -> t.home = 'other'", env.DB)
+	r2 := must.Rule("Person(t) ^ t.FN = 'B' -> t.home = 'other'", env.DB)
 	r2.ID = "a2"
 	opts := DefaultOptions()
 	opts.Oracle = func(relName, eid, attr string, cands []data.Value) (data.Value, bool) {
@@ -262,9 +263,9 @@ func TestOracleConfirmsExisting(t *testing.T) {
 func TestOracleOverridesExisting(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p1", data.S("A"), data.S("B"), data.S("h"), data.S("s"), data.Null(data.TString))
-	r1 := ree.MustParse("Person(t) ^ t.LN = 'A' -> t.status = 'x'", env.DB)
+	r1 := must.Rule("Person(t) ^ t.LN = 'A' -> t.status = 'x'", env.DB)
 	r1.ID = "a1"
-	r2 := ree.MustParse("Person(t) ^ t.FN = 'B' -> t.status = 'y'", env.DB)
+	r2 := must.Rule("Person(t) ^ t.FN = 'B' -> t.status = 'y'", env.DB)
 	r2.ID = "a2"
 	opts := DefaultOptions()
 	opts.Oracle = func(relName, eid, attr string, cands []data.Value) (data.Value, bool) {
@@ -284,9 +285,9 @@ func TestOracleOverridesExisting(t *testing.T) {
 func TestOracleAbstains(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p1", data.S("A"), data.S("B"), data.S("h"), data.S("s"), data.Null(data.TString))
-	r1 := ree.MustParse("Person(t) ^ t.LN = 'A' -> t.status = 'x'", env.DB)
+	r1 := must.Rule("Person(t) ^ t.LN = 'A' -> t.status = 'x'", env.DB)
 	r1.ID = "a1"
-	r2 := ree.MustParse("Person(t) ^ t.FN = 'B' -> t.status = 'y'", env.DB)
+	r2 := must.Rule("Person(t) ^ t.FN = 'B' -> t.status = 'y'", env.DB)
 	r2.ID = "a2"
 	opts := DefaultOptions()
 	opts.Oracle = func(relName, eid, attr string, cands []data.Value) (data.Value, bool) {
@@ -310,7 +311,7 @@ func TestValuePairValidatedSideWins(t *testing.T) {
 	rel.Insert("p2", data.S("A"), data.S("B"), data.S("wrong"), data.S("s"), data.Null(data.TString))
 	gamma := truth.NewFixSet()
 	gamma.SetCell("Person", "p1", "home", data.S("right"))
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN -> t.home = s.home", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN -> t.home = s.home", env.DB)
 	r.ID = "cr"
 	eng := New(env, []*ree.Rule{r}, gamma, DefaultOptions())
 	rep, err := eng.Run()

@@ -6,6 +6,7 @@ import (
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 	"github.com/rockclean/rock/internal/truth"
@@ -14,7 +15,7 @@ import (
 // personEnv builds a small Person relation for chase tests.
 func personEnv(t *testing.T) (*predicate.Env, *data.Relation) {
 	t.Helper()
-	schema := data.MustSchema("Person",
+	schema := must.Schema("Person",
 		data.Attribute{Name: "LN", Type: data.TString},
 		data.Attribute{Name: "FN", Type: data.TString},
 		data.Attribute{Name: "home", Type: data.TString},
@@ -35,7 +36,7 @@ func TestChaseCRFix(t *testing.T) {
 	rel.Insert("p2", data.S("Jones"), data.S("Christine"), data.S("5 West Road"), data.S("single"), data.Null(data.TString))
 	gamma := truth.NewFixSet()
 	gamma.SetCell("Person", "p1", "home", data.S("5 Beijing West Road")) // master data
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN -> t.home = s.home", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN -> t.home = s.home", env.DB)
 	r.ID = "r1"
 	eng := New(env, []*ree.Rule{r}, gamma, DefaultOptions())
 	rep, err := eng.Run()
@@ -57,7 +58,7 @@ func TestChaseERMerge(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p3", data.S("Smith"), data.S("George"), data.S("12 Beijing Road"), data.S("married"), data.S("p2"))
 	rel.Insert("p4", data.S("Smith"), data.S("George"), data.S("12 Beijing Road"), data.S("married"), data.S("p2"))
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB)
 	r.ID = "er1"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {
@@ -83,14 +84,14 @@ func TestChaseInteractions(t *testing.T) {
 
 	rules := []*ree.Rule{
 		// ϕ4: TD — status monotone single -> married.
-		ree.MustParse("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s", env.DB),
+		must.Rule("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s", env.DB),
 		// ϕ5: TD comonotone: status order implies home order (strict form
 		// so the latest home is well-defined).
-		ree.MustParse("Person(t) ^ Person(s) ^ t <=[status] s -> t <=[home] s", env.DB),
+		must.Rule("Person(t) ^ Person(s) ^ t <=[status] s -> t <=[home] s", env.DB),
 		// ϕ14: TD helps MI — a spouse's latest home fills the null.
-		ree.MustParse("Person(u) ^ Person(t) ^ Person(s) ^ u.LN = t.LN ^ u.FN = t.FN ^ t.LN = s.LN ^ u <=[home] t ^ t.status = 'married' ^ null(s.home) -> s.home = t.home", env.DB),
+		must.Rule("Person(u) ^ Person(t) ^ Person(s) ^ u.LN = t.LN ^ u.FN = t.FN ^ t.LN = s.LN ^ u <=[home] t ^ t.status = 'married' ^ null(s.home) -> s.home = t.home", env.DB),
 		// ϕ15: MI helps ER — same name + home identifies.
-		ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
+		must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
 	}
 	for i, r := range rules {
 		r.ID = []string{"phi4", "phi5", "phi14", "phi15"}[i]
@@ -133,7 +134,7 @@ func TestChurchRosser(t *testing.T) {
 		}
 		var rules []*ree.Rule
 		for _, i := range order {
-			r := ree.MustParse(ruleSrc[i], env.DB)
+			r := must.Rule(ruleSrc[i], env.DB)
 			r.ID = []string{"er", "td", "mi"}[i]
 			rules = append(rules, r)
 		}
@@ -165,9 +166,9 @@ func TestConflictResolutionMI(t *testing.T) {
 	env.Corr["M_c"] = mc
 	// Two imputation rules suggest different values; argmax-Mc keeps the
 	// correlated one.
-	r1 := ree.MustParse("Person(t) ^ t.LN = 'Smith' ^ null(t.home) -> t.home = 'nowhere'", env.DB)
+	r1 := must.Rule("Person(t) ^ t.LN = 'Smith' ^ null(t.home) -> t.home = 'nowhere'", env.DB)
 	r1.ID = "bad"
-	r2 := ree.MustParse("Person(t) ^ t.status = 'married' ^ t.LN = 'Smith' ^ null(t.home) -> t.home = '12 Beijing Road'", env.DB)
+	r2 := must.Rule("Person(t) ^ t.status = 'married' ^ t.LN = 'Smith' ^ null(t.home) -> t.home = '12 Beijing Road'", env.DB)
 	r2.ID = "good"
 	eng := New(env, []*ree.Rule{r1, r2}, truth.NewFixSet(), DefaultOptions())
 	rep, err := eng.Run()
@@ -188,9 +189,9 @@ func TestConflictResolutionTD(t *testing.T) {
 	b := rel.Insert("b", data.S("X"), data.S("F"), data.S("h2"), data.S("married"), data.Null(data.TString))
 	// Conflicting TD rules: one orders by status (a before b), the other
 	// claims the reverse. A ranker favouring the status order decides.
-	r1 := ree.MustParse("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <[status] s", env.DB)
+	r1 := must.Rule("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <[status] s", env.DB)
 	r1.ID = "td-good"
-	r2 := ree.MustParse("Person(t) ^ Person(s) ^ t.status = 'married' ^ s.status = 'single' -> t <[status] s", env.DB)
+	r2 := must.Rule("Person(t) ^ Person(s) ^ t.status = 'married' ^ s.status = 'single' -> t <[status] s", env.DB)
 	r2.ID = "td-bad"
 	ranker := ml.NewPairRanker("M_rank", rel.Schema)
 	ranker.AttrOrderHints["status"] = map[string]int{"single": 0, "married": 1}
@@ -222,9 +223,9 @@ func TestUnresolvedConflictGoesToUser(t *testing.T) {
 	rel.Insert("p1", data.S("A"), data.S("B"), data.S("h1"), data.S("s"), data.Null(data.TString))
 	// Two CR rules assign different constants; no correlation model is
 	// registered, so the conflict is reported, not resolved.
-	r1 := ree.MustParse("Person(t) ^ t.LN = 'A' -> t.home = 'x'", env.DB)
+	r1 := must.Rule("Person(t) ^ t.LN = 'A' -> t.home = 'x'", env.DB)
 	r1.ID = "c1"
-	r2 := ree.MustParse("Person(t) ^ t.FN = 'B' -> t.home = 'y'", env.DB)
+	r2 := must.Rule("Person(t) ^ t.FN = 'B' -> t.home = 'y'", env.DB)
 	r2.ID = "c2"
 	eng := New(env, []*ree.Rule{r1, r2}, truth.NewFixSet(), DefaultOptions())
 	rep, err := eng.Run()
@@ -243,8 +244,8 @@ func TestModesAgreeOnF1ButNotCost(t *testing.T) {
 		rel.Insert("b", data.S("X"), data.S("Y"), data.S("addr1"), data.S("married"), data.Null(data.TString))
 		rel.Insert("c", data.S("X"), data.S("Y"), data.Null(data.TString), data.S("married"), data.Null(data.TString))
 		rules := []*ree.Rule{
-			ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
-			ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ null(s.home) -> s.home = t.home", env.DB),
+			must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
+			must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ null(s.home) -> s.home = t.home", env.DB),
 		}
 		rules[0].ID, rules[1].ID = "er", "mi"
 		o := DefaultOptions()
@@ -293,9 +294,9 @@ func TestLazyMatchesNaive(t *testing.T) {
 			)
 		}
 		rules := []*ree.Rule{
-			ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
-			ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB),
-			ree.MustParse("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s", env.DB),
+			must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ t.home = s.home -> t.eid = s.eid", env.DB),
+			must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB),
+			must.Rule("Person(t) ^ Person(s) ^ t.status = 'single' ^ s.status = 'married' -> t <=[status] s", env.DB),
 		}
 		for i, r := range rules {
 			r.ID = []string{"er", "mi", "td"}[i]
@@ -322,7 +323,7 @@ func TestLazyMatchesNaive(t *testing.T) {
 func TestMaterializeIdempotent(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p1", data.S("A"), data.S("B"), data.Null(data.TString), data.S("s"), data.Null(data.TString))
-	r := ree.MustParse("Person(t) ^ null(t.home) -> t.home = 'somewhere'", env.DB)
+	r := must.Rule("Person(t) ^ null(t.home) -> t.home = 'somewhere'", env.DB)
 	r.ID = "mi"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {

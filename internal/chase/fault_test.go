@@ -1,0 +1,190 @@
+// External test package: fault-tolerance behaviour of the chase —
+// cooperative cancellation (partial reports, graceful degradation,
+// resumability) and recovery from injected unit panics and node kills.
+package chase_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rockclean/rock/internal/baselines"
+	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/cluster"
+	"github.com/rockclean/rock/internal/obs"
+	"github.com/rockclean/rock/internal/workload"
+)
+
+func logisticsBench(workers int) *baselines.Bench {
+	return baselines.NewBench(workload.Logistics(workload.Config{N: 150, Seed: 11}), workers)
+}
+
+func faultOpts(b *baselines.Bench, workers int, parallel bool) chase.Options {
+	opts := chase.DefaultOptions()
+	opts.Workers = workers
+	opts.Parallel = parallel
+	opts.Oracle = b.GoldOracle()
+	opts.EIDRefs = b.DS.EIDRefs
+	return opts
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of polls — deterministic mid-run cancellation, unlike a
+// timer. Done returns nil (never closes): the serial chase and the
+// executor only poll Err, which is exactly the path under test.
+type countdownCtx struct {
+	context.Context
+	remaining int64
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt64(&c.remaining, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return nil }
+
+// TestPreCancelledRunIsPartial: a context cancelled before RunCtx returns
+// an empty partial report, not an error.
+func TestPreCancelledRunIsPartial(t *testing.T) {
+	b := logisticsBench(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := chase.New(b.Env, b.Rules, b.DS.Gamma, faultOpts(b, 4, true))
+	rep, err := eng.RunCtx(ctx)
+	if err != nil {
+		t.Fatalf("cancelled run must degrade, not fail: %v", err)
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled run must report Partial")
+	}
+	if len(rep.Applied) != 0 {
+		t.Fatalf("no round ran, yet %d fixes applied", len(rep.Applied))
+	}
+}
+
+// TestCancelMidRunResumesToFullFixSet: cancelling after a bounded number
+// of context polls yields a partial run whose accumulated certain fixes,
+// used as the ground truth of a fresh engine, converge to the exact truth
+// snapshot of an uninterrupted run.
+func TestCancelMidRunResumesToFullFixSet(t *testing.T) {
+	b := logisticsBench(1)
+
+	clean := chase.New(b.Env, b.Rules, b.DS.Gamma, faultOpts(b, 1, false))
+	cleanRep, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Truth().Snapshot()
+
+	sawPartial := false
+	for _, polls := range []int64{3, 40, 400} {
+		eng := chase.New(b.Env, b.Rules, b.DS.Gamma, faultOpts(b, 1, false))
+		rep, err := eng.RunCtx(&countdownCtx{Context: context.Background(), remaining: polls})
+		if err != nil {
+			t.Fatalf("polls=%d: cancelled run must degrade, not fail: %v", polls, err)
+		}
+		if !rep.Partial {
+			// The budget outlasted the whole run; nothing was cut short.
+			if got := eng.Truth().Snapshot(); got != want {
+				t.Fatalf("polls=%d: complete run diverged from clean run", polls)
+			}
+			continue
+		}
+		sawPartial = true
+		if len(rep.Applied) > len(cleanRep.Applied) {
+			t.Fatalf("polls=%d: partial run applied %d fixes, clean run only %d",
+				polls, len(rep.Applied), len(cleanRep.Applied))
+		}
+		resumed := chase.New(b.Env, b.Rules, eng.Truth(), faultOpts(b, 1, false))
+		if _, err := resumed.Run(); err != nil {
+			t.Fatalf("polls=%d: resume failed: %v", polls, err)
+		}
+		if got := resumed.Truth().Snapshot(); got != want {
+			t.Fatalf("polls=%d: resumed truth diverged from uninterrupted run", polls)
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no poll budget produced a partial run — cancellation never bit")
+	}
+}
+
+// TestDeadlineCancelParallelIsPartialNotError: a deadline that expires
+// mid-drain on the parallel path ends the run with Partial=true and a nil
+// error, and the chase.cancelled counter records it.
+func TestDeadlineCancelParallelIsPartialNotError(t *testing.T) {
+	b := baselines.NewBench(workload.Logistics(workload.Config{N: 600, Seed: 11}), 4)
+	reg := obs.New()
+	opts := faultOpts(b, 4, true)
+	opts.Obs = reg
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
+	rep, err := eng.RunCtx(ctx)
+	if err != nil {
+		t.Fatalf("deadline must degrade, not fail: %v", err)
+	}
+	if !rep.Partial {
+		t.Skip("run finished inside the deadline on this machine")
+	}
+	if reg.CounterValue("chase.cancelled") == 0 {
+		t.Fatal("partial deadline run must increment chase.cancelled")
+	}
+}
+
+// TestFaultyChaseMatchesCleanChase is the in-tree counterpart of the
+// rockbench faults experiment: with unit panics injected on first attempt
+// and a node killed mid-drain, bounded retry plus reassignment must land
+// on the exact fix set of a fault-free run.
+func TestFaultyChaseMatchesCleanChase(t *testing.T) {
+	clean := logisticsBench(4)
+	cleanEng := chase.New(clean.Env, clean.Rules, clean.DS.Gamma, faultOpts(clean, 4, true))
+	cleanRep, err := cleanEng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := logisticsBench(4)
+	reg := obs.New()
+	opts := faultOpts(faulty, 4, true)
+	opts.Obs = reg
+	// Deterministic kill: without stealing every worker drains exactly its
+	// own queue, so the ring owner of a block-combination part that every
+	// two-atom rule emits is guaranteed to execute at least two units. The
+	// chase builds its ring exactly like cluster.New(4), so the owner can
+	// be computed here.
+	opts.Steal = false
+	victim := cluster.New(4).Ring.Owner("Order-Order/b0-0")
+	inj := cluster.NewFaultInjector()
+	inj.PanicUnit(0, 1)
+	inj.PanicUnit(2, 1)
+	inj.PanicUnit(9, 1)
+	inj.KillNode(victim, 2)
+	opts.Faults = inj
+	eng := chase.New(faulty.Env, faulty.Rules, faulty.DS.Gamma, opts)
+	rep, err := eng.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial {
+		t.Fatalf("recovery failed: faulty run partial with %d unit errors", len(rep.UnitErrors))
+	}
+	if got, want := eng.Truth().Snapshot(), cleanEng.Truth().Snapshot(); got != want {
+		t.Fatal("faulty run's truth diverged from fault-free run")
+	}
+	if len(rep.Applied) != len(cleanRep.Applied) {
+		t.Fatalf("applied-fix counts diverge: faulty %d vs clean %d", len(rep.Applied), len(cleanRep.Applied))
+	}
+	if reg.CounterValue("chase.unit_panics") == 0 {
+		t.Fatal("injection never fired — the test proved nothing")
+	}
+	if reg.CounterValue("chase.retries") == 0 {
+		t.Fatal("no retries recorded despite injected panics")
+	}
+	if reg.CounterValue("chase.node_killed") != 1 {
+		t.Fatalf("expected exactly one node kill, got %d", reg.CounterValue("chase.node_killed"))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/ree"
 	"github.com/rockclean/rock/internal/truth"
 )
@@ -15,7 +16,7 @@ func TestRunIncremental(t *testing.T) {
 	env, rel := personEnv(t)
 	rel.Insert("p1", data.S("Jones"), data.S("C"), data.S("addr one"), data.S("single"), data.Null(data.TString))
 	rel.Insert("p2", data.S("Jones"), data.S("C"), data.Null(data.TString), data.S("single"), data.Null(data.TString))
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", env.DB)
 	r.ID = "mi"
 	eng := New(env, []*ree.Rule{r}, truth.NewFixSet(), DefaultOptions())
 	if _, err := eng.Run(); err != nil {

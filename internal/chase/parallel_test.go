@@ -9,6 +9,7 @@ import (
 	"github.com/rockclean/rock/internal/baselines"
 	"github.com/rockclean/rock/internal/chase"
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
@@ -121,7 +122,7 @@ func TestIncrementalMatchesBatchMatrix(t *testing.T) {
 		mkRow("p11", "Smith", "A", "", "single"),
 	}
 	mkEnv := func() (*predicate.Env, *data.Relation) {
-		schema := data.MustSchema("Person",
+		schema := must.Schema("Person",
 			data.Attribute{Name: "LN", Type: data.TString},
 			data.Attribute{Name: "FN", Type: data.TString},
 			data.Attribute{Name: "home", Type: data.TString},
@@ -134,9 +135,9 @@ func TestIncrementalMatchesBatchMatrix(t *testing.T) {
 		return predicate.NewEnv(db), rel
 	}
 	mkRules := func(db *data.Database) []*ree.Rule {
-		mi := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", db)
+		mi := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.FN = s.FN ^ null(s.home) -> s.home = t.home", db)
 		mi.ID = "mi"
-		er := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.home = s.home -> t.eid = s.eid", db)
+		er := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.home = s.home -> t.eid = s.eid", db)
 		er.ID = "er"
 		return []*ree.Rule{mi, er}
 	}

@@ -6,6 +6,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,7 +37,15 @@ func New(n int) *Cluster {
 	if n < 1 {
 		n = 1
 	}
-	ring := crystal.NewRing(64)
+	// Scale virtual nodes with cluster size: at a fixed replica count the
+	// consistent-hash imbalance grows with n (max/mean deviation is roughly
+	// sqrt(log n / replicas)), so bigger clusters get more ring positions
+	// per node. Capped to bound ring memory and Owner() lookup cost.
+	replicas := 64 * n
+	if replicas > 1024 {
+		replicas = 1024
+	}
+	ring := crystal.NewRing(replicas)
 	nodes := make([]string, n)
 	for i := range nodes {
 		nodes[i] = fmt.Sprintf("node-%d", i)
@@ -86,31 +96,110 @@ type Options struct {
 	// Steal enables work stealing (on by default in Rock; the ablation
 	// benchmark turns it off).
 	Steal bool
+	// MaxRetries bounds how many times a panicking unit is retried —
+	// on a different node when one is alive — before it is given up and
+	// reported as a UnitError. 0 means the first panic fails the unit.
+	MaxRetries int
+	// RetryBackoff is the base backoff before a retry; attempt k sleeps
+	// k*RetryBackoff. Zero retries immediately.
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects failures (panicking units,
+	// stragglers, node kills) into this drain. Production runs leave it
+	// nil; tests and the rockbench "faults" experiment set it.
+	Faults *FaultInjector
 }
 
+// UnitError describes a work unit that could not be completed: it
+// panicked on every attempt, or its node died with no survivor to take
+// the unit over.
+type UnitError struct {
+	UnitID   int
+	RuleID   string
+	Part     string
+	Node     string // node of the last attempt
+	Attempts int    // total attempts made (0 if never started)
+	Err      error
+}
+
+func (e *UnitError) Error() string {
+	return fmt.Sprintf("unit %d (%s %s) failed on %s after %d attempt(s): %v",
+		e.UnitID, e.RuleID, e.Part, e.Node, e.Attempts, e.Err)
+}
+
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// errNoSurvivor marks units stranded when every node has been killed.
+var errNoSurvivor = errors.New("no surviving node to run unit")
+
 // DrainStats describes one drain: per-node unit counts for THIS drain
-// only, the number of steals it performed, and the queue depth when it
-// started.
+// only, the number of steals it performed, the queue depth when it
+// started, and the fault-tolerance outcomes.
 type DrainStats struct {
 	PerNode map[string]int
 	Steals  int
 	Queued  int
+
+	Panics     int         // recovered unit panics (including retried ones)
+	Retries    int         // retry attempts scheduled after a panic
+	Reassigned int         // units re-homed to a different node (retries + reclaimed)
+	Cancelled  bool        // drain stopped early on context cancellation
+	Skipped    int         // units left unexecuted by a cancelled drain
+	Killed     []string    // nodes killed by fault injection during this drain
+	Failed     []UnitError // units that exhausted retries or lost their node
+}
+
+// drainRun is the shared state of one DrainWithStats call. Workers wait
+// on cond when their queues are empty but units are still outstanding
+// (in flight, in retry backoff, or queued on a peer with stealing off);
+// version guards against missed wakeups: it is bumped, with a
+// broadcast, on every state change a waiter cares about.
+type drainRun struct {
+	ctx  context.Context
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	version     int
+	outstanding int // units not yet completed or permanently failed
+	cancelled   bool
+	dead        map[string]bool
+	attempts    map[*crystal.WorkUnit]int // panics per unit so far
+
+	panics     int
+	retries    int
+	reassigned int
+	killed     []string
+	failed     []UnitError
+}
+
+func (d *drainRun) bumpLocked() {
+	d.version++
+	d.cond.Broadcast()
 }
 
 // Drain runs every queued unit to completion across all workers and
 // returns per-node unit counts for this drain. Each worker loops: pop
-// (or steal) a unit, run it, repeat until the scheduler is empty.
+// (or steal) a unit, run it, repeat until no units remain outstanding,
+// the context is cancelled, or the (simulated) node dies.
 //
 // The counts are per-drain (reset on entry): the chase drains the same
 // shared cluster once per round, and utilization stats derived from
 // cumulative counts would inflate every round after the first.
 // Executed() keeps the cumulative view.
-func (c *Cluster) Drain(opts Options) map[string]int {
-	return c.DrainWithStats(opts).PerNode
+func (c *Cluster) Drain(ctx context.Context, opts Options) map[string]int {
+	return c.DrainWithStats(ctx, opts).PerNode
 }
 
-// DrainWithStats is Drain returning the full per-drain statistics.
-func (c *Cluster) DrainWithStats(opts Options) DrainStats {
+// DrainWithStats is Drain returning the full per-drain statistics. A
+// panicking unit is recovered, retried with backoff up to
+// opts.MaxRetries times (reassigned to a different live node when one
+// exists), and surfaced as a UnitError once retries are exhausted —
+// other units keep running either way. Cancelling ctx stops the drain
+// between units: in-flight units finish, the rest are reclaimed from
+// the scheduler and counted in Skipped, and Cancelled is set.
+func (c *Cluster) DrainWithStats(ctx context.Context, opts Options) DrainStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st := DrainStats{Queued: c.Sched.Pending()}
 	stealsBefore := c.Sched.Steals()
 	c.mu.Lock()
@@ -119,31 +208,78 @@ func (c *Cluster) DrainWithStats(opts Options) DrainStats {
 	if c.reg != nil {
 		c.reg.SetGauge(c.prefix+".queue_depth", int64(st.Queued))
 	}
+	d := &drainRun{
+		ctx:         ctx,
+		outstanding: st.Queued,
+		dead:        make(map[string]bool, len(c.nodes)),
+		attempts:    make(map[*crystal.WorkUnit]int),
+	}
+	d.cond = sync.NewCond(&d.mu)
+
+	// Watchdog: wake every waiting worker when the context is cancelled,
+	// so none sleeps on the cond past the deadline.
+	stop := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			d.mu.Lock()
+			d.cancelled = true
+			d.bumpLocked()
+			d.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for _, node := range c.nodes {
 		wg.Add(1)
 		go func(node string) {
 			defer wg.Done()
-			for {
-				u := c.Sched.Next(node, opts.Steal)
-				if u == nil {
-					return
-				}
-				if u.Run != nil {
-					u.Run()
-				}
-				c.mu.Lock()
-				c.executed[node]++
-				c.total[node]++
-				c.mu.Unlock()
-				if c.reg != nil {
-					c.reg.Inc(c.prefix + ".node." + node + ".units")
-					c.reg.Emit(obs.Event{Kind: "unit.executed", Node: node, Rule: u.RuleID, Detail: u.Part})
-				}
-			}
+			c.workerLoop(node, d, opts)
 		}(node)
 	}
 	wg.Wait()
+	close(stop)
+	watch.Wait()
+
+	d.mu.Lock()
+	st.Cancelled = d.cancelled
+	st.Panics = d.panics
+	st.Retries = d.retries
+	st.Reassigned = d.reassigned
+	st.Killed = append([]string(nil), d.killed...)
+	st.Failed = append([]UnitError(nil), d.failed...)
+	d.mu.Unlock()
+
+	// A drain must leave the scheduler empty so the next round starts
+	// clean: reclaim whatever a cancelled (or fully killed) run left
+	// behind. Cancelled leftovers are merely skipped; leftovers with no
+	// surviving node are failures.
+	for _, node := range c.nodes {
+		leftover := c.Sched.Reclaim(node)
+		if len(leftover) == 0 {
+			continue
+		}
+		if st.Cancelled {
+			st.Skipped += len(leftover)
+			continue
+		}
+		for _, u := range leftover {
+			st.Failed = append(st.Failed, UnitError{
+				UnitID: u.ID, RuleID: u.RuleID, Part: u.Part,
+				Node: node, Attempts: 0, Err: errNoSurvivor,
+			})
+		}
+	}
+	if st.Cancelled && c.reg != nil {
+		c.reg.Inc(c.prefix + ".cancelled")
+		c.reg.Emit(obs.Event{Kind: "drain.cancelled",
+			Detail: fmt.Sprintf("%d units skipped", st.Skipped)})
+	}
+
 	st.Steals = c.Sched.Steals() - stealsBefore
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -152,6 +288,189 @@ func (c *Cluster) DrainWithStats(opts Options) DrainStats {
 		st.PerNode[k] = v
 	}
 	return st
+}
+
+// workerLoop is one node's work manager for the duration of a drain.
+func (c *Cluster) workerLoop(node string, d *drainRun, opts Options) {
+	d.mu.Lock()
+	for {
+		if d.cancelled || d.outstanding == 0 || d.dead[node] {
+			d.mu.Unlock()
+			return
+		}
+		v := d.version
+		d.mu.Unlock()
+		u := c.Sched.Next(node, opts.Steal)
+		if u == nil {
+			d.mu.Lock()
+			// Sleep only if nothing changed since the queues looked
+			// empty; a version bump in between may have re-queued work.
+			if d.version == v && !d.cancelled && d.outstanding > 0 && !d.dead[node] {
+				d.cond.Wait()
+			}
+			continue
+		}
+		c.runOne(node, u, d, opts)
+		d.mu.Lock()
+	}
+}
+
+// runOne executes a single unit with panic isolation and drives the
+// retry/reassignment policy on failure.
+func (c *Cluster) runOne(node string, u *crystal.WorkUnit, d *drainRun, opts Options) {
+	if opts.Faults != nil {
+		if delay := opts.Faults.delayFor(u.ID); delay > 0 {
+			// Stragglers stay interruptible: cancellation cuts the
+			// injected slowness short (the unit itself still runs).
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-d.ctx.Done():
+				t.Stop()
+			}
+		}
+	}
+	err := runShielded(opts.Faults, u)
+	if err == nil {
+		c.mu.Lock()
+		c.executed[node]++
+		c.total[node]++
+		c.mu.Unlock()
+		if c.reg != nil {
+			c.reg.Inc(c.prefix + ".node." + node + ".units")
+			c.reg.Emit(obs.Event{Kind: "unit.executed", Node: node, Rule: u.RuleID, Detail: u.Part})
+		}
+		d.mu.Lock()
+		d.outstanding--
+		d.bumpLocked()
+		d.mu.Unlock()
+		if opts.Faults != nil && opts.Faults.shouldDie(node) {
+			c.killNode(node, d)
+		}
+		return
+	}
+
+	// The unit panicked (recovered into err): retry with backoff on a
+	// different live node, or give up with a typed UnitError.
+	if c.reg != nil {
+		c.reg.Inc(c.prefix + ".unit_panics")
+		c.reg.Emit(obs.Event{Kind: "unit.panic", Node: node, Rule: u.RuleID, Detail: err.Error()})
+	}
+	d.mu.Lock()
+	d.panics++
+	d.attempts[u]++
+	attempt := d.attempts[u]
+	if attempt > opts.MaxRetries {
+		d.failed = append(d.failed, UnitError{
+			UnitID: u.ID, RuleID: u.RuleID, Part: u.Part,
+			Node: node, Attempts: attempt, Err: err,
+		})
+		d.outstanding--
+		d.bumpLocked()
+		d.mu.Unlock()
+		if c.reg != nil {
+			c.reg.Inc(c.prefix + ".unit_failures")
+		}
+		return
+	}
+	d.retries++
+	d.mu.Unlock()
+	if c.reg != nil {
+		c.reg.Inc(c.prefix + ".retries")
+	}
+	if opts.RetryBackoff > 0 {
+		time.Sleep(time.Duration(attempt) * opts.RetryBackoff)
+	}
+	target := c.Sched.AssignExcluding(u, c.retryExclusion(node, d))
+	d.mu.Lock()
+	if target != node {
+		d.reassigned++
+	}
+	d.bumpLocked()
+	d.mu.Unlock()
+	if c.reg != nil {
+		if target != node {
+			c.reg.Inc(c.prefix + ".reassigned")
+		}
+		c.reg.Emit(obs.Event{Kind: "unit.retry", Node: target, Rule: u.RuleID,
+			Detail: fmt.Sprintf("attempt %d after panic on %s", attempt+1, node)})
+	}
+}
+
+// runShielded runs the unit under recover(), converting a panic into an
+// error so one bad unit cannot take down the process.
+func runShielded(f *FaultInjector, u *crystal.WorkUnit) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("unit panic: %v", r)
+		}
+	}()
+	if f != nil {
+		f.maybePanic(u.ID)
+	}
+	if u.Run != nil {
+		u.Run()
+	}
+	return nil
+}
+
+// retryExclusion builds the node set a retried unit must avoid: every
+// dead node, plus the node it just failed on — unless that node is the
+// only survivor, in which case it has to try again locally.
+func (c *Cluster) retryExclusion(node string, d *drainRun) map[string]bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ex := make(map[string]bool, len(d.dead)+1)
+	aliveOthers := 0
+	for _, n := range c.nodes {
+		if d.dead[n] {
+			ex[n] = true
+		} else if n != node {
+			aliveOthers++
+		}
+	}
+	if aliveOthers > 0 {
+		ex[node] = true
+	}
+	return ex
+}
+
+// killNode marks a node dead mid-drain (fault injection), reclaims its
+// pending queue, and re-homes the orphaned units on the survivors.
+func (c *Cluster) killNode(node string, d *drainRun) {
+	d.mu.Lock()
+	if d.dead[node] {
+		d.mu.Unlock()
+		return
+	}
+	d.dead[node] = true
+	d.killed = append(d.killed, node)
+	exclude := make(map[string]bool, len(d.dead))
+	for n := range d.dead {
+		exclude[n] = true
+	}
+	d.bumpLocked()
+	d.mu.Unlock()
+	if c.reg != nil {
+		c.reg.Inc(c.prefix + ".node_killed")
+		c.reg.Emit(obs.Event{Kind: "node.killed", Node: node})
+	}
+	orphans := c.Sched.Reclaim(node)
+	moved := 0
+	for _, o := range orphans {
+		if target := c.Sched.AssignExcluding(o, exclude); target != node {
+			moved++
+		}
+	}
+	if moved > 0 {
+		d.mu.Lock()
+		d.reassigned += moved
+		d.bumpLocked()
+		d.mu.Unlock()
+		if c.reg != nil {
+			c.reg.Add(c.prefix+".reassigned", uint64(moved))
+		}
+	}
 }
 
 // Executed returns the cumulative per-node unit counts across every

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,7 +24,7 @@ func TestClusterDrainsAllUnits(t *testing.T) {
 			Run:     func() { atomic.AddInt64(&ran, 1) },
 		})
 	}
-	per := c.Drain(Options{Steal: true})
+	per := c.Drain(context.Background(), Options{Steal: true})
 	if ran != 100 {
 		t.Fatalf("ran %d of 100", ran)
 	}
@@ -52,7 +53,7 @@ func TestStealingBalancesSkew(t *testing.T) {
 			},
 		})
 	}
-	counts := c.Drain(Options{Steal: true})
+	counts := c.Drain(context.Background(), Options{Steal: true})
 	busy := 0
 	for _, n := range counts {
 		if n > 0 {
@@ -70,7 +71,7 @@ func TestStealingBalancesSkew(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		c2.Submit(&crystal.WorkUnit{ID: i, Part: "hot/block", EstCost: 1, Run: func() {}})
 	}
-	counts2 := c2.Drain(Options{Steal: false})
+	counts2 := c2.Drain(context.Background(), Options{Steal: false})
 	busy2 := 0
 	for _, n := range counts2 {
 		if n > 0 {
@@ -101,12 +102,12 @@ func TestDrainPerDrainCounts(t *testing.T) {
 		return s
 	}
 	submit(12)
-	first := c.Drain(Options{Steal: true})
+	first := c.Drain(context.Background(), Options{Steal: true})
 	if got := sum(first); got != 12 {
 		t.Fatalf("first drain counted %d units, want 12: %v", got, first)
 	}
 	submit(5)
-	second := c.Drain(Options{Steal: true})
+	second := c.Drain(context.Background(), Options{Steal: true})
 	if got := sum(second); got != 5 {
 		t.Fatalf("second drain counted %d units, want 5 (per-drain, not cumulative): %v", got, second)
 	}
@@ -123,7 +124,7 @@ func TestDrainWithStats(t *testing.T) {
 		c.Submit(&crystal.WorkUnit{ID: i, Part: "hot/block", EstCost: 1,
 			Run: func() { time.Sleep(100 * time.Microsecond) }})
 	}
-	st := c.DrainWithStats(Options{Steal: true})
+	st := c.DrainWithStats(context.Background(), Options{Steal: true})
 	if st.Queued != 32 {
 		t.Errorf("Queued = %d, want 32", st.Queued)
 	}
@@ -150,7 +151,7 @@ func TestDrainWithStats(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		c2.Submit(&crystal.WorkUnit{ID: i, Part: "hot/block", EstCost: 1, Run: func() {}})
 	}
-	st2 := c2.DrainWithStats(Options{Steal: false})
+	st2 := c2.DrainWithStats(context.Background(), Options{Steal: false})
 	if st2.Steals != 0 || reg2.CounterValue("chase.steals") != 0 {
 		t.Errorf("Steal=false must record zero steals: %d / %d", st2.Steals, reg2.CounterValue("chase.steals"))
 	}
@@ -177,7 +178,7 @@ func TestParallelScalability(t *testing.T) {
 			c.SubmitBalanced(&crystal.WorkUnit{ID: i, EstCost: 1, Run: work})
 		}
 		start := time.Now()
-		c.Drain(Options{Steal: true})
+		c.Drain(context.Background(), Options{Steal: true})
 		return time.Since(start)
 	}
 	t1 := run(1)

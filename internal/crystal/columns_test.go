@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 )
 
 func sampleRel(t *testing.T) *data.Relation {
 	t.Helper()
-	rel := data.NewRelation(data.MustSchema("Store",
+	rel := data.NewRelation(must.Schema("Store",
 		data.Attribute{Name: "city", Type: data.TString},
 		data.Attribute{Name: "sales", Type: data.TFloat},
 	))

@@ -137,6 +137,44 @@ func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 	return u
 }
 
+// AssignExcluding places the unit on the least-loaded node not in
+// exclude, falling back to the global least-loaded node when every node
+// is excluded (e.g. a single-node cluster retrying a failed unit). The
+// fault-tolerance layer uses it to move a unit away from the node it
+// panicked on, and to re-home the queue of a killed node.
+func (s *Scheduler) AssignExcluding(u *WorkUnit, exclude map[string]bool) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestLoad := "", -1.0
+	for _, n := range s.names {
+		if exclude[n] {
+			continue
+		}
+		if bestLoad < 0 || s.loads[n] < bestLoad {
+			best, bestLoad = n, s.loads[n]
+		}
+	}
+	if best == "" {
+		best = s.leastLoadedLocked()
+	}
+	s.queues[best] = append(s.queues[best], u)
+	s.loads[best] += u.EstCost
+	return best
+}
+
+// Reclaim removes and returns every unit still pending on the node. The
+// fault-tolerance layer reclaims a killed node's queue to reassign it to
+// the survivors, and a cancelled drain reclaims every queue so the next
+// drain does not run stale units.
+func (s *Scheduler) Reclaim(node string) []*WorkUnit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[node]
+	s.queues[node] = nil
+	s.loads[node] = 0
+	return q
+}
+
 // Pending reports the number of queued units across nodes.
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()

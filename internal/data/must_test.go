@@ -1,0 +1,20 @@
+package data
+
+// Test-only literal helpers; the exported equivalents live in
+// internal/must, which this package cannot import (cycle).
+
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func MustParse(t Type, text string) Value {
+	v, err := Parse(t, text)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -40,16 +40,6 @@ func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
 	return s, nil
 }
 
-// MustSchema is NewSchema that panics on error; for literals in tests,
-// examples and generators.
-func MustSchema(name string, attrs ...Attribute) *Schema {
-	s, err := NewSchema(name, attrs...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Index returns the position of the named attribute, or -1.
 func (s *Schema) Index(attr string) int {
 	if i, ok := s.index[attr]; ok {

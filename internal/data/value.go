@@ -247,15 +247,6 @@ func Parse(t Type, text string) (Value, error) {
 	return Value{}, fmt.Errorf("unknown type %v", t)
 }
 
-// MustParse is Parse that panics on error; for literals in tests and examples.
-func MustParse(t Type, text string) Value {
-	v, err := Parse(t, text)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
 // Key returns a canonical string usable as a map key, prefixed by kind so
 // values of different kinds never collide.
 func (v Value) Key() string {

@@ -9,6 +9,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -77,6 +78,13 @@ type Options struct {
 	// "detect.*" prefix (units, wall clock, per-node counts, steals,
 	// blocker cache hits). Nil records nothing.
 	Obs *obs.Registry
+	// MaxRetries / RetryBackoff bound the retry-with-reassignment policy
+	// for panicking work units (see cluster.Options).
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects failures into the detection drain
+	// (tests and the fault experiments only).
+	Faults *cluster.FaultInjector
 }
 
 // DefaultOptions is Rock's shipped configuration.
@@ -130,7 +138,15 @@ func New(env *predicate.Env, rules []*ree.Rule, opts Options) *Detector {
 // Detect runs batch detection over the whole database and returns the
 // deduplicated errors.
 func (d *Detector) Detect() ([]*Error, error) {
-	return d.run(nil)
+	errs, _, err := d.DetectCtx(context.Background())
+	return errs, err
+}
+
+// DetectCtx is Detect under a cancellation context. On cancel/deadline it
+// degrades gracefully: the errors found so far are returned with
+// partial=true and a nil error.
+func (d *Detector) DetectCtx(ctx context.Context) (errs []*Error, partial bool, err error) {
+	return d.runCtx(ctx, nil)
 }
 
 // DetectIncremental runs incremental detection: only violations involving
@@ -138,12 +154,19 @@ func (d *Detector) Detect() ([]*Error, error) {
 // errors in response to updates"). dirty maps relation name to changed
 // TIDs.
 func (d *Detector) DetectIncremental(dirty map[string]map[int]bool) ([]*Error, error) {
-	return d.run(dirty)
+	errs, _, err := d.runCtx(context.Background(), dirty)
+	return errs, err
 }
 
-func (d *Detector) run(dirty map[string]map[int]bool) ([]*Error, error) {
-	errs, _, err := d.runMode(dirty, false)
-	return errs, err
+// DetectIncrementalCtx is DetectIncremental under a cancellation context,
+// with the same graceful degradation as DetectCtx.
+func (d *Detector) DetectIncrementalCtx(ctx context.Context, dirty map[string]map[int]bool) ([]*Error, bool, error) {
+	return d.runCtx(ctx, dirty)
+}
+
+func (d *Detector) runCtx(ctx context.Context, dirty map[string]map[int]bool) ([]*Error, bool, error) {
+	errs, _, partial, err := d.runMode(ctx, dirty, false)
+	return errs, partial, err
 }
 
 // DetectSimulated runs batch detection measuring each work unit's cost
@@ -152,10 +175,14 @@ func (d *Detector) run(dirty map[string]map[int]bool) ([]*Error, error) {
 // cluster.SimulateMakespan — the substitution used on hosts without
 // enough physical cores to express the paper's cluster sizes).
 func (d *Detector) DetectSimulated() ([]*Error, time.Duration, error) {
-	return d.runMode(nil, true)
+	errs, makespan, _, err := d.runMode(context.Background(), nil, true)
+	return errs, makespan, err
 }
 
-func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Error, time.Duration, error) {
+func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, simulate bool) ([]*Error, time.Duration, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	cl := cluster.New(d.opts.Workers)
 	cl.SetObs(d.opts.Obs, "detect")
@@ -178,16 +205,22 @@ func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Err
 			}
 		}, &mu, &firstErr)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		all = append(all, units...)
 	}
 	d.opts.Obs.Add("detect.units", uint64(len(all)))
 	var makespan time.Duration
+	partial := false
 	if simulate {
 		hist := d.opts.Obs.Histogram("detect.unit")
 		sims := make([]cluster.SimUnit, 0, len(all))
 		for _, u := range all {
+			if ctx.Err() != nil {
+				partial = true
+				d.opts.Obs.Inc("detect.cancelled")
+				break
+			}
 			node := cl.Ring.Owner(u.Part)
 			unitStart := time.Now()
 			u.Run()
@@ -202,11 +235,19 @@ func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Err
 		for _, u := range all {
 			cl.Submit(u)
 		}
-		cl.Drain(cluster.Options{Steal: d.opts.Steal})
+		st := cl.DrainWithStats(ctx, cluster.Options{
+			Steal:        d.opts.Steal,
+			MaxRetries:   d.opts.MaxRetries,
+			RetryBackoff: d.opts.RetryBackoff,
+			Faults:       d.opts.Faults,
+		})
+		// A cancelled drain (or permanently failed units) leaves detection
+		// incomplete but sound: every error found so far stands.
+		partial = st.Cancelled || len(st.Failed) > 0
 	}
 	if firstErr != nil {
 		d.opts.Obs.Inc("detect.errors.run")
-		return nil, 0, firstErr
+		return nil, 0, partial, firstErr
 	}
 	out = AttributeCulpritsFreq(out, d.culpritScore())
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
@@ -215,7 +256,7 @@ func (d *Detector) runMode(dirty map[string]map[int]bool, simulate bool) ([]*Err
 	if d.opts.Pred != nil {
 		d.opts.Pred.PublishTo(d.opts.Obs)
 	}
-	return out, makespan, nil
+	return out, makespan, partial, nil
 }
 
 // culpritScore returns the tie-break signal for culprit attribution: the

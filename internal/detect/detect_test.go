@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -13,7 +14,7 @@ import (
 // 10th tuple has the wrong manufactory for its commodity.
 func dirtyTransEnv(t *testing.T, n int) (*predicate.Env, *data.Relation, map[string]bool) {
 	t.Helper()
-	schema := data.MustSchema("Trans",
+	schema := must.Schema("Trans",
 		data.Attribute{Name: "com", Type: data.TString},
 		data.Attribute{Name: "mfg", Type: data.TString},
 	)
@@ -37,7 +38,7 @@ func dirtyTransEnv(t *testing.T, n int) (*predicate.Env, *data.Relation, map[str
 
 func crRule(t *testing.T, env *predicate.Env) *ree.Rule {
 	t.Helper()
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	r.ID = "phi2"
 	return r
 }
@@ -130,7 +131,7 @@ func TestDetectIncrementalOnlyTouchesDirty(t *testing.T) {
 }
 
 func TestDetectERRule(t *testing.T) {
-	schema := data.MustSchema("Person",
+	schema := must.Schema("Person",
 		data.Attribute{Name: "LN", Type: data.TString},
 		data.Attribute{Name: "home", Type: data.TString},
 	)
@@ -141,7 +142,7 @@ func TestDetectERRule(t *testing.T) {
 	db := data.NewDatabase()
 	db.Add(rel)
 	env := predicate.NewEnv(db)
-	r := ree.MustParse("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.home = s.home -> t.eid = s.eid", db)
+	r := must.Rule("Person(t) ^ Person(s) ^ t.LN = s.LN ^ t.home = s.home -> t.eid = s.eid", db)
 	r.ID = "er"
 	d := New(env, []*ree.Rule{r}, DefaultOptions())
 	errs, err := d.Detect()
@@ -174,7 +175,7 @@ func TestErrorKeyDedup(t *testing.T) {
 
 func TestDetectInvalidRule(t *testing.T) {
 	env, _, _ := dirtyTransEnv(t, 10)
-	bad := ree.MustParse("Ghost(t) -> t.a = 1", nil)
+	bad := must.Rule("Ghost(t) -> t.a = 1", nil)
 	d := New(env, []*ree.Rule{bad}, DefaultOptions())
 	if _, err := d.Detect(); err == nil {
 		t.Error("invalid rule must surface an error")
@@ -248,7 +249,7 @@ func TestAttributeCulpritsNoFreq(t *testing.T) {
 func TestDetectSingleVariableRule(t *testing.T) {
 	env, rel, _ := dirtyTransEnv(t, 30)
 	rel.Insert("odd", data.S("line 0"), data.Null(data.TString))
-	r := ree.MustParse("Trans(t) ^ !null(t.com) -> t.mfg = 'maker 0'", env.DB)
+	r := must.Rule("Trans(t) ^ !null(t.com) -> t.mfg = 'maker 0'", env.DB)
 	r.ID = "single"
 	d := New(env, []*ree.Rule{r}, DefaultOptions())
 	errs, err := d.Detect()

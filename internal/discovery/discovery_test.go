@@ -7,6 +7,7 @@ import (
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -15,7 +16,7 @@ import (
 // near-duplicate names mark identical entities.
 func storeEnv(t *testing.T, n int) (*predicate.Env, *data.Relation) {
 	t.Helper()
-	schema := data.MustSchema("Store",
+	schema := must.Schema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 		data.Attribute{Name: "area_code", Type: data.TString},
@@ -102,7 +103,7 @@ func TestDiscoverWithMLPredicates(t *testing.T) {
 }
 
 func TestDiscoverTemporalRules(t *testing.T) {
-	schema := data.MustSchema("Person",
+	schema := must.Schema("Person",
 		data.Attribute{Name: "status", Type: data.TString},
 	)
 	rel := data.NewRelation(schema)
@@ -397,11 +398,11 @@ func TestNoviceFeedback(t *testing.T) {
 func TestDiscoverCrossRelation(t *testing.T) {
 	// Customer.company references Company.cname; the company's city
 	// determines the customer's city — the mi-city archetype.
-	customer := data.NewRelation(data.MustSchema("Customer",
+	customer := data.NewRelation(must.Schema("Customer",
 		data.Attribute{Name: "company", Type: data.TString},
 		data.Attribute{Name: "city", Type: data.TString},
 	))
-	company := data.NewRelation(data.MustSchema("Company",
+	company := data.NewRelation(must.Schema("Company",
 		data.Attribute{Name: "cname", Type: data.TString},
 		data.Attribute{Name: "hq", Type: data.TString},
 	))

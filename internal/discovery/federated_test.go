@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 )
 
@@ -13,7 +14,7 @@ import (
 // violates the location→area_code dependency the other sites exhibit.
 func siteEnv(t *testing.T, n int, contradict bool) *predicate.Env {
 	t.Helper()
-	schema := data.MustSchema("Store",
+	schema := must.Schema("Store",
 		data.Attribute{Name: "location", Type: data.TString},
 		data.Attribute{Name: "area_code", Type: data.TString},
 		data.Attribute{Name: "kind", Type: data.TString},

@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 )
 
 func paymentRel(t *testing.T, n int, noise bool) *data.Relation {
 	t.Helper()
-	rel := data.NewRelation(data.MustSchema("Payment",
+	rel := data.NewRelation(must.Schema("Payment",
 		data.Attribute{Name: "acct", Type: data.TString},
 		data.Attribute{Name: "amount", Type: data.TFloat},
 		data.Attribute{Name: "fee", Type: data.TFloat},
@@ -103,7 +104,7 @@ func TestDiscoverPolynomialDetectsInjectedErrors(t *testing.T) {
 }
 
 func TestDiscoverPolynomialRejectsUncorrelated(t *testing.T) {
-	rel := data.NewRelation(data.MustSchema("R",
+	rel := data.NewRelation(must.Schema("R",
 		data.Attribute{Name: "a", Type: data.TFloat},
 		data.Attribute{Name: "b", Type: data.TFloat},
 	))
@@ -126,7 +127,7 @@ func TestDiscoverPolynomialEdgeCases(t *testing.T) {
 		t.Error("missing target must fail")
 	}
 	// No numeric features besides the target.
-	rel3 := data.NewRelation(data.MustSchema("R",
+	rel3 := data.NewRelation(must.Schema("R",
 		data.Attribute{Name: "s", Type: data.TString},
 		data.Attribute{Name: "y", Type: data.TFloat},
 	))
@@ -139,7 +140,7 @@ func TestDiscoverPolynomialEdgeCases(t *testing.T) {
 }
 
 func TestDiscoverPolynomialProducts(t *testing.T) {
-	rel := data.NewRelation(data.MustSchema("R",
+	rel := data.NewRelation(must.Schema("R",
 		data.Attribute{Name: "qty", Type: data.TFloat},
 		data.Attribute{Name: "price", Type: data.TFloat},
 		data.Attribute{Name: "revenue", Type: data.TFloat},

@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -31,6 +32,10 @@ import (
 
 // Options tunes one enumeration run.
 type Options struct {
+	// Ctx, when non-nil, is checked periodically during enumeration: a
+	// cancelled context stops the run early through the normal early-exit
+	// path and Run returns the context's error. Nil never cancels.
+	Ctx context.Context
 	// UseBlocking enables LSH blocking for ML predicates. Off, ML
 	// predicates fall back to nested loops (the SQL-engine behaviour the
 	// paper compares against).
@@ -287,6 +292,14 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 	}
 
 	emit := func() bool {
+		// Cooperative cancellation: poll the context every few emissions so
+		// a deadline cuts a long enumeration short between valuations.
+		if opts.Ctx != nil && st.Valuations%64 == 63 {
+			if err := opts.Ctx.Err(); err != nil {
+				fail(err)
+				return false
+			}
+		}
 		// Incremental mode: every emitted valuation must bind at least one
 		// dirty tuple (the driver paths pre-filter; the generic nested-loop
 		// path is guarded here).

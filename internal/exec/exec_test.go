@@ -6,13 +6,14 @@ import (
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/ree"
 )
 
 func transEnv(t *testing.T, n int) (*predicate.Env, *data.Relation) {
 	t.Helper()
-	schema := data.MustSchema("Trans",
+	schema := must.Schema("Trans",
 		data.Attribute{Name: "sid", Type: data.TString},
 		data.Attribute{Name: "com", Type: data.TString},
 		data.Attribute{Name: "mfg", Type: data.TString},
@@ -65,7 +66,7 @@ func countViolations(t *testing.T, env *predicate.Env, r *ree.Rule, opts Options
 
 func TestExecutorMatchesReferenceSemantics(t *testing.T) {
 	env, _ := transEnv(t, 40)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	r.ID = "phi2"
 	ref, err := r.Violations(env, 0)
 	if err != nil {
@@ -82,7 +83,7 @@ func TestExecutorMatchesReferenceSemantics(t *testing.T) {
 
 func TestExecutorHashJoinPruning(t *testing.T) {
 	env, rel := transEnv(t, 100)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {
@@ -99,7 +100,7 @@ func TestExecutorHashJoinPruning(t *testing.T) {
 
 func TestExecutorConstantPushdown(t *testing.T) {
 	env, _ := transEnv(t, 100)
-	r := ree.MustParse("Trans(t) ^ t.mfg = 'Apple' -> t.sid = 'nonexistent'", env.DB)
+	r := must.Rule("Trans(t) ^ t.mfg = 'Apple' -> t.sid = 'nonexistent'", env.DB)
 	e := New(env)
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {
@@ -113,7 +114,7 @@ func TestExecutorConstantPushdown(t *testing.T) {
 
 func TestExecutorBlockingReducesMLCalls(t *testing.T) {
 	env, rel := transEnv(t, 80)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	blocked, err := e.Run(r, Options{UseBlocking: true}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {
@@ -137,7 +138,7 @@ func TestExecutorBlockingReducesMLCalls(t *testing.T) {
 
 func TestExecutorDirtyFiltering(t *testing.T) {
 	env, rel := transEnv(t, 50)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	full, _ := e.Run(r, Options{}, func(h *predicate.Valuation) bool { return true })
 	dirty := map[string]map[int]bool{"Trans": {rel.Tuples[0].TID: true}}
@@ -152,7 +153,7 @@ func TestExecutorDirtyFiltering(t *testing.T) {
 
 func TestExecutorRestrictPartition(t *testing.T) {
 	env, rel := transEnv(t, 50)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	part := rel.Tuples[:10]
 	st, err := e.Run(r, Options{Restrict: map[string][]*data.Tuple{"Trans": part}}, func(h *predicate.Valuation) bool { return true })
@@ -167,7 +168,7 @@ func TestExecutorRestrictPartition(t *testing.T) {
 
 func TestExecutorMaxResults(t *testing.T) {
 	env, _ := transEnv(t, 50)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	st, err := e.Run(r, Options{MaxResults: 3}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {
@@ -180,7 +181,7 @@ func TestExecutorMaxResults(t *testing.T) {
 
 func TestExecutorEarlyStop(t *testing.T) {
 	env, _ := transEnv(t, 50)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	e := New(env)
 	n := 0
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool {
@@ -198,11 +199,11 @@ func TestExecutorEarlyStop(t *testing.T) {
 func TestExecutorErrors(t *testing.T) {
 	env, _ := transEnv(t, 5)
 	e := New(env)
-	bad := ree.MustParse("Ghost(t) -> t.a = 1", nil)
+	bad := must.Rule("Ghost(t) -> t.a = 1", nil)
 	if _, err := e.Run(bad, Options{}, func(h *predicate.Valuation) bool { return true }); err == nil {
 		t.Error("unknown relation must error")
 	}
-	badG := ree.MustParse("Trans(t) ^ vertex(x, NoGraph) ^ HER(t, x) -> t.mfg = 'x'", nil)
+	badG := must.Rule("Trans(t) ^ vertex(x, NoGraph) ^ HER(t, x) -> t.mfg = 'x'", nil)
 	if _, err := e.Run(badG, Options{}, func(h *predicate.Valuation) bool { return true }); err == nil {
 		t.Error("unknown graph must error")
 	}
@@ -218,7 +219,7 @@ func TestValueOfHookRespected(t *testing.T) {
 		i := rel.Schema.Index(attr)
 		return tp.Values[i], true
 	}
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	if n := countViolations(t, env, r, Options{}); n != 0 {
 		t.Errorf("hooked values must remove violations, got %d", n)
 	}

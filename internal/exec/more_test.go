@@ -6,12 +6,12 @@ import (
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/kg"
 	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
-	"github.com/rockclean/rock/internal/ree"
 )
 
 func TestExecutorVertexAtoms(t *testing.T) {
-	schema := data.MustSchema("Store",
+	schema := must.Schema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 	)
@@ -24,12 +24,12 @@ func TestExecutorVertexAtoms(t *testing.T) {
 	g := kg.New("Wiki")
 	hv := g.AddVertex("Huawei Flagship")
 	bj := g.AddVertex("Beijing")
-	g.MustEdge(hv, "LocationAt", bj)
+	must.Edge(g, hv, "LocationAt", bj)
 	env.Graphs["Wiki"] = g
 	env.HER["Store"] = ml.NewHERMatcher("HER", g, schema, 0.6, "name")
 	env.PathM = ml.NewPathMatcher(g, 0.3)
 
-	r := ree.MustParse("Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) -> t.location = val(x.(LocationAt))", db)
+	r := must.Rule("Store(t) ^ vertex(x, Wiki) ^ HER(t, x) ^ match(t.location, x.(LocationAt)) -> t.location = val(x.(LocationAt))", db)
 	e := New(env)
 	matches := 0
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool {
@@ -49,7 +49,7 @@ func TestExecutorVertexAtoms(t *testing.T) {
 }
 
 func TestExecutorThreeVariableProbeJoin(t *testing.T) {
-	schema := data.MustSchema("R",
+	schema := must.Schema("R",
 		data.Attribute{Name: "k", Type: data.TString},
 		data.Attribute{Name: "v", Type: data.TString},
 	)
@@ -63,7 +63,7 @@ func TestExecutorThreeVariableProbeJoin(t *testing.T) {
 	env := predicate.NewEnv(db)
 	// Three variables chained by equality: the second and third bind via
 	// probe joins on the hash index rather than full scans.
-	r := ree.MustParse("R(a) ^ R(b) ^ R(c) ^ a.k = b.k ^ b.k = c.k -> a.v = c.v", db)
+	r := must.Rule("R(a) ^ R(b) ^ R(c) ^ a.k = b.k ^ b.k = c.k -> a.v = c.v", db)
 	e := New(env)
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {
@@ -81,7 +81,7 @@ func TestExecutorThreeVariableProbeJoin(t *testing.T) {
 }
 
 func TestSortTuplesByTID(t *testing.T) {
-	schema := data.MustSchema("R", data.Attribute{Name: "a", Type: data.TString})
+	schema := must.Schema("R", data.Attribute{Name: "a", Type: data.TString})
 	rel := data.NewRelation(schema)
 	a := rel.Insert("x", data.S("1"))
 	b := rel.Insert("y", data.S("2"))
@@ -94,8 +94,8 @@ func TestSortTuplesByTID(t *testing.T) {
 }
 
 func TestExecutorCrossRelationBlocking(t *testing.T) {
-	left := data.NewRelation(data.MustSchema("L", data.Attribute{Name: "name", Type: data.TString}))
-	right := data.NewRelation(data.MustSchema("R", data.Attribute{Name: "title", Type: data.TString}))
+	left := data.NewRelation(must.Schema("L", data.Attribute{Name: "name", Type: data.TString}))
+	right := data.NewRelation(must.Schema("R", data.Attribute{Name: "title", Type: data.TString}))
 	for i := 0; i < 20; i++ {
 		s := []string{"zebra telescope deluxe", "quantum harvest engine", "maple syrup dispenser", "arctic penguin statue"}[i%4]
 		left.Insert("l", data.S(s))
@@ -106,7 +106,7 @@ func TestExecutorCrossRelationBlocking(t *testing.T) {
 	db.Add(right)
 	env := predicate.NewEnv(db)
 	env.Models.Register(ml.NewSimilarityMatcher("M_ER", 0.8))
-	r := ree.MustParse("L(t) ^ R(s) ^ M_ER(t[name], s[title]) -> t.eid = s.eid", db)
+	r := must.Rule("L(t) ^ R(s) ^ M_ER(t[name], s[title]) -> t.eid = s.eid", db)
 	e := New(env)
 	blocked, err := e.Run(r, Options{UseBlocking: true}, func(h *predicate.Valuation) bool { return true })
 	if err != nil {

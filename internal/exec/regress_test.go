@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/predicate"
-	"github.com/rockclean/rock/internal/ree"
 )
 
 // keyedEnv builds one relation R(k, flag, val): k partitions the tuples
@@ -14,7 +14,7 @@ import (
 // constant predicate on flag is highly selective.
 func keyedEnv(t *testing.T, n int) *predicate.Env {
 	t.Helper()
-	schema := data.MustSchema("R",
+	schema := must.Schema("R",
 		data.Attribute{Name: "k", Type: data.TString},
 		data.Attribute{Name: "flag", Type: data.TString},
 		data.Attribute{Name: "val", Type: data.TString},
@@ -41,10 +41,10 @@ func keyedEnv(t *testing.T, n int) *predicate.Env {
 // (Regression: the loop used to break without unwinding h/bound/depth.)
 func TestExecutorErrorMidEnumerationUnwinds(t *testing.T) {
 	env, _ := transEnv(t, 40)
-	good := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
+	good := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com -> t.mfg = s.mfg", env.DB)
 	// M_missing is never registered: checkAt errors right after the first
 	// driver pair binds, i.e. mid-enumeration with two variables bound.
-	bad := ree.MustParse("Trans(t) ^ Trans(s) ^ t.com = s.com ^ M_missing(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
+	bad := must.Rule("Trans(t) ^ Trans(s) ^ t.com = s.com ^ M_missing(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
 
 	e := New(env)
 	calls := 0
@@ -78,7 +78,7 @@ func TestProbeJoinRespectsConstantPushdown(t *testing.T) {
 	env := keyedEnv(t, 100)
 	// t.k = s.k drives the pair loop; u is reached through probeJoin on
 	// s.k = u.k and is constant-restricted to the two flag='x' tuples.
-	r := ree.MustParse("R(t) ^ R(s) ^ R(u) ^ t.k = s.k ^ s.k = u.k ^ u.flag = 'x' -> t.val = s.val", env.DB)
+	r := must.Rule("R(t) ^ R(s) ^ R(u) ^ t.k = s.k ^ s.k = u.k ^ u.flag = 'x' -> t.val = s.val", env.DB)
 
 	e := New(env)
 	st, err := e.Run(r, Options{}, func(h *predicate.Valuation) bool { return true })
@@ -101,7 +101,7 @@ func TestProbeJoinRespectsConstantPushdown(t *testing.T) {
 // emptied by InvalidateBlockers.
 func TestBlockerCacheReuseAndInvalidate(t *testing.T) {
 	env, _ := transEnv(t, 80)
-	r := ree.MustParse("Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
+	r := must.Rule("Trans(t) ^ Trans(s) ^ M_ER(t[com], s[com]) -> t.mfg = s.mfg", env.DB)
 
 	e := New(env)
 	first, err := e.Run(r, Options{UseBlocking: true}, func(h *predicate.Valuation) bool { return true })

@@ -96,13 +96,6 @@ func (g *Graph) AddEdge(from VertexID, label string, to VertexID) error {
 	return nil
 }
 
-// MustEdge is AddEdge that panics on error; for graph literals.
-func (g *Graph) MustEdge(from VertexID, label string, to VertexID) {
-	if err := g.AddEdge(from, label, to); err != nil {
-		panic(err)
-	}
-}
-
 // Vertex returns the vertex with the given id, or nil.
 func (g *Graph) Vertex(id VertexID) *Vertex { return g.vertices[id] }
 

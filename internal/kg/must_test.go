@@ -1,0 +1,10 @@
+package kg
+
+// Test-only literal helper; the exported equivalent lives in
+// internal/must, which this package cannot import (cycle).
+
+func (g *Graph) MustEdge(from VertexID, label string, to VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}

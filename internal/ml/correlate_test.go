@@ -7,7 +7,7 @@ import (
 )
 
 func storeSchema() *data.Schema {
-	return data.MustSchema("Store",
+	return mustSchema("Store",
 		data.Attribute{Name: "location", Type: data.TString},
 		data.Attribute{Name: "area_code", Type: data.TString},
 		data.Attribute{Name: "type", Type: data.TString},

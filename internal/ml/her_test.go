@@ -13,14 +13,14 @@ func storeGraph() (*kg.Graph, kg.VertexID, kg.VertexID) {
 	beijing := g.AddVertex("Beijing")
 	nike := g.AddVertex("Nike China")
 	shanghai := g.AddVertex("Shanghai")
-	g.MustEdge(huawei, "LocationAt", beijing)
-	g.MustEdge(nike, "LocationAt", shanghai)
+	mustEdge(g, huawei, "LocationAt", beijing)
+	mustEdge(g, nike, "LocationAt", shanghai)
 	return g, huawei, nike
 }
 
 func TestHERMatcher(t *testing.T) {
 	g, huawei, nike := storeGraph()
-	schema := data.MustSchema("Store",
+	schema := mustSchema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 	)
@@ -43,7 +43,7 @@ func TestHERMatcher(t *testing.T) {
 
 func TestHERMatcherAllStringFallback(t *testing.T) {
 	g, huawei, _ := storeGraph()
-	schema := data.MustSchema("Store", data.Attribute{Name: "name", Type: data.TString})
+	schema := mustSchema("Store", data.Attribute{Name: "name", Type: data.TString})
 	rel := data.NewRelation(schema)
 	tp := rel.Insert("s", data.S("Huawei Flagship"))
 	h := NewHERMatcher("HER", g, schema, 0.6) // no key attrs: use all strings

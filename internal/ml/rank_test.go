@@ -7,7 +7,7 @@ import (
 )
 
 func personTuples() (*data.Schema, *data.Relation) {
-	s := data.MustSchema("Person",
+	s := mustSchema("Person",
 		data.Attribute{Name: "status", Type: data.TString},
 		data.Attribute{Name: "home", Type: data.TString},
 		data.Attribute{Name: "sales", Type: data.TFloat},

@@ -1,0 +1,47 @@
+// Package must holds the panic-on-error constructors for hand-written
+// literals: schemas, values, rules and graph edges that appear inline in
+// tests, examples and workload generators, where a malformed literal is a
+// programming error rather than a runtime condition. The library packages
+// themselves (data, ree, kg) return errors; this is the only place in the
+// tree where a construction failure is allowed to panic.
+package must
+
+import (
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// Schema is data.NewSchema that panics on error.
+func Schema(name string, attrs ...data.Attribute) *data.Schema {
+	s, err := data.NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Value is data.Parse that panics on error.
+func Value(t data.Type, text string) data.Value {
+	v, err := data.Parse(t, text)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Rule is ree.Parse that panics on error.
+func Rule(text string, db *data.Database) *ree.Rule {
+	r, err := ree.Parse(text, db)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Edge is g.AddEdge that panics on error.
+func Edge(g *kg.Graph, from kg.VertexID, label string, to kg.VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}

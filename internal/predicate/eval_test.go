@@ -11,7 +11,7 @@ import (
 // testEnv builds a tiny Store database, a Wiki graph, and all model kinds.
 func testEnv(t *testing.T) (*Env, *data.Relation, *kg.Graph) {
 	t.Helper()
-	schema := data.MustSchema("Store",
+	schema := mustSchema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 		data.Attribute{Name: "accu_sales", Type: data.TFloat},
@@ -136,7 +136,7 @@ func TestEvalExtraction(t *testing.T) {
 	env, rel, g := testEnv(t)
 	store := g.AddVertex("Huawei Flagship")
 	city := g.AddVertex("Beijing")
-	g.MustEdge(store, "LocationAt", city)
+	mustEdge(g, store, "LocationAt", city)
 	env.HER[""] = ml.NewHERMatcher("HER", g, rel.Schema, 0.6, "name")
 	env.PathM = ml.NewPathMatcher(g, 0.3)
 

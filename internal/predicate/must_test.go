@@ -1,0 +1,23 @@
+package predicate
+
+import (
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+)
+
+// Local literal helpers: this package cannot import internal/must (cycle
+// through ree -> predicate).
+
+func mustSchema(name string, attrs ...data.Attribute) *data.Schema {
+	s, err := data.NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustEdge(g *kg.Graph, from kg.VertexID, label string, to kg.VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}

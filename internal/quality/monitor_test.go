@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 )
 
 func monitorRel(t *testing.T) (*data.Database, *data.Relation) {
 	t.Helper()
-	rel := data.NewRelation(data.MustSchema("Customer",
+	rel := data.NewRelation(must.Schema("Customer",
 		data.Attribute{Name: "phone", Type: data.TString},
 		data.Attribute{Name: "city", Type: data.TString},
 		data.Attribute{Name: "age", Type: data.TInt},

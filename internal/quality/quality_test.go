@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
 )
 
 func TestPRFMath(t *testing.T) {
@@ -93,7 +94,7 @@ func TestCorrectionReassertingRawIsNotFP(t *testing.T) {
 
 func TestAssess(t *testing.T) {
 	db := data.NewDatabase()
-	rel := data.NewRelation(data.MustSchema("R",
+	rel := data.NewRelation(must.Schema("R",
 		data.Attribute{Name: "a", Type: data.TString},
 		data.Attribute{Name: "b", Type: data.TString}))
 	rel.Insert("e1", data.S("x"), data.Null(data.TString))

@@ -23,7 +23,7 @@ func TestRelOfGraphOf(t *testing.T) {
 }
 
 func TestReferenceSemanticsWithVertexAtoms(t *testing.T) {
-	schema := data.MustSchema("Store",
+	schema := mustSchema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
 	)
@@ -35,7 +35,7 @@ func TestReferenceSemanticsWithVertexAtoms(t *testing.T) {
 	g := kg.New("Wiki")
 	store := g.AddVertex("Huawei Flagship")
 	beijing := g.AddVertex("Beijing")
-	g.MustEdge(store, "LocationAt", beijing)
+	mustEdge(g, store, "LocationAt", beijing)
 	env.Graphs["Wiki"] = g
 	env.HER["Store"] = ml.NewHERMatcher("HER", g, schema, 0.6, "name")
 	env.PathM = ml.NewPathMatcher(g, 0.3)
@@ -63,7 +63,7 @@ func TestReferenceSemanticsWithVertexAtoms(t *testing.T) {
 
 func TestMeasureMissingGraphErrors(t *testing.T) {
 	db := data.NewDatabase()
-	db.Add(data.NewRelation(data.MustSchema("R", data.Attribute{Name: "a", Type: data.TString})))
+	db.Add(data.NewRelation(mustSchema("R", data.Attribute{Name: "a", Type: data.TString})))
 	db.Rel("R").Insert("e", data.S("x"))
 	env := predicate.NewEnv(db)
 	r := MustParse("R(t) ^ vertex(x, Ghost) ^ HER(t, x) -> t.a = val(x.(P))", nil)
@@ -74,7 +74,7 @@ func TestMeasureMissingGraphErrors(t *testing.T) {
 
 func TestValidateAttributeChecksMLVectors(t *testing.T) {
 	db := data.NewDatabase()
-	db.Add(data.NewRelation(data.MustSchema("R",
+	db.Add(data.NewRelation(mustSchema("R",
 		data.Attribute{Name: "a", Type: data.TString},
 		data.Attribute{Name: "b", Type: data.TString})))
 	good := MustParse("R(t) ^ R(s) ^ M_x(t[a,b], s[a,b]) -> t.a = s.a", nil)

@@ -1,0 +1,31 @@
+package ree
+
+import (
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/kg"
+)
+
+// Test-only literal helper; the exported equivalent lives in
+// internal/must, which this package cannot import (cycle).
+
+func MustParse(text string, db *data.Database) *Rule {
+	r, err := Parse(text, db)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustSchema(name string, attrs ...data.Attribute) *data.Schema {
+	s, err := data.NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustEdge(g *kg.Graph, from kg.VertexID, label string, to kg.VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}

@@ -44,16 +44,6 @@ func Parse(text string, db *data.Database) (*Rule, error) {
 	return rule, nil
 }
 
-// MustParse is Parse that panics on error; for rule literals in tests,
-// examples and workload definitions.
-func MustParse(text string, db *data.Database) *Rule {
-	r, err := Parse(text, db)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // ParseAll parses one rule per non-empty, non-comment ("#") line.
 func ParseAll(text string, db *data.Database) ([]*Rule, error) {
 	var rules []*Rule

@@ -105,7 +105,7 @@ func TestParseErrors(t *testing.T) {
 
 func TestParseWithSchemaCoercion(t *testing.T) {
 	db := data.NewDatabase()
-	db.Add(data.NewRelation(data.MustSchema("Trans",
+	db.Add(data.NewRelation(mustSchema("Trans",
 		data.Attribute{Name: "price", Type: data.TFloat},
 		data.Attribute{Name: "date", Type: data.TTime},
 	)))

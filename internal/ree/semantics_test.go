@@ -11,7 +11,7 @@ import (
 // transDB builds a tiny Transaction relation mirroring the paper's Table 3.
 func transDB(t *testing.T) (*predicate.Env, *data.Relation) {
 	t.Helper()
-	schema := data.MustSchema("Trans",
+	schema := mustSchema("Trans",
 		data.Attribute{Name: "sid", Type: data.TString},
 		data.Attribute{Name: "com", Type: data.TString},
 		data.Attribute{Name: "mfg", Type: data.TString},

@@ -3,6 +3,7 @@ package workload
 import (
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/quality"
 	"github.com/rockclean/rock/internal/truth"
 )
@@ -15,7 +16,7 @@ import (
 func Ecommerce() *Dataset {
 	gold := quality.NewGold()
 
-	person := data.NewRelation(data.MustSchema("Person",
+	person := data.NewRelation(must.Schema("Person",
 		data.Attribute{Name: "LN", Type: data.TString},
 		data.Attribute{Name: "FN", Type: data.TString},
 		data.Attribute{Name: "gender", Type: data.TString},
@@ -37,7 +38,7 @@ func Ecommerce() *Dataset {
 	gold.AddOrder("Person", "home", t2.TID, t2.TID+1)
 	gold.AddOrder("Person", "status", t2.TID, t2.TID+1)
 
-	store := data.NewRelation(data.MustSchema("Store",
+	store := data.NewRelation(must.Schema("Store",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "type", Type: data.TString},
 		data.Attribute{Name: "location", Type: data.TString},
@@ -55,7 +56,7 @@ func Ecommerce() *Dataset {
 	gold.AddMissing("Store", s2.TID, "location", data.S("Beijing"))
 	gold.AddMissing("Store", s3.TID, "area_code", data.S("010"))
 
-	trans := data.NewRelation(data.MustSchema("Trans",
+	trans := data.NewRelation(must.Schema("Trans",
 		data.Attribute{Name: "pid", Type: data.TString},
 		data.Attribute{Name: "sid", Type: data.TString},
 		data.Attribute{Name: "com", Type: data.TString},
@@ -65,11 +66,11 @@ func Ecommerce() *Dataset {
 	))
 	// Table 3 (t11..t15): the transaction is the entity; pid references the
 	// buyer (a Person entity).
-	trans.Insert("t11", data.S("p1"), data.S("s2"), data.S("IPhone 13"), data.S("Apple"), data.F(9000), data.MustParse(data.TTime, "2020-12-18"))
-	trans.Insert("t12", data.S("p1"), data.S("s1"), data.S("IPhone 14 (Discount ID 41)"), data.S("Apple"), data.F(6500), data.MustParse(data.TTime, "2021-11-11"))
-	t13 := trans.Insert("t13", data.S("p2"), data.S("s1"), data.S("IPhone 14 (Discount Code 41)"), data.S("Apple"), data.Null(data.TFloat), data.MustParse(data.TTime, "2021-11-11"))
-	trans.Insert("t14", data.S("p3"), data.S("s3"), data.S("Mate X2 (Limited Sold)"), data.S("Huawei"), data.F(5200), data.MustParse(data.TTime, "2023-08-12"))
-	t15 := trans.Insert("t15", data.S("p4"), data.S("s4"), data.S("Mate X2 (Limited Sold)"), data.S("Apple"), data.Null(data.TFloat), data.MustParse(data.TTime, "2023-08-12"))
+	trans.Insert("t11", data.S("p1"), data.S("s2"), data.S("IPhone 13"), data.S("Apple"), data.F(9000), must.Value(data.TTime, "2020-12-18"))
+	trans.Insert("t12", data.S("p1"), data.S("s1"), data.S("IPhone 14 (Discount ID 41)"), data.S("Apple"), data.F(6500), must.Value(data.TTime, "2021-11-11"))
+	t13 := trans.Insert("t13", data.S("p2"), data.S("s1"), data.S("IPhone 14 (Discount Code 41)"), data.S("Apple"), data.Null(data.TFloat), must.Value(data.TTime, "2021-11-11"))
+	trans.Insert("t14", data.S("p3"), data.S("s3"), data.S("Mate X2 (Limited Sold)"), data.S("Huawei"), data.F(5200), must.Value(data.TTime, "2023-08-12"))
+	t15 := trans.Insert("t15", data.S("p4"), data.S("s4"), data.S("Mate X2 (Limited Sold)"), data.S("Apple"), data.Null(data.TFloat), must.Value(data.TTime, "2023-08-12"))
 	// t15's manufactory is wrong (Apple → Huawei); the discount-pair
 	// buyers p1/p2 are the same person; prices are missing.
 	gold.AddWrong("Trans", t15.TID, "mfg", data.S("Huawei"))
@@ -82,10 +83,10 @@ func Ecommerce() *Dataset {
 	apple := g.AddVertex("Apple Taobao Flagship")
 	g.SetProp(apple, "type", "Store")
 	beijing := g.AddVertex("Beijing")
-	g.MustEdge(apple, "LocationAt", beijing)
+	must.Edge(g, apple, "LocationAt", beijing)
 	huawei := g.AddVertex("Huawei Flagship")
 	g.SetProp(huawei, "type", "Store")
-	g.MustEdge(huawei, "LocationAt", beijing)
+	must.Edge(g, huawei, "LocationAt", beijing)
 
 	db := data.NewDatabase()
 	db.Add(person)

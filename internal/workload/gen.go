@@ -6,6 +6,7 @@ import (
 
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/kg"
+	"github.com/rockclean/rock/internal/must"
 	"github.com/rockclean/rock/internal/quality"
 	"github.com/rockclean/rock/internal/ree"
 )
@@ -54,20 +55,20 @@ func Bank(cfg Config) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gold := quality.NewGold()
 
-	customer := data.NewRelation(data.MustSchema("Customer",
+	customer := data.NewRelation(must.Schema("Customer",
 		data.Attribute{Name: "name", Type: data.TString},
 		data.Attribute{Name: "phone", Type: data.TString},
 		data.Attribute{Name: "company", Type: data.TString},
 		data.Attribute{Name: "city", Type: data.TString},
 		data.Attribute{Name: "branch", Type: data.TString},
 	))
-	company := data.NewRelation(data.MustSchema("Company",
+	company := data.NewRelation(must.Schema("Company",
 		data.Attribute{Name: "cname", Type: data.TString},
 		data.Attribute{Name: "industry", Type: data.TString},
 		data.Attribute{Name: "city", Type: data.TString},
 		data.Attribute{Name: "regno", Type: data.TString},
 	))
-	payment := data.NewRelation(data.MustSchema("Payment",
+	payment := data.NewRelation(must.Schema("Payment",
 		data.Attribute{Name: "acct", Type: data.TString},
 		data.Attribute{Name: "amount", Type: data.TFloat},
 		data.Attribute{Name: "fee", Type: data.TFloat},
@@ -207,7 +208,7 @@ func Logistics(cfg Config) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed + 100))
 	gold := quality.NewGold()
 
-	order := data.NewRelation(data.MustSchema("Order",
+	order := data.NewRelation(must.Schema("Order",
 		data.Attribute{Name: "recipient", Type: data.TString},
 		data.Attribute{Name: "street", Type: data.TString},
 		data.Attribute{Name: "area", Type: data.TString},
@@ -225,8 +226,8 @@ func Logistics(cfg Config) *Dataset {
 		cityVerts[c.city] = cv
 		av := g.AddVertex(c.city + " Metro Area")
 		g.SetProp(av, "type", "Area")
-		g.MustEdge(av, "PartOf", cv)
-		g.MustEdge(cv, "AreaOf", av)
+		must.Edge(g, av, "PartOf", cv)
+		must.Edge(g, cv, "AreaOf", av)
 	}
 
 	nSellers := cfg.N/40 + 5
@@ -310,14 +311,14 @@ func Sales(cfg Config) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed + 200))
 	gold := quality.NewGold()
 
-	orders := data.NewRelation(data.MustSchema("SalesOrder",
+	orders := data.NewRelation(must.Schema("SalesOrder",
 		data.Attribute{Name: "customer", Type: data.TString},
 		data.Attribute{Name: "company", Type: data.TString},
 		data.Attribute{Name: "price", Type: data.TFloat},
 		data.Attribute{Name: "tax_class", Type: data.TString},
 		data.Attribute{Name: "price_no_tax", Type: data.TFloat},
 	))
-	custs := data.NewRelation(data.MustSchema("CustomerInfo",
+	custs := data.NewRelation(must.Schema("CustomerInfo",
 		data.Attribute{Name: "cname", Type: data.TString},
 		data.Attribute{Name: "tier", Type: data.TString},
 		data.Attribute{Name: "region", Type: data.TString},
@@ -443,7 +444,7 @@ func Sales(cfg Config) *Dataset {
 func parseRules(db *data.Database, src []struct{ id, src string }) []*ree.Rule {
 	rules := make([]*ree.Rule, len(src))
 	for i, rs := range src {
-		r := ree.MustParse(rs.src, db)
+		r := must.Rule(rs.src, db)
 		r.ID = rs.id
 		rules[i] = r
 	}

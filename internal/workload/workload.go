@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"github.com/rockclean/rock/internal/data"
@@ -164,18 +165,33 @@ func (d *Dataset) SeedGamma(fraction float64, seed int64) {
 		}
 		g.SetCell(rel, t.EID, attr, v)
 	}
-	for key, v := range d.Gold.WrongCells {
-		if rng.Float64() < fraction {
-			add(key, v)
+	// Sample in sorted key order: ranging over the gold maps directly
+	// would consume the rng in map-iteration order, making Γ — and every
+	// fix the chase deduces from it — differ from run to run despite the
+	// fixed seed.
+	sample := func(cells map[string]data.Value) {
+		keys := make([]string, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if rng.Float64() < fraction {
+				add(k, cells[k])
+			}
 		}
 	}
-	for key, v := range d.Gold.MissingCells {
-		if rng.Float64() < fraction {
-			add(key, v)
-		}
+	sample(d.Gold.WrongCells)
+	sample(d.Gold.MissingCells)
+	// Γ⪯: orders entailed by the injected timestamps (sorted relation
+	// order for a reproducible construction sequence).
+	stampRels := make([]string, 0, len(d.stamps))
+	for rel := range d.stamps {
+		stampRels = append(stampRels, rel)
 	}
-	// Γ⪯: orders entailed by the injected timestamps.
-	for rel, tr := range d.stamps {
+	sort.Strings(stampRels)
+	for _, rel := range stampRels {
+		tr := d.stamps[rel]
 		r := d.DB.Rel(rel)
 		if r == nil {
 			continue

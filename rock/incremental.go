@@ -1,6 +1,8 @@
 package rock
 
 import (
+	"context"
+
 	"github.com/rockclean/rock/internal/chase"
 	"github.com/rockclean/rock/internal/detect"
 )
@@ -63,44 +65,63 @@ func (d *Delta) Size() int {
 
 // DetectIncremental finds only the errors involving this delta's tuples.
 func (d *Delta) DetectIncremental() ([]DetectedError, error) {
-	o := detect.DefaultOptions()
-	o.Workers = d.p.opts.Workers
-	o.UseBlocking = d.p.opts.UseBlocking
-	o.Steal = d.p.opts.Steal
-	o.Obs = d.p.opts.Obs
-	det := detect.New(d.p.env, d.p.rules, o)
-	errs, err := det.DetectIncremental(d.dirty)
+	errs, _, err := d.DetectIncrementalCtx(context.Background())
+	return errs, err
+}
+
+// DetectIncrementalCtx is DetectIncremental under a cancellation context
+// (plus Options.Deadline): on cancel it returns the errors found so far
+// with partial=true and a nil error.
+func (d *Delta) DetectIncrementalCtx(ctx context.Context) ([]DetectedError, bool, error) {
+	ctx, cancel := d.p.withDeadline(ctx)
+	defer cancel()
+	det := detect.New(d.p.env, d.p.rules, d.p.detectOptions(nil, d.p.opts.Obs))
+	errs, partial, err := det.DetectIncrementalCtx(ctx, d.dirty)
 	if err != nil {
-		return nil, err
+		return nil, partial, err
 	}
 	out := make([]DetectedError, len(errs))
 	for i, e := range errs {
 		out[i] = DetectedError{RuleID: e.RuleID, Task: e.Task.String(), Cells: e.Cells, DupEIDs: e.DupEIDs}
 	}
-	return out, nil
+	return out, partial, nil
 }
 
 // CleanIncremental chases only from this delta's tuples (fixes propagate
 // through the usual activation machinery), materialises the validated
 // fixes, and returns the applied corrections.
 func (d *Delta) CleanIncremental() ([]Correction, error) {
+	out, _, err := d.CleanIncrementalCtx(context.Background())
+	return out, err
+}
+
+// CleanIncrementalCtx is CleanIncremental under a cancellation context
+// (plus Options.Deadline). On cancel the chase degrades gracefully: the
+// certain fixes established so far are materialised and returned with
+// partial=true and a nil error.
+func (d *Delta) CleanIncrementalCtx(ctx context.Context) ([]Correction, bool, error) {
+	ctx, cancel := d.p.withDeadline(ctx)
+	defer cancel()
 	cOpts := chase.Options{
-		Mode:        chase.Unified,
-		Lazy:        d.p.opts.Lazy,
-		UseBlocking: d.p.opts.UseBlocking,
-		MaxRounds:   d.p.opts.MaxRounds,
-		Workers:     d.p.opts.Workers,
-		Parallel:    d.p.opts.Parallel,
-		Steal:       d.p.opts.Steal,
-		Obs:         d.p.opts.Obs,
-		EIDRefs:     d.p.eidRefs,
+		Mode:         chase.Unified,
+		Lazy:         d.p.opts.Lazy,
+		UseBlocking:  d.p.opts.UseBlocking,
+		MaxRounds:    d.p.opts.MaxRounds,
+		Workers:      d.p.opts.Workers,
+		Parallel:     d.p.opts.Parallel,
+		Steal:        d.p.opts.Steal,
+		Obs:          d.p.opts.Obs,
+		EIDRefs:      d.p.eidRefs,
+		MaxRetries:   d.p.opts.MaxRetries,
+		RetryBackoff: d.p.opts.RetryBackoff,
 	}
 	if d.p.opts.Oracle != nil {
 		cOpts.Oracle = d.p.opts.Oracle
 	}
 	eng := chase.New(d.p.env, d.p.rules, d.p.gamma, cOpts)
-	if _, err := eng.RunIncremental(d.dirty); err != nil {
-		return nil, err
+	chaseRep, err := eng.RunIncrementalCtx(ctx, d.dirty)
+	if err != nil {
+		return nil, false, err
 	}
 	u := eng.Truth()
 	var out []Correction
@@ -121,5 +142,5 @@ func (d *Delta) CleanIncremental() ([]Correction, error) {
 		}
 	}
 	eng.Materialize()
-	return out, nil
+	return out, chaseRep.Partial, nil
 }

@@ -17,10 +17,13 @@
 package rock
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/cluster"
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/detect"
 	"github.com/rockclean/rock/internal/discovery"
@@ -58,18 +61,35 @@ type (
 
 // Value constructors and schema helpers, re-exported.
 var (
-	S          = data.S
-	I          = data.I
-	F          = data.F
-	B          = data.B
-	TS         = data.TS
-	Null       = data.Null
-	NewSchema  = data.NewSchema
-	MustSchema = data.MustSchema
-	NewRel     = data.NewRelation
-	NewDB      = data.NewDatabase
-	NewGraph   = kg.New
+	S         = data.S
+	I         = data.I
+	F         = data.F
+	B         = data.B
+	TS        = data.TS
+	Null      = data.Null
+	NewSchema = data.NewSchema
+	NewRel    = data.NewRelation
+	NewDB     = data.NewDatabase
+	NewGraph  = kg.New
 )
+
+// MustSchema is NewSchema that panics on error; for schema literals in
+// examples and tests.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := data.NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustEdge is Graph.AddEdge that panics on error; for graph literals in
+// examples and tests.
+func MustEdge(g *Graph, from kg.VertexID, label string, to kg.VertexID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}
 
 // Attribute types.
 const (
@@ -117,11 +137,27 @@ type Options struct {
 	// executor "exec.*"). Nil makes Clean create a run-private registry;
 	// either way Report.Metrics carries the final snapshot.
 	Obs *obs.Registry
+	// Deadline bounds a Clean/CleanIncremental run (0 = none): when it
+	// expires, the run degrades gracefully — the certain fixes
+	// accumulated so far are kept and the report comes back with
+	// Partial=true instead of an error. Equivalent to passing CleanCtx a
+	// context.WithTimeout.
+	Deadline time.Duration
+	// MaxRetries bounds how many times a panicking work unit is retried
+	// (reassigned to a different worker when one is alive) before the
+	// unit is given up and surfaced on Report.UnitErrors.
+	MaxRetries int
+	// RetryBackoff is the base backoff before a unit retry (attempt k
+	// sleeps k*RetryBackoff).
+	RetryBackoff time.Duration
 }
 
 // DefaultOptions returns Rock's shipped configuration.
 func DefaultOptions() Options {
-	return Options{Workers: 4, Parallel: true, UseBlocking: true, Predication: true, Lazy: true, Steal: true}
+	return Options{
+		Workers: 4, Parallel: true, UseBlocking: true, Predication: true, Lazy: true, Steal: true,
+		MaxRetries: 2, RetryBackoff: time.Millisecond,
+	}
 }
 
 // Pipeline is the end-to-end cleaning flow over one database: register
@@ -343,27 +379,38 @@ type DetectedError struct {
 }
 
 // Detect runs batch error detection with the registered rules.
-func (p *Pipeline) Detect() ([]DetectedError, error) { return p.detectWith(nil, p.opts.Obs) }
+func (p *Pipeline) Detect() ([]DetectedError, error) {
+	errs, _, err := p.detectWith(context.Background(), nil, p.opts.Obs)
+	return errs, err
+}
 
-// detectWith runs detection, optionally filling a predication layer that
-// a subsequent chase will serve from and recording into reg.
-func (p *Pipeline) detectWith(pred *ml.Predication, reg *obs.Registry) ([]DetectedError, error) {
+// detectOptions maps the pipeline options onto a detection run.
+func (p *Pipeline) detectOptions(pred *ml.Predication, reg *obs.Registry) detect.Options {
 	o := detect.DefaultOptions()
 	o.Workers = p.opts.Workers
 	o.UseBlocking = p.opts.UseBlocking
 	o.Steal = p.opts.Steal
 	o.Pred = pred
 	o.Obs = reg
-	d := detect.New(p.env, p.rules, o)
-	errs, err := d.Detect()
+	o.MaxRetries = p.opts.MaxRetries
+	o.RetryBackoff = p.opts.RetryBackoff
+	return o
+}
+
+// detectWith runs detection, optionally filling a predication layer that
+// a subsequent chase will serve from and recording into reg. partial is
+// true when ctx was cancelled and only part of the data was scanned.
+func (p *Pipeline) detectWith(ctx context.Context, pred *ml.Predication, reg *obs.Registry) ([]DetectedError, bool, error) {
+	d := detect.New(p.env, p.rules, p.detectOptions(pred, reg))
+	errs, partial, err := d.DetectCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, partial, err
 	}
 	out := make([]DetectedError, len(errs))
 	for i, e := range errs {
 		out[i] = DetectedError{RuleID: e.RuleID, Task: e.Task.String(), Cells: e.Cells, DupEIDs: e.DupEIDs}
 	}
-	return out, nil
+	return out, partial, nil
 }
 
 // Correction is one applied repair.
@@ -375,8 +422,19 @@ type Correction struct {
 	IsNew bool // true when the old value was null (imputation)
 }
 
+// UnitError re-exports the cluster layer's typed work-unit failure: a
+// unit that panicked on every retry or lost its node.
+type UnitError = cluster.UnitError
+
 // Report summarises a Clean run.
 type Report struct {
+	// Partial marks a gracefully degraded run: the deadline expired (or
+	// the CleanCtx context was cancelled) mid-run, or some work units
+	// failed permanently. Errors/Corrections carry everything established
+	// up to that point — sound, but possibly incomplete.
+	Partial bool
+	// UnitErrors lists work units that exhausted their retries.
+	UnitErrors []UnitError
 	// Errors are the detected errors (pre-correction).
 	Errors []DetectedError
 	// Corrections are the applied cell repairs.
@@ -423,8 +481,31 @@ type PredicationStats = ml.PredStats
 
 // Clean detects and corrects: it chases the database with the registered
 // rules and ground truth, materialises the validated fixes back into the
-// relations, and returns the report.
+// relations, and returns the report. Options.Deadline, when set, bounds
+// the run (see CleanCtx).
 func (p *Pipeline) Clean() (*Report, error) {
+	return p.CleanCtx(context.Background())
+}
+
+// withDeadline layers Options.Deadline (when set) onto ctx.
+func (p *Pipeline) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.opts.Deadline > 0 {
+		return context.WithTimeout(ctx, p.opts.Deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// CleanCtx is Clean under a cancellation context. Cancelling ctx (or
+// exceeding Options.Deadline) does not discard the run: detection and
+// the chase stop at their next cooperative checkpoint, every certain fix
+// established so far is materialised, and the report comes back with
+// Partial=true and a nil error.
+func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
+	ctx, cancel := p.withDeadline(ctx)
+	defer cancel()
 	// One observability registry spans the whole run: detection records
 	// "detect.*", the chase "chase.*", and Report.Metrics snapshots both.
 	reg := p.opts.Obs
@@ -438,33 +519,37 @@ func (p *Pipeline) Clean() (*Report, error) {
 	if p.opts.Predication {
 		pred = ml.NewPredication()
 	}
-	errs, err := p.detectWith(pred, reg)
+	errs, detPartial, err := p.detectWith(ctx, pred, reg)
 	if err != nil {
 		return nil, err
 	}
 	cOpts := chase.Options{
-		Mode:        chase.Unified,
-		Lazy:        p.opts.Lazy,
-		UseBlocking: p.opts.UseBlocking,
-		Predication: p.opts.Predication,
-		Pred:        pred,
-		MaxRounds:   p.opts.MaxRounds,
-		Workers:     p.opts.Workers,
-		Parallel:    p.opts.Parallel,
-		Steal:       p.opts.Steal,
-		Obs:         reg,
-		EIDRefs:     p.eidRefs,
+		Mode:         chase.Unified,
+		Lazy:         p.opts.Lazy,
+		UseBlocking:  p.opts.UseBlocking,
+		Predication:  p.opts.Predication,
+		Pred:         pred,
+		MaxRounds:    p.opts.MaxRounds,
+		Workers:      p.opts.Workers,
+		Parallel:     p.opts.Parallel,
+		Steal:        p.opts.Steal,
+		Obs:          reg,
+		EIDRefs:      p.eidRefs,
+		MaxRetries:   p.opts.MaxRetries,
+		RetryBackoff: p.opts.RetryBackoff,
 	}
 	if p.opts.Oracle != nil {
 		cOpts.Oracle = p.opts.Oracle
 	}
 	eng := chase.New(p.env, p.rules, p.gamma, cOpts)
-	chaseRep, err := eng.Run()
+	chaseRep, err := eng.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
 		Errors:              errs,
+		Partial:             detPartial || chaseRep.Partial,
+		UnitErrors:          chaseRep.UnitErrors,
 		ChaseRounds:         chaseRep.Rounds,
 		UnresolvedConflicts: len(chaseRep.Unresolved),
 		OracleCalls:         chaseRep.OracleCalls,

@@ -70,7 +70,7 @@ func TestRegisterGraphEnablesExtraction(t *testing.T) {
 	g := NewGraph("Wiki")
 	hv := g.AddVertex("Huawei Flagship")
 	bj := g.AddVertex("Beijing")
-	g.MustEdge(hv, "LocationAt", bj)
+	MustEdge(g, hv, "LocationAt", bj)
 
 	p := NewPipeline(db)
 	p.RegisterGraph(g, 0.6)
