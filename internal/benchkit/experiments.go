@@ -9,6 +9,7 @@ import (
 	"github.com/rockclean/rock/internal/detect"
 	"github.com/rockclean/rock/internal/discovery"
 	"github.com/rockclean/rock/internal/obs"
+	"github.com/rockclean/rock/internal/predicate"
 	"github.com/rockclean/rock/internal/quality"
 	"github.com/rockclean/rock/internal/workload"
 )
@@ -654,6 +655,82 @@ func Faults(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Scale measures chase throughput on the dictionary-encoded hot path at
+// 10⁶–10⁷ tuples: the Scale workload (one Events relation, an interned
+// equality self-join plus an interned constant rule, null-only errors) is
+// chased at four sizes up to cfg.N, publishing a tuples-vs-wallclock
+// curve. The total defaults to 10⁶ tuples when cfg.N is left at the
+// laptop-scale default; pass -n to move it (CI smoke runs use small -n,
+// the acceptance run uses 1e6+). ML, blocking and predication are off —
+// the workload has no ML predicates, so the engine's enumeration and
+// join machinery is the only thing on the clock. At the smallest size
+// the experiment also chases serially and asserts the fix-set snapshot
+// is bit-identical to the parallel run's. Excluded from -exp all.
+func Scale(cfg Config) (*Table, error) {
+	total := cfg.N
+	if total <= DefaultConfig().N {
+		total = 1_000_000
+	}
+	t := NewTable("scale", "chase throughput at scale (§5.1 interning)", "",
+		[]string{"tuples", "ms", "rounds", "valuations", "fixes", "ktuples/s"})
+	t.Metrics = make(map[string]uint64)
+	for i, n := range []int{total / 8, total / 4, total / 2, total} {
+		if n < 1 {
+			n = 1
+		}
+		ds := workload.Scale(workload.Config{N: n, Seed: cfg.Seed})
+		env := predicate.NewEnv(ds.DB)
+		reg := obs.New()
+		opts := chase.DefaultOptions()
+		opts.Workers = cfg.Workers
+		opts.UseBlocking = false
+		opts.Predication = false
+		opts.Obs = reg
+		eng := chase.New(env, ds.Rules, ds.Gamma, opts)
+		ms, err := timeIt(func() error {
+			_, err := eng.Run()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep := eng.Report()
+		applied := len(rep.Applied)
+		missing := len(ds.Gold.MissingCells)
+		if applied < missing {
+			return nil, fmt.Errorf("scale: n=%d applied %d fixes, want at least the %d gold nulls", n, applied, missing)
+		}
+		if i == 0 {
+			// Determinism gate at the smallest size: a serial chase over a
+			// fresh environment must land on the bit-identical fix set.
+			sOpts := opts
+			sOpts.Parallel = false
+			sOpts.Obs = obs.New()
+			sEng := chase.New(predicate.NewEnv(ds.DB), ds.Rules, ds.Gamma, sOpts)
+			if _, err := sEng.Run(); err != nil {
+				return nil, err
+			}
+			if a, b := eng.Truth().Snapshot(), sEng.Truth().Snapshot(); a != b {
+				return nil, fmt.Errorf("scale: parallel and serial fix sets diverge at n=%d", n)
+			}
+		}
+		row := fmt.Sprintf("n=%d", n)
+		t.Set(row, "tuples", float64(n))
+		t.Set(row, "ms", ms)
+		t.Set(row, "rounds", float64(len(rep.Trace)))
+		t.Set(row, "valuations", float64(reg.CounterValue("chase.valuations")))
+		t.Set(row, "fixes", float64(applied))
+		if ms > 0 {
+			t.Set(row, "ktuples/s", float64(n)/ms)
+		}
+		for k, v := range reg.Snapshot().Counters {
+			t.Metrics[row+"."+k] = v
+		}
+	}
+	t.Note("workers fixed at cfg.Workers; serial-vs-parallel snapshot asserted bit-identical at the smallest size")
+	return t, nil
+}
+
 // Poly reproduces §5.4's polynomial-expression learning: the stump
 // ensemble ranks numeric attributes, LASSO fits the expression, and the
 // learned arithmetic (total ≈ amount + fee; price_no_tax ≈ price/rate per
@@ -839,6 +916,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Steal(cfg)
 	case "faults":
 		return Faults(cfg)
+	case "scale":
+		return Scale(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, scale, all)", id)
 }

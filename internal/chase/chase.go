@@ -258,6 +258,11 @@ type Engine struct {
 	// tuplesByEID indexes tuples by their raw EID per relation for dirty
 	// propagation.
 	tuplesByEID map[string]map[string][]*data.Tuple
+	// blocks caches the TID-partition of every relation across rounds:
+	// relations never gain or lose tuples during a run, so the round loop
+	// reuses one partition instead of rebuilding it every round. Reset
+	// when the incremental path absorbs inserts.
+	blocks map[string][][]*data.Tuple
 	// cl is the run-wide worker pool; ring and nodes (borrowed from cl)
 	// simulate work-unit placement for makespan accounting.
 	cl    *cluster.Cluster
@@ -358,6 +363,31 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 	}
 	e.exec = exec.New(env)
 	e.exec.SetObs(e.obs)
+	// Interned fast path: the executor compares dictionary ids of raw
+	// values, while ValueOf reads validated cells first — so it must know
+	// which tuples' view may differ from raw data. Seed that shadow set
+	// with every tuple whose entity class carries a validated cell in Γ;
+	// the merge step extends it as fixes land (same granularity as dirty
+	// propagation). With tracking registered, equality joins and constant
+	// predicates run interned for the (vast) unshadowed majority.
+	shadow := make(map[string]map[int]bool)
+	e.u.ForEachCell(func(rel, eidRoot, _ string, _ data.Value) {
+		idx := e.tuplesByEID[rel]
+		if idx == nil {
+			return
+		}
+		for _, member := range e.u.ClassMembers(eidRoot) {
+			for _, t := range idx[member] {
+				m := shadow[rel]
+				if m == nil {
+					m = make(map[int]bool)
+					shadow[rel] = m
+				}
+				m[t.TID] = true
+			}
+		}
+	})
+	e.exec.SetShadowTracking(shadow)
 	if opts.Predication {
 		if opts.Pred != nil {
 			e.pred = opts.Pred
@@ -475,6 +505,13 @@ func (e *Engine) RunIncrementalCtx(ctx context.Context, dirty map[string]map[int
 		}
 		e.tuplesByEID[name] = idx
 	}
+	// The caller mutated raw data: re-intern the changed TIDs, rebuild the
+	// partition (inserts need a block), and shadow the dirty tuples — an
+	// updated tuple may sit in an entity class with validated cells, so
+	// its view can differ from its new raw value.
+	e.blocks = nil
+	e.exec.RefreshTuples(dirty)
+	e.exec.MarkShadowed(dirty)
 	rep, err := e.runUnified(e.rules, dirty)
 	e.finish()
 	return rep, err
@@ -608,7 +645,10 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		e.precomputePredications(ordered, dirty)
 	}
 
-	blocks := e.partition()
+	if e.blocks == nil {
+		e.blocks = e.partition()
+	}
+	blocks := e.blocks
 	type unitWork struct {
 		rule *ree.Rule
 		unit chaseUnit
@@ -637,7 +677,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		start := time.Now()
 		opts := exec.Options{Ctx: e.ctx, UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict}
 		res.st, res.err = e.exec.Run(w.rule, opts, func(h *predicate.Valuation) bool {
-			res.fixes = append(res.fixes, e.deduce(w.rule, h)...)
+			res.fixes = e.deduceAppend(res.fixes, w.rule, h)
 			return true
 		})
 		res.cost = time.Since(start)
@@ -761,9 +801,13 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		// Accepted fixes change the values units read through env.ValueOf,
 		// so any blocker index built over them is stale — and so are the
 		// cached embeddings of exactly the touched tuples (same
-		// granularity that re-activates rules).
+		// granularity that re-activates rules). The same tuple set is no
+		// longer safe for interned raw-id comparisons: shadow it so the
+		// executor reads those tuples through the fix set.
+		ds := e.dirtySet(accepted)
 		e.exec.InvalidateBlockers()
-		e.exec.InvalidateTuples(e.dirtySet(accepted))
+		e.exec.InvalidateTuples(ds)
+		e.exec.MarkShadowed(ds)
 	}
 	if e.pred != nil {
 		e.report.Predication = e.pred.Stats()
@@ -925,33 +969,40 @@ func (e *Engine) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple) []chas
 // deduce turns the consequence p0 under valuation h into zero or more
 // concrete fixes (paper §4.1, chase-step condition (2)).
 func (e *Engine) deduce(r *ree.Rule, h *predicate.Valuation) []Fix {
+	return e.deduceAppend(nil, r, h)
+}
+
+// deduceAppend is deduce writing into a caller-owned buffer: the per-unit
+// enumeration loop appends every valuation's fixes to one growing slice
+// instead of allocating a fresh one- or two-element slice per valuation.
+func (e *Engine) deduceAppend(dst []Fix, r *ree.Rule, h *predicate.Valuation) []Fix {
 	p := r.P0
 	switch p.Kind {
 	case predicate.KEID:
 		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
 		if bt.Tuple == nil || bs.Tuple == nil {
-			return nil
+			return dst
 		}
 		kind := FixMerge
 		if p.Op == predicate.Neq {
 			kind = FixSeparate
 		}
-		return []Fix{{Kind: kind, EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID}}
+		return append(dst, Fix{Kind: kind, EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID})
 
 	case predicate.KConst:
 		bt := h.Tuples[p.T]
 		if bt.Tuple == nil || p.Op != predicate.Eq {
-			return nil
+			return dst
 		}
-		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: p.C, RuleID: r.ID}}
+		return append(dst, Fix{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: p.C, RuleID: r.ID})
 
 	case predicate.KAttr:
 		if p.Op != predicate.Eq {
-			return nil
+			return dst
 		}
 		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
 		if bt.Tuple == nil || bs.Tuple == nil {
-			return nil
+			return dst
 		}
 		vt, okT := e.env.ValueOf(bt.Rel, bt.Tuple, p.A)
 		vs, okS := e.env.ValueOf(bs.Rel, bs.Tuple, p.B)
@@ -961,22 +1012,22 @@ func (e *Engine) deduce(r *ree.Rule, h *predicate.Valuation) []Fix {
 		// entities (ϕ1: same discount code → same buyer pid).
 		if e.opts.EIDRefs[bt.Rel+"."+p.A] && e.opts.EIDRefs[bs.Rel+"."+p.B] {
 			if nullT || nullS || vt.Equal(vs) {
-				return nil
+				return dst
 			}
-			return []Fix{{Kind: FixMerge, EID1: vt.String(), EID2: vs.String(), RuleID: r.ID}}
+			return append(dst, Fix{Kind: FixMerge, EID1: vt.String(), EID2: vs.String(), RuleID: r.ID})
 		}
 		mk := func(b predicate.Binding, attr string, v data.Value) Fix {
 			return Fix{Kind: FixCell, Rel: b.Rel, Attr: attr, EID1: b.Tuple.EID, TID: b.Tuple.TID, Value: v, RuleID: r.ID}
 		}
 		switch {
 		case nullT && nullS:
-			return nil
+			return dst
 		case nullT:
-			return []Fix{mk(bt, p.A, vs)}
+			return append(dst, mk(bt, p.A, vs))
 		case nullS:
-			return []Fix{mk(bs, p.B, vt)}
+			return append(dst, mk(bs, p.B, vt))
 		case vt.Equal(vs):
-			return nil
+			return dst
 		default:
 			// Both sides carry distinct values: the rule asserts they must
 			// be equal, but the data cannot certify which one is correct.
@@ -986,69 +1037,68 @@ func (e *Engine) deduce(r *ree.Rule, h *predicate.Valuation) []Fix {
 			// (paper §4.1: fixes must be justified, not guessed).
 			winner, ok := e.resolveValuePair(bt, p.A, vt, bs, p.B, vs)
 			if !ok {
-				return nil
+				return dst
 			}
-			var out []Fix
 			if !vt.Equal(winner) {
-				out = append(out, mk(bt, p.A, winner))
+				dst = append(dst, mk(bt, p.A, winner))
 			}
 			if !vs.Equal(winner) {
-				out = append(out, mk(bs, p.B, winner))
+				dst = append(dst, mk(bs, p.B, winner))
 			}
-			return out
+			return dst
 		}
 
 	case predicate.KTemporal:
 		bt, bs := h.Tuples[p.T], h.Tuples[p.S]
 		if bt.Tuple == nil || bs.Tuple == nil {
-			return nil
+			return dst
 		}
-		return []Fix{{Kind: FixOrder, Rel: bt.Rel, Attr: p.A, TID1: bt.Tuple.TID, TID2: bs.Tuple.TID, Strict: p.Strict,
-			EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID}}
+		return append(dst, Fix{Kind: FixOrder, Rel: bt.Rel, Attr: p.A, TID1: bt.Tuple.TID, TID2: bs.Tuple.TID, Strict: p.Strict,
+			EID1: bt.Tuple.EID, EID2: bs.Tuple.EID, RuleID: r.ID})
 
 	case predicate.KVal:
 		bt := h.Tuples[p.T]
 		bx, okx := h.Vertices[p.X]
 		if bt.Tuple == nil || !okx {
-			return nil
+			return dst
 		}
 		g := e.env.Graphs[bx.Graph]
 		if g == nil {
-			return nil
+			return dst
 		}
 		val, ok := g.Val(bx.ID, p.Path)
 		if !ok {
-			return nil
+			return dst
 		}
 		v := coerce(e.env.DB, bt.Rel, p.A, val)
-		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID}}
+		return append(dst, Fix{Kind: FixCell, Rel: bt.Rel, Attr: p.A, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID})
 
 	case predicate.KPredict:
 		bt := h.Tuples[p.T]
 		if bt.Tuple == nil {
-			return nil
+			return dst
 		}
 		md := e.env.Pred[p.Model]
 		if md == nil {
-			return nil
+			return dst
 		}
 		rel := e.env.DB.Rel(bt.Rel)
 		if rel == nil {
-			return nil
+			return dst
 		}
 		bIdx := rel.Schema.Index(p.B)
 		if bIdx < 0 {
-			return nil
+			return dst
 		}
 		// Suggest over the tuple as seen through validated values.
 		seen := e.viewTuple(bt.Rel, bt.Tuple)
 		v, _, ok := md.Suggest(seen, bIdx)
 		if !ok {
-			return nil
+			return dst
 		}
-		return []Fix{{Kind: FixCell, Rel: bt.Rel, Attr: p.B, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID}}
+		return append(dst, Fix{Kind: FixCell, Rel: bt.Rel, Attr: p.B, EID1: bt.Tuple.EID, TID: bt.Tuple.TID, Value: v, RuleID: r.ID})
 	}
-	return nil
+	return dst
 }
 
 // viewTuple materialises the tuple as seen through validated cells.
@@ -1541,6 +1591,11 @@ func (e *Engine) Materialize() int {
 				}
 			}
 		}
+	}
+	if n > 0 {
+		// Raw data changed underneath the interned columns; drop them so
+		// any further Run (incremental mode) rebuilds from current values.
+		e.exec.InvalidateInterned()
 	}
 	return n
 }

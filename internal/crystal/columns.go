@@ -8,13 +8,31 @@ import (
 	"github.com/rockclean/rock/internal/data"
 )
 
-// Dictionary maps attribute values to unique ids (paper §5.1: Crystal
-// "transforms attribute values to unique ids"). Ids are assigned in sorted
-// value order, so similar values receive nearby ids and the
-// column-oriented copy gathers them together.
+// ValueID is an interned attribute value id (paper §5.1: Crystal
+// "transforms attribute values to unique ids"). Ids fit uint32 so the
+// dense per-column layout stays 4 bytes per tuple at 10⁷-tuple scale.
+type ValueID = uint32
+
+// NoValue marks a TID slot with no interned value (a TID the column has
+// never seen — deleted, out of range, or inserted after the last refresh).
+const NoValue ValueID = ^ValueID(0)
+
+// Dictionary maps attribute values to unique ids. Ids are assigned in
+// sorted value order at build time, so similar values receive nearby ids
+// and the column-oriented copy gathers them together; values interned
+// later (incremental inserts) append in arrival order — id stability wins
+// over sortedness once the dictionary is live. Lookups key on
+// data.Value.Key(), which canonicalises numerics, so interning agrees
+// with Value.Equal (I(5), F(5) and TS(5) share one id).
 type Dictionary struct {
-	ids    map[string]int
+	ids    map[string]ValueID
 	values []data.Value
+	nullID ValueID // id of the null entry; NoValue when the column has none
+}
+
+// NewDictionary creates an empty dictionary (values intern on demand).
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]ValueID), nullID: NoValue}
 }
 
 // BuildDictionary builds the dictionary of one column's distinct values.
@@ -26,30 +44,62 @@ func BuildDictionary(rel *data.Relation, attr string) (*Dictionary, error) {
 	seen := make(map[string]data.Value)
 	for _, t := range rel.Tuples {
 		v := t.Values[ai]
-		seen[v.Key()] = v
+		if _, ok := seen[v.Key()]; !ok {
+			seen[v.Key()] = v
+		}
 	}
 	keys := make([]string, 0, len(seen))
 	for k := range seen {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	d := &Dictionary{ids: make(map[string]int, len(keys))}
-	for i, k := range keys {
-		d.ids[k] = i
-		d.values = append(d.values, seen[k])
+	// Sorted-order id assignment: true value order (Compare), key text as
+	// the deterministic tie-break for incomparable kinds.
+	sort.Slice(keys, func(i, j int) bool {
+		c := seen[keys[i]].Compare(seen[keys[j]])
+		if c != 0 {
+			return c < 0
+		}
+		return keys[i] < keys[j]
+	})
+	d := NewDictionary()
+	for _, k := range keys {
+		d.intern(k, seen[k])
 	}
 	return d, nil
 }
 
+func (d *Dictionary) intern(key string, v data.Value) ValueID {
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	id := ValueID(len(d.values))
+	d.ids[key] = id
+	d.values = append(d.values, v)
+	if v.IsNull() {
+		d.nullID = id
+	}
+	return id
+}
+
+// Intern returns v's id, assigning the next free id on first sight.
+// Appended ids break the sorted-order property but never invalidate
+// existing ids — equality comparisons stay exact, range pruning must not
+// rely on id order after the first Intern. Not safe for concurrent use.
+func (d *Dictionary) Intern(v data.Value) ValueID { return d.intern(v.Key(), v) }
+
 // ID returns the id of a value; ok is false for unseen values.
-func (d *Dictionary) ID(v data.Value) (int, bool) {
+func (d *Dictionary) ID(v data.Value) (ValueID, bool) {
 	id, ok := d.ids[v.Key()]
 	return id, ok
 }
 
+// NullID returns the id of the column's null entry; ok is false when no
+// null value was interned.
+func (d *Dictionary) NullID() (ValueID, bool) { return d.nullID, d.nullID != NoValue }
+
 // Value returns the value of an id.
-func (d *Dictionary) Value(id int) (data.Value, bool) {
-	if id < 0 || id >= len(d.values) {
+func (d *Dictionary) Value(id ValueID) (data.Value, bool) {
+	if int(id) >= len(d.values) {
 		return data.Value{}, false
 	}
 	return d.values[id], true
@@ -58,60 +108,150 @@ func (d *Dictionary) Value(id int) (data.Value, bool) {
 // Size returns the number of distinct values.
 func (d *Dictionary) Size() int { return len(d.values) }
 
-// Column is the column-oriented copy of one attribute: dictionary ids per
-// TID plus the posting lists that gather equal values together.
+// Column is the column-oriented copy of one attribute: a dense slice of
+// dictionary ids indexed directly by TID (TIDs are assigned sequentially
+// by Relation.Insert), plus the posting lists that gather equal values
+// together. The dense layout replaces the old map[int]int: at 10⁶–10⁷
+// tuples an id read is one bounds-checked slice index instead of a hashed
+// map probe, and equality predicates compare uint32s with zero
+// allocations.
 type Column struct {
 	Attr string
 	Dict *Dictionary
-	// IDs maps tuple TID to value id.
-	IDs map[int]int
-	// Postings maps value id to the sorted TIDs carrying it — the
-	// "similar values gathered together" layout that accelerates hash
-	// joins and blocking.
+	// IDs maps TID → value id; NoValue marks TIDs the column has no tuple
+	// for (holes from deletions, or inserts after the last Refresh).
+	IDs []ValueID
+	// Postings maps value id → sorted TIDs carrying it — the "similar
+	// values gathered together" layout that accelerates hash joins and
+	// blocking. Indexed by dictionary id.
 	Postings [][]int
 }
 
+// BuildColumn encodes one attribute of a relation.
+func BuildColumn(rel *data.Relation, attr string) (*Column, error) {
+	dict, err := BuildDictionary(rel, attr)
+	if err != nil {
+		return nil, err
+	}
+	ai := rel.Schema.Index(attr)
+	col := &Column{Attr: attr, Dict: dict, Postings: make([][]int, dict.Size())}
+	for _, t := range rel.Tuples {
+		id, _ := dict.ID(t.Values[ai])
+		col.setID(t.TID, id)
+		col.Postings[id] = append(col.Postings[id], t.TID)
+	}
+	for _, p := range col.Postings {
+		sort.Ints(p)
+	}
+	return col, nil
+}
+
+// setID stores id at tid, growing the dense slice with NoValue holes.
+func (c *Column) setID(tid int, id ValueID) {
+	for len(c.IDs) <= tid {
+		c.IDs = append(c.IDs, NoValue)
+	}
+	c.IDs[tid] = id
+}
+
+// IDAt returns the interned id of the tuple's value; ok is false when the
+// column holds no entry for the TID (the caller should fall back to the
+// row-oriented value).
+func (c *Column) IDAt(tid int) (ValueID, bool) {
+	if tid < 0 || tid >= len(c.IDs) || c.IDs[tid] == NoValue {
+		return NoValue, false
+	}
+	return c.IDs[tid], true
+}
+
+// Refresh re-interns the raw values of the given TIDs (nil: every tuple),
+// absorbing in-place updates and inserts since the column was built. New
+// values intern with appended ids; postings stay sorted.
+func (c *Column) Refresh(rel *data.Relation, tids map[int]bool) {
+	ai := rel.Schema.Index(c.Attr)
+	if ai < 0 {
+		return
+	}
+	for _, t := range rel.Tuples {
+		if tids != nil && !tids[t.TID] {
+			continue
+		}
+		id := c.Dict.Intern(t.Values[ai])
+		for int(id) >= len(c.Postings) {
+			c.Postings = append(c.Postings, nil)
+		}
+		if old, ok := c.IDAt(t.TID); ok {
+			if old == id {
+				continue
+			}
+			c.Postings[old] = removeSorted(c.Postings[old], t.TID)
+		}
+		c.setID(t.TID, id)
+		c.Postings[id] = insertSorted(c.Postings[id], t.TID)
+	}
+}
+
+func removeSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
 // ColumnStore is the column-oriented copy of a relation (the row-oriented
-// copy is the relation itself).
+// copy is the relation itself) — the per-relation interning layer.
 type ColumnStore struct {
 	Rel     string
 	Columns map[string]*Column
+
+	rel *data.Relation // source relation, for Refresh
 }
 
 // BuildColumnStore encodes every attribute of the relation.
 func BuildColumnStore(rel *data.Relation) (*ColumnStore, error) {
-	cs := &ColumnStore{Rel: rel.Schema.Name, Columns: make(map[string]*Column)}
+	cs := &ColumnStore{Rel: rel.Schema.Name, Columns: make(map[string]*Column), rel: rel}
 	for _, a := range rel.Schema.Attrs {
-		dict, err := BuildDictionary(rel, a.Name)
+		col, err := BuildColumn(rel, a.Name)
 		if err != nil {
 			return nil, err
-		}
-		ai := rel.Schema.Index(a.Name)
-		col := &Column{Attr: a.Name, Dict: dict, IDs: make(map[int]int, rel.Len()), Postings: make([][]int, dict.Size())}
-		for _, t := range rel.Tuples {
-			id, _ := dict.ID(t.Values[ai])
-			col.IDs[t.TID] = id
-			col.Postings[id] = append(col.Postings[id], t.TID)
-		}
-		for _, p := range col.Postings {
-			sort.Ints(p)
 		}
 		cs.Columns[a.Name] = col
 	}
 	return cs, nil
 }
 
-// TIDsWithValue returns the tuples carrying value v in attr, sorted.
+// Refresh re-interns the given TIDs (nil: all) across every column.
+func (cs *ColumnStore) Refresh(tids map[int]bool) {
+	for _, col := range cs.Columns {
+		col.Refresh(cs.rel, tids)
+	}
+}
+
+// TIDsWithValue returns the tuples carrying value v in attr, sorted. The
+// result is a defensive copy: callers may append, sort or mutate it
+// without corrupting the store's posting lists.
 func (cs *ColumnStore) TIDsWithValue(attr string, v data.Value) []int {
 	col := cs.Columns[attr]
 	if col == nil {
 		return nil
 	}
 	id, ok := col.Dict.ID(v)
-	if !ok {
+	if !ok || int(id) >= len(col.Postings) || len(col.Postings[id]) == 0 {
 		return nil
 	}
-	return col.Postings[id]
+	return append([]int(nil), col.Postings[id]...)
 }
 
 // StoreRelation serialises a relation into the block store under key

@@ -103,3 +103,154 @@ func TestStoreLoadRelationRoundTrip(t *testing.T) {
 		t.Error("missing key must error")
 	}
 }
+
+func TestColumnStoreDefensiveCopy(t *testing.T) {
+	rel := sampleRel(t)
+	cs, err := BuildColumnStore(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cs.TIDsWithValue("city", data.S("Beijing"))
+	if len(got) != 2 {
+		t.Fatalf("postings=%v", got)
+	}
+	// Mutating the returned slice must not corrupt the store.
+	got[0], got[1] = 999, 998
+	again := cs.TIDsWithValue("city", data.S("Beijing"))
+	if len(again) != 2 || again[0] != 0 || again[1] != 2 {
+		t.Errorf("postings corrupted by caller mutation: %v", again)
+	}
+}
+
+func TestColumnIDAtDenseLayout(t *testing.T) {
+	rel := sampleRel(t)
+	col, err := BuildColumn(rel, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple's id must round-trip through the dense slice back to a
+	// value equal to the raw one.
+	for _, tp := range rel.Tuples {
+		id, ok := col.IDAt(tp.TID)
+		if !ok {
+			t.Fatalf("tid %d missing from dense column", tp.TID)
+		}
+		v, ok := col.Dict.Value(id)
+		if !ok || !v.Equal(tp.Values[0]) {
+			t.Errorf("tid %d: id %d resolves to %v, want %v", tp.TID, id, v, tp.Values[0])
+		}
+	}
+	// Out-of-range and negative TIDs miss instead of panicking.
+	if _, ok := col.IDAt(len(rel.Tuples) + 10); ok {
+		t.Error("unseen TID must miss")
+	}
+	if _, ok := col.IDAt(-1); ok {
+		t.Error("negative TID must miss")
+	}
+	// Tuples inserted after the build are unseen until a Refresh.
+	nt := rel.Insert("s5", data.S("Chengdu"), data.F(3))
+	if _, ok := col.IDAt(nt.TID); ok {
+		t.Error("post-build insert must miss before Refresh")
+	}
+	col.Refresh(rel, map[int]bool{nt.TID: true})
+	id, ok := col.IDAt(nt.TID)
+	if !ok {
+		t.Fatal("post-Refresh insert must hit")
+	}
+	if v, _ := col.Dict.Value(id); v.Str() != "Chengdu" {
+		t.Errorf("refreshed value = %v", v)
+	}
+}
+
+func TestColumnRefreshAfterSetValue(t *testing.T) {
+	rel := sampleRel(t)
+	col, err := BuildColumn(rel, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.SetValue(1, "city", data.S("Beijing")) {
+		t.Fatal("SetValue failed")
+	}
+	col.Refresh(rel, map[int]bool{1: true})
+	bid, _ := col.Dict.ID(data.S("Beijing"))
+	if id, ok := col.IDAt(1); !ok || id != bid {
+		t.Errorf("IDAt(1)=%d ok=%v, want Beijing id %d", id, ok, bid)
+	}
+	if got := col.Postings[bid]; len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("Beijing postings after refresh = %v", got)
+	}
+	sid, _ := col.Dict.ID(data.S("Shanghai"))
+	if got := col.Postings[sid]; len(got) != 0 {
+		t.Errorf("Shanghai postings must drain, got %v", got)
+	}
+}
+
+func TestDictionaryInternAppends(t *testing.T) {
+	rel := sampleRel(t)
+	d, err := BuildDictionary(rel, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, _ := d.ID(data.S("Beijing"))
+	if got := d.Intern(data.S("Beijing")); got != bid {
+		t.Errorf("re-interning must return the existing id: got %d want %d", got, bid)
+	}
+	size := d.Size()
+	nid := d.Intern(data.S("Chengdu"))
+	if int(nid) != size || d.Size() != size+1 {
+		t.Errorf("new value must append: id=%d size=%d (was %d)", nid, d.Size(), size)
+	}
+	if got := d.Intern(data.S("Chengdu")); got != nid {
+		t.Error("appended id must be stable")
+	}
+}
+
+func TestDictionaryNumericCanonicalIDs(t *testing.T) {
+	// Cross-type numerics equal under Value.Equal share one interned id, so
+	// id equality agrees with value equality (the hot paths depend on it).
+	d := NewDictionary()
+	i5 := d.Intern(data.I(5))
+	if f5 := d.Intern(data.F(5)); f5 != i5 {
+		t.Errorf("I(5) and F(5) interned as %d and %d, want one id", i5, f5)
+	}
+	if t5 := d.Intern(data.TS(5)); t5 != i5 {
+		t.Error("TS(5) must share the numeric id")
+	}
+	if h := d.Intern(data.F(5.5)); h == i5 {
+		t.Error("F(5.5) must get its own id")
+	}
+	nid := d.Intern(data.Null(data.TInt))
+	if got, ok := d.NullID(); !ok || got != nid {
+		t.Error("NullID must report the interned null")
+	}
+	if sid := d.Intern(data.S("5")); sid == i5 {
+		t.Error("S(\"5\") must not collide with numeric 5")
+	}
+}
+
+func TestSchedulerStealZeroCostUnits(t *testing.T) {
+	// Regression: the steal scan used to start at maxLoad = 0 with a strict
+	// >, so a victim whose queued units all carry EstCost == 0 was never
+	// selected — an idle node starved next to a full queue. Victim choice
+	// keys on a non-empty queue; load is only the preference order.
+	s := NewScheduler([]string{"a", "b"})
+	for i := 0; i < 4; i++ {
+		s.AssignBalanced(&WorkUnit{ID: i, RuleID: "r", Part: "p", EstCost: 0})
+	}
+	if got := s.Next("b", false); got != nil {
+		t.Fatalf("no-steal Next must respect queue ownership, got unit %d", got.ID)
+	}
+	stolen := 0
+	for u := s.Next("b", true); u != nil; u = s.Next("b", true) {
+		stolen++
+	}
+	if stolen == 0 {
+		t.Fatal("idle node could not steal zero-cost units")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d units stranded", s.Pending())
+	}
+	if s.Steals() != stolen {
+		t.Errorf("steal counter %d != %d observed", s.Steals(), stolen)
+	}
+}

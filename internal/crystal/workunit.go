@@ -105,10 +105,17 @@ func (s *Scheduler) Next(node string, steal bool) *WorkUnit {
 		s.mu.Unlock()
 		return nil
 	}
-	// Find the most loaded peer.
+	// Find a victim: any peer with pending units qualifies, load is only
+	// the tie-break. Selecting on load alone (load > 0) would make peers
+	// whose queued units all carry EstCost == 0 unstealable — an idle node
+	// would spin while their work sits queued. Strict > keeps the
+	// deterministic first-name tie-break of s.names order.
 	victim, maxLoad := "", 0.0
 	for _, n := range s.names {
-		if n != node && len(s.queues[n]) > 0 && s.loads[n] > maxLoad {
+		if n == node || len(s.queues[n]) == 0 {
+			continue
+		}
+		if victim == "" || s.loads[n] > maxLoad {
 			victim, maxLoad = n, s.loads[n]
 		}
 	}

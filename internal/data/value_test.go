@@ -191,3 +191,34 @@ func TestValueAccessors(t *testing.T) {
 		t.Error("bool String")
 	}
 }
+
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	// Key is the canonical hash key of the executor's join indexes: two
+	// values must share a key exactly when Equal holds, or hash joins and
+	// probe joins disagree about which tuples match. Numerics equal across
+	// kinds (I(5), F(5), TS(5)) are the regression case.
+	if I(5).Key() != F(5).Key() {
+		t.Error("I(5) and F(5) are Equal but keyed apart")
+	}
+	if I(5).Key() != TS(5).Key() {
+		t.Error("I(5) and TS(5) are Equal but keyed apart")
+	}
+	if F(2.5).Key() == I(2).Key() {
+		t.Error("F(2.5) and I(2) differ but share a key")
+	}
+	sample := []Value{
+		I(0), I(5), I(-3), F(0), F(5), F(5.5), F(-3), TS(5), TS(0),
+		S("5"), S(""), S("abc"), B(true), B(false),
+		Null(TInt), Null(TFloat), Null(TString), Null(TBool), Null(TTime),
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			eq := a.Equal(b)
+			keq := a.Key() == b.Key()
+			if eq != keq {
+				t.Errorf("%v vs %v: Equal=%v but key equality=%v (keys %q, %q)",
+					a, b, eq, keq, a.Key(), b.Key())
+			}
+		}
+	}
+}

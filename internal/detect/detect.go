@@ -183,6 +183,13 @@ func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, s
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if dirty != nil {
+		// Incremental detection runs after the caller mutated raw data:
+		// re-intern the changed TIDs so the executor's id comparisons see
+		// current values (fresh detectors build columns lazily anyway; this
+		// matters for a detector reused across update batches).
+		d.ex.RefreshTuples(dirty)
+	}
 	start := time.Now()
 	cl := cluster.New(d.opts.Workers)
 	cl.SetObs(d.opts.Obs, "detect")

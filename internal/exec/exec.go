@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/rockclean/rock/internal/crystal"
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/ml"
 	"github.com/rockclean/rock/internal/obs"
@@ -94,6 +95,11 @@ type Executor struct {
 	// fingerprint (see blockerKey).
 	mu       sync.Mutex
 	blockers map[string]*blockerEntry
+
+	// in is the dictionary-encoded hot path (intern.go): lazily built
+	// interned columns, cross-column id translations, and the shadow-TID
+	// sets that keep interned comparisons sound under a ValueOf hook.
+	in internIndex
 }
 
 // New creates an executor over the environment.
@@ -202,25 +208,43 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 	if len(r.Atoms) == 0 {
 		return st, fmt.Errorf("exec: rule %s has no tuple atoms", r.ID)
 	}
-	// Candidate tuples per variable after constant pushdown.
+	// Candidate tuples per variable after constant pushdown. Filtered
+	// candidate lists come from the scratch pool and are released when the
+	// run finishes; unfiltered variables alias the partition slice itself
+	// (zero copies on the common no-constant-predicate rule).
+	fast := e.fastPathOK()
 	cands := make(map[string][]*data.Tuple, len(r.Atoms))
-	allowed := make(map[string]map[int]bool, len(r.Atoms))
+	var pooled [][]*data.Tuple
+	defer func() {
+		for _, b := range pooled {
+			putTupleBuf(b)
+		}
+	}()
 	for _, a := range r.Atoms {
-		ts, err := e.candidates(r, a, opts)
+		ts, fromPool, err := e.candidates(r, a, opts, fast)
 		if err != nil {
 			return st, err
 		}
 		cands[a.Var] = ts
-		set := make(map[int]bool, len(ts))
-		for _, t := range ts {
-			set[t.TID] = true
+		if fromPool {
+			pooled = append(pooled, ts)
 		}
-		allowed[a.Var] = set
 	}
 
 	// Pick a driver pair: an equality join or a blocked ML predicate over
 	// the first two variables.
-	plan := e.plan(r, opts)
+	plan := e.plan(r, cands, opts, fast)
+	if plan.pooledPairs {
+		defer putPairBuf(plan.pairs)
+	}
+	// Join-driven pairs are built from the candidate lists and need no
+	// re-check; LSH-driven pairs come from the raw partition and must be
+	// intersected with the pushdown survivors.
+	var allow1, allow2 map[int]bool
+	if plan.pairs != nil && !plan.prefiltered {
+		allow1 = tidSet(cands[plan.var1])
+		allow2 = tidSet(cands[plan.var2])
+	}
 
 	// The recursive binder: bind variables in atom order, but the first
 	// two may be driven by the plan's pair generator. Each precondition
@@ -291,10 +315,16 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 		}
 	}
 
+	emitCalls := 0
 	emit := func() bool {
-		// Cooperative cancellation: poll the context every few emissions so
-		// a deadline cuts a long enumeration short between valuations.
-		if opts.Ctx != nil && st.Valuations%64 == 63 {
+		// Cooperative cancellation: poll the context every few emit calls so
+		// a deadline cuts a long enumeration short between valuations. The
+		// counter counts calls, not emitted valuations — the dirty filter
+		// below returns before Valuations increments, so an all-clean
+		// incremental run polled on Valuations would never observe
+		// cancellation no matter how long it enumerates.
+		emitCalls++
+		if opts.Ctx != nil && emitCalls%64 == 0 {
 			if err := opts.Ctx.Err(); err != nil {
 				fail(err)
 				return false
@@ -377,9 +407,11 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 		}
 		list := cands[a.Var]
 		// Hash-join shortcut: if an equality predicate links a bound var to
-		// this one, probe an index instead of scanning; probeJoin respects
-		// the constant-pushdown candidate set of the variable.
-		if idxList := e.probeJoin(r, a, bound, h, allowed, opts); idxList != nil {
+		// this one, probe the candidate list instead of scanning; probeJoin
+		// works over the constant-pushdown candidate set of the variable, so
+		// tuples eliminated by single-variable predicates never re-enumerate.
+		idxList, fromPool := e.probeJoin(r, a, bound, h, cands, opts, fast)
+		if idxList != nil {
 			list = idxList
 		}
 		for _, t := range list {
@@ -401,8 +433,11 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			delete(bound, a.Var)
 			delete(h.Tuples, a.Var)
 			if stop {
-				return
+				break
 			}
+		}
+		if fromPool {
+			putTupleBuf(idxList)
 		}
 	}
 
@@ -415,7 +450,7 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 				break
 			}
 			t1, t2 := pr[0], pr[1]
-			if !allowed[v1][t1.TID] || !allowed[v2][t2.TID] {
+			if !plan.prefiltered && (!allow1[t1.TID] || !allow2[t2.TID]) {
 				continue
 			}
 			if rel1 == rel2 && t1.TID == t2.TID {
@@ -455,41 +490,129 @@ func selfPair(h *predicate.Valuation, a ree.Atom, t *data.Tuple) bool {
 }
 
 // candidates lists the tuples variable a.Var may bind to after constant
-// pushdown, partition restriction and dirty filtering.
-func (e *Executor) candidates(r *ree.Rule, a ree.Atom, opts Options) ([]*data.Tuple, error) {
+// pushdown, partition restriction and dirty filtering. fromPool reports
+// that the returned slice came from the scratch pool (the caller releases
+// it); false means it aliases the partition itself and must not be
+// mutated or pooled.
+func (e *Executor) candidates(r *ree.Rule, a ree.Atom, opts Options, fast bool) (out []*data.Tuple, fromPool bool, err error) {
 	rel := e.env.DB.Rel(a.Rel)
 	if rel == nil {
-		return nil, fmt.Errorf("exec: rule %s references unknown relation %q", r.ID, a.Rel)
+		return nil, false, fmt.Errorf("exec: rule %s references unknown relation %q", r.ID, a.Rel)
 	}
 	base := partitionOf(rel, a.Rel, a.Var, opts)
-	// Constant pushdown: keep tuples satisfying every single-variable
-	// constant/null predicate on this variable.
-	var out []*data.Tuple
+	// Collect the single-variable constant/null predicates on this var.
+	var preds []*predicate.Predicate
+	for _, p := range r.X {
+		if p.Kind != predicate.KConst && p.Kind != predicate.KNull && p.Kind != predicate.KNotNull {
+			continue
+		}
+		if p.T != a.Var {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return base, false, nil
+	}
+	// Split into interned filters (id compares over the dense column) and
+	// slow predicates (full Eval). Null checks always read raw data, so
+	// they intern unconditionally; constant equality reads through the
+	// value view, so shadowed tuples re-evaluate per tuple below.
+	type idFilter struct {
+		p       *predicate.Predicate
+		col     *crystal.Column
+		cid     crystal.ValueID // interned constant (KConst)
+		hasCID  bool
+		nullID  crystal.ValueID
+		hasNull bool
+		viewed  bool // reads through ValueOf: shadowed tuples fall back
+	}
+	var fasts []idFilter
+	var slows []*predicate.Predicate
+	for _, p := range preds {
+		interned := false
+		if fast && (p.Kind != predicate.KConst || p.Op == predicate.Eq || p.Op == predicate.Neq) {
+			if col := e.internedCol(a.Rel, p.A); col != nil {
+				f := idFilter{p: p, col: col, viewed: p.Kind == predicate.KConst}
+				f.nullID, f.hasNull = col.Dict.NullID()
+				if p.Kind == predicate.KConst {
+					f.cid, f.hasCID = col.Dict.ID(p.C)
+				}
+				fasts = append(fasts, f)
+				interned = true
+			}
+		}
+		if !interned {
+			slows = append(slows, p)
+		}
+	}
+	shadow := e.shadowOf(a.Rel)
+	out = getTupleBuf()
+	fromPool = true
 	h := predicate.NewValuation()
 	for _, t := range base {
 		keep := true
-		h.Bind(a.Var, a.Rel, t)
-		for _, p := range r.X {
-			if p.Kind != predicate.KConst && p.Kind != predicate.KNull && p.Kind != predicate.KNotNull {
+		for fi := range fasts {
+			f := &fasts[fi]
+			id, okID := f.col.IDAt(t.TID)
+			if !okID || (f.viewed && shadow != nil && shadow[t.TID]) {
+				// Unseen TID or view-sensitive shadowed tuple: evaluate the
+				// predicate the slow way for this tuple only.
+				h.Bind(a.Var, a.Rel, t)
+				ok, evalErr := f.p.Eval(e.env, h)
+				if evalErr != nil {
+					putTupleBuf(out)
+					return nil, false, evalErr
+				}
+				if !ok {
+					keep = false
+					break
+				}
 				continue
 			}
-			if p.T != a.Var {
-				continue
+			isNull := f.hasNull && id == f.nullID
+			switch {
+			case f.p.Kind == predicate.KNull:
+				keep = isNull
+			case f.p.Kind == predicate.KNotNull:
+				keep = !isNull
+			case f.p.Op == predicate.Eq:
+				keep = !isNull && f.hasCID && id == f.cid
+			default: // Neq: non-null and different id
+				keep = !isNull && !(f.hasCID && id == f.cid)
 			}
-			ok, err := p.Eval(e.env, h)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				keep = false
+			if !keep {
 				break
+			}
+		}
+		if keep {
+			for _, p := range slows {
+				h.Bind(a.Var, a.Rel, t)
+				ok, evalErr := p.Eval(e.env, h)
+				if evalErr != nil {
+					putTupleBuf(out)
+					return nil, false, evalErr
+				}
+				if !ok {
+					keep = false
+					break
+				}
 			}
 		}
 		if keep {
 			out = append(out, t)
 		}
 	}
-	return out, nil
+	return out, fromPool, nil
+}
+
+// tidSet builds the membership set of a candidate list.
+func tidSet(ts []*data.Tuple) map[int]bool {
+	set := make(map[int]bool, len(ts))
+	for _, t := range ts {
+		set[t.TID] = true
+	}
+	return set
 }
 
 // execPlan is the chosen driver for the first two variables.
@@ -498,11 +621,16 @@ type execPlan struct {
 	pairs      [][2]*data.Tuple
 	// covered marks predicates certified by the driver (join equality).
 	covered map[*predicate.Predicate]bool
+	// prefiltered marks pair lists built from the pushdown candidate
+	// lists — the pairs loop skips its allowed-set intersection.
+	prefiltered bool
+	// pooledPairs marks pairs as pool scratch, released after the run.
+	pooledPairs bool
 }
 
 // plan inspects the rule and builds pair candidates via hash join or LSH
 // blocking when profitable.
-func (e *Executor) plan(r *ree.Rule, opts Options) execPlan {
+func (e *Executor) plan(r *ree.Rule, cands map[string][]*data.Tuple, opts Options, fast bool) execPlan {
 	pl := execPlan{covered: map[*predicate.Predicate]bool{}}
 	if len(r.Atoms) < 2 {
 		return pl
@@ -510,10 +638,17 @@ func (e *Executor) plan(r *ree.Rule, opts Options) execPlan {
 	// Prefer an equality join between two distinct variables.
 	for _, p := range r.X {
 		if p.Kind == predicate.KAttr && p.Op == predicate.Eq && p.T != p.S {
-			pairs := e.hashJoin(r, p, opts)
+			tuplesT, okT := cands[p.T]
+			tuplesS, okS := cands[p.S]
+			if !okT || !okS {
+				continue
+			}
+			pairs, pooledPairs := e.hashJoin(r, p, opts, tuplesT, tuplesS, fast)
 			if pairs != nil {
 				pl.var1, pl.var2, pl.pairs = p.T, p.S, pairs
 				pl.covered[p] = true
+				pl.prefiltered = true
+				pl.pooledPairs = pooledPairs
 				return pl
 			}
 		}
@@ -526,6 +661,7 @@ func (e *Executor) plan(r *ree.Rule, opts Options) execPlan {
 				if pairs != nil {
 					pl.var1, pl.var2, pl.pairs = p.T, p.S, pairs
 					// Not covered: the model still verifies each candidate.
+					// Not prefiltered: LSH pairs come from the raw partition.
 					return pl
 				}
 			}
@@ -534,31 +670,44 @@ func (e *Executor) plan(r *ree.Rule, opts Options) execPlan {
 	return pl
 }
 
-// hashJoin builds (t, s) pairs with t.A = s.B via a hash index on s.B.
-func (e *Executor) hashJoin(r *ree.Rule, p *predicate.Predicate, opts Options) [][2]*data.Tuple {
-	relT := e.env.DB.Rel(r.RelOf(p.T))
-	relS := e.env.DB.Rel(r.RelOf(p.S))
+// hashJoin builds (t, s) pairs with t.A = s.B via a hash index on s.B,
+// joining the two variables' pushdown candidate lists. When interned
+// columns are available (and the fast path is sound) the index keys on
+// dictionary ids; otherwise it keys on canonical value keys, which agree
+// with Value.Equal — cross-type numeric matches (I(5) = F(5)) land in one
+// bucket either way, exactly as the probe-join path finds them. pooled
+// reports the pair slice came from the scratch pool.
+func (e *Executor) hashJoin(r *ree.Rule, p *predicate.Predicate, opts Options,
+	tuplesT, tuplesS []*data.Tuple, fast bool) (pairs [][2]*data.Tuple, pooled bool) {
+	relTName, relSName := r.RelOf(p.T), r.RelOf(p.S)
+	relT := e.env.DB.Rel(relTName)
+	relS := e.env.DB.Rel(relSName)
 	if relT == nil || relS == nil {
-		return nil
+		return nil, false
 	}
-	tuplesT := partitionOf(relT, r.RelOf(p.T), p.T, opts)
-	tuplesS := partitionOf(relS, r.RelOf(p.S), p.S, opts)
 	bi := relS.Schema.Index(p.B)
 	ai := relT.Schema.Index(p.A)
 	if ai < 0 || bi < 0 {
-		return nil
+		return nil, false
+	}
+	if fast {
+		colA := e.internedCol(relTName, p.A)
+		colB := e.internedCol(relSName, p.B)
+		if colA != nil && colB != nil {
+			return e.hashJoinInterned(r, p, opts, tuplesT, tuplesS, colA, colB, ai, bi), true
+		}
 	}
 	idx := make(map[string][]*data.Tuple, len(tuplesS))
 	for _, s := range tuplesS {
-		v := valueThrough(e.env, r.RelOf(p.S), s, p.B, bi)
+		v := valueThrough(e.env, relSName, s, p.B, bi)
 		if v.IsNull() {
 			continue
 		}
 		idx[v.Key()] = append(idx[v.Key()], s)
 	}
-	out := make([][2]*data.Tuple, 0)
+	out := getPairBuf()
 	for _, t := range tuplesT {
-		v := valueThrough(e.env, r.RelOf(p.T), t, p.A, ai)
+		v := valueThrough(e.env, relTName, t, p.A, ai)
 		if v.IsNull() {
 			continue
 		}
@@ -568,6 +717,126 @@ func (e *Executor) hashJoin(r *ree.Rule, p *predicate.Predicate, opts Options) [
 			}
 			out = append(out, [2]*data.Tuple{t, s})
 		}
+	}
+	return out, true
+}
+
+// hashJoinInterned is the dictionary-encoded join: index s-tuples by their
+// interned id in colB's dictionary, probe with t ids translated from colA.
+// Shadowed tuples (view may differ from raw) read through valueThrough;
+// shadowed view values absent from colB's dictionary spill into a
+// string-keyed overflow index so no match is lost.
+func (e *Executor) hashJoinInterned(r *ree.Rule, p *predicate.Predicate, opts Options,
+	tuplesT, tuplesS []*data.Tuple, colA, colB *crystal.Column, ai, bi int) [][2]*data.Tuple {
+	relTName, relSName := r.RelOf(p.T), r.RelOf(p.S)
+	shadowT := e.shadowOf(relTName)
+	shadowS := e.shadowOf(relSName)
+	nullB, hasNullB := colB.Dict.NullID()
+	idx := make(map[crystal.ValueID][]*data.Tuple, len(tuplesS))
+	var slow map[string][]*data.Tuple // shadowed view values outside colB's dict
+	addByValue := func(s *data.Tuple, v data.Value) {
+		if v.IsNull() {
+			return
+		}
+		if id, ok := colB.Dict.ID(v); ok {
+			idx[id] = append(idx[id], s)
+			return
+		}
+		if slow == nil {
+			slow = make(map[string][]*data.Tuple)
+		}
+		slow[v.Key()] = append(slow[v.Key()], s)
+	}
+	for _, s := range tuplesS {
+		if shadowS != nil && shadowS[s.TID] {
+			addByValue(s, valueThrough(e.env, relSName, s, p.B, bi))
+			continue
+		}
+		id, ok := colB.IDAt(s.TID)
+		if !ok {
+			// TID unseen by the column (insert since last refresh): the raw
+			// value is still authoritative for a non-shadowed tuple.
+			addByValue(s, s.Values[bi])
+			continue
+		}
+		if hasNullB && id == nullB {
+			continue
+		}
+		idx[id] = append(idx[id], s)
+	}
+	sameCol := relTName == relSName && p.A == p.B
+	var trans []crystal.ValueID
+	if !sameCol {
+		trans = e.translation(relTName, p.A, colA, relSName, p.B, colB)
+	}
+	nullA, hasNullA := colA.Dict.NullID()
+	out := getPairBuf()
+	emitMatches := func(t *data.Tuple, bucket, overflow []*data.Tuple) {
+		for _, s := range bucket {
+			if dirtyOK(opts, r, p.T, t, p.S, s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+		}
+		for _, s := range overflow {
+			if dirtyOK(opts, r, p.T, t, p.S, s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+		}
+	}
+	for _, t := range tuplesT {
+		if shadowT != nil && shadowT[t.TID] {
+			v := valueThrough(e.env, relTName, t, p.A, ai)
+			if v.IsNull() {
+				continue
+			}
+			var bucket []*data.Tuple
+			if id, ok := colB.Dict.ID(v); ok {
+				bucket = idx[id]
+			}
+			var overflow []*data.Tuple
+			if slow != nil {
+				overflow = slow[v.Key()]
+			}
+			emitMatches(t, bucket, overflow)
+			continue
+		}
+		idA, ok := colA.IDAt(t.TID)
+		if !ok {
+			v := t.Values[ai]
+			if v.IsNull() {
+				continue
+			}
+			var bucket []*data.Tuple
+			if id, ok := colB.Dict.ID(v); ok {
+				bucket = idx[id]
+			}
+			var overflow []*data.Tuple
+			if slow != nil {
+				overflow = slow[v.Key()]
+			}
+			emitMatches(t, bucket, overflow)
+			continue
+		}
+		if hasNullA && idA == nullA {
+			continue
+		}
+		idB := idA
+		if !sameCol {
+			idB = trans[idA]
+		}
+		var bucket []*data.Tuple
+		if idB != crystal.NoValue {
+			bucket = idx[idB]
+		}
+		var overflow []*data.Tuple
+		if slow != nil {
+			// A shadowed s-tuple may carry a view value colB never interned
+			// yet equal to t's — check the overflow index by canonical key.
+			if v, ok := colA.Dict.Value(idA); ok {
+				overflow = slow[v.Key()]
+			}
+		}
+		emitMatches(t, bucket, overflow)
 	}
 	return out
 }
@@ -762,19 +1031,20 @@ func dirtyOK(opts Options, r *ree.Rule, v1 string, t1 *data.Tuple, v2 string, t2
 	return false
 }
 
-// probeJoin, during recursive binding, returns an indexed candidate list
+// probeJoin, during recursive binding, returns a filtered candidate list
 // for atom a when some already-bound variable is linked to it by an
-// equality predicate. The probe result is intersected with the variable's
-// constant-pushdown candidate set (allowed), so tuples already eliminated
-// by single-variable predicates are never re-enumerated. Returns nil when
-// no index applies.
+// equality predicate. The scan runs over the variable's constant-pushdown
+// candidate list, so tuples already eliminated by single-variable
+// predicates are never re-enumerated; with interned columns available the
+// per-tuple comparison is one uint32 equality instead of a Value.Equal.
+// Returns nil when no index applies; fromPool reports the returned slice
+// is pool scratch the caller must release.
 func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *predicate.Valuation,
-	allowed map[string]map[int]bool, opts Options) []*data.Tuple {
+	cands map[string][]*data.Tuple, opts Options, fast bool) (list []*data.Tuple, fromPool bool) {
 	rel := e.env.DB.Rel(a.Rel)
 	if rel == nil {
-		return nil
+		return nil, false
 	}
-	allow := allowed[a.Var]
 	for _, p := range r.X {
 		if p.Kind != predicate.KAttr || p.Op != predicate.Eq {
 			continue
@@ -801,18 +1071,40 @@ func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *
 		if fi < 0 {
 			continue
 		}
-		out := make([]*data.Tuple, 0, 4)
-		for _, t := range partitionOf(rel, a.Rel, a.Var, opts) {
-			if allow != nil && !allow[t.TID] {
-				continue
+		base := cands[a.Var]
+		out := getTupleBuf()
+		if fast {
+			if col := e.internedCol(a.Rel, freeAttr); col != nil {
+				target, haveTarget := col.Dict.ID(v)
+				shadow := e.shadowOf(a.Rel)
+				for _, t := range base {
+					if shadow != nil && shadow[t.TID] {
+						if valueThrough(e.env, a.Rel, t, freeAttr, fi).Equal(v) {
+							out = append(out, t)
+						}
+						continue
+					}
+					if id, ok := col.IDAt(t.TID); ok {
+						if haveTarget && id == target {
+							out = append(out, t)
+						}
+						continue
+					}
+					if t.Values[fi].Equal(v) {
+						out = append(out, t)
+					}
+				}
+				return out, true
 			}
+		}
+		for _, t := range base {
 			if valueThrough(e.env, a.Rel, t, freeAttr, fi).Equal(v) {
 				out = append(out, t)
 			}
 		}
-		return out
+		return out, true
 	}
-	return nil
+	return nil, false
 }
 
 // valueThrough reads t[attr] through the env's ValueOf hook when present.

@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/data"
+)
+
+// internIndex is the executor's dictionary-encoded view of the database
+// (paper §5.1: Crystal "transforms attribute values to unique ids" so the
+// engine compares integers, not values). Columns build lazily per
+// (relation, attribute) on first use and are shared by every concurrent
+// Run; equality joins and constant predicates then compare uint32 ids
+// over dense TID-indexed slices instead of hashing data.Value keys.
+//
+// Correctness with the chase's fix-set view: interned ids encode RAW
+// tuple values, but the chase reads values through env.ValueOf (validated
+// cells first). The chase therefore registers shadow tracking — the set
+// of TIDs whose view may differ from raw data (seeded from Γ, extended
+// after every merge step) — and the hot paths fall back to valueThrough
+// for exactly those tuples. An executor whose env has a ValueOf hook but
+// no shadow tracking takes the slow path everywhere: safe by default for
+// direct library users installing custom hooks.
+type internIndex struct {
+	mu   sync.RWMutex
+	cols map[string]*crystal.Column // "rel\x1fattr" → column; nil: build failed/unknown attr
+	rels map[string]*data.Relation  // built columns' source relations, for refresh
+	// trans caches cross-column id translations: ids of column A mapped
+	// into the dictionary of column B ("relA\x1fattrA\x1frelB\x1fattrB").
+	// NoValue marks A-values absent from B's dictionary.
+	trans map[string][]crystal.ValueID
+	// shadow[rel] is the TID set whose ValueOf view may differ from raw
+	// data; track is true once a caller claims to maintain it.
+	shadow map[string]map[int]bool
+	track  bool
+}
+
+func colKey(rel, attr string) string { return rel + "\x1f" + attr }
+
+// fastPathOK reports whether interned comparisons are sound for this run:
+// either values are read raw (no ValueOf hook — detection semantics), or
+// the caller maintains the shadow set (the chase).
+func (e *Executor) fastPathOK() bool {
+	if e.env.ValueOf == nil {
+		return true
+	}
+	e.in.mu.RLock()
+	defer e.in.mu.RUnlock()
+	return e.in.track
+}
+
+// SetShadowTracking installs the shadow TID sets and enables the interned
+// fast path under a ValueOf hook. The caller owns the contract: every
+// tuple whose ValueOf view may differ from the raw relation value must be
+// in shadow (MarkShadowed extends it). The maps are retained, not copied.
+func (e *Executor) SetShadowTracking(shadow map[string]map[int]bool) {
+	e.in.mu.Lock()
+	defer e.in.mu.Unlock()
+	if shadow == nil {
+		shadow = make(map[string]map[int]bool)
+	}
+	e.in.shadow = shadow
+	e.in.track = true
+}
+
+// MarkShadowed adds the given TIDs to the shadow sets. Call from the
+// serial merge step (or otherwise outside concurrent Runs) after fixes
+// change what ValueOf returns.
+func (e *Executor) MarkShadowed(dirty map[string]map[int]bool) {
+	e.in.mu.Lock()
+	defer e.in.mu.Unlock()
+	if e.in.shadow == nil {
+		e.in.shadow = make(map[string]map[int]bool)
+	}
+	for rel, tids := range dirty {
+		m := e.in.shadow[rel]
+		if m == nil {
+			m = make(map[int]bool, len(tids))
+			e.in.shadow[rel] = m
+		}
+		for tid := range tids {
+			m[tid] = true
+		}
+	}
+}
+
+// shadowOf returns the shadow TID set of a relation (nil when empty) —
+// fetched once per hot loop, checked per tuple.
+func (e *Executor) shadowOf(rel string) map[int]bool {
+	e.in.mu.RLock()
+	defer e.in.mu.RUnlock()
+	m := e.in.shadow[rel]
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// RefreshTuples re-interns the raw values of the given dirty TIDs into
+// every built column (absorbing SetValue updates and inserts), and drops
+// the translation cache. Call between Runs after mutating raw relation
+// data — the incremental chase and detection paths do this for their
+// dirty sets; InvalidateInterned is the blunt alternative.
+func (e *Executor) RefreshTuples(dirty map[string]map[int]bool) {
+	e.in.mu.Lock()
+	defer e.in.mu.Unlock()
+	if len(e.in.cols) == 0 {
+		return
+	}
+	for key, col := range e.in.cols {
+		if col == nil {
+			continue
+		}
+		rel := e.in.rels[key]
+		if rel == nil {
+			continue
+		}
+		tids := dirty[rel.Schema.Name]
+		if len(tids) == 0 {
+			continue
+		}
+		col.Refresh(rel, tids)
+	}
+	e.in.trans = nil
+}
+
+// InvalidateInterned drops every interned column and translation; the
+// next Run rebuilds lazily from current raw data. Call after bulk raw
+// mutations (e.g. materialising fixes into the database).
+func (e *Executor) InvalidateInterned() {
+	e.in.mu.Lock()
+	defer e.in.mu.Unlock()
+	e.in.cols = nil
+	e.in.rels = nil
+	e.in.trans = nil
+}
+
+// internMinTuples gates the interned layout by cardinality: below this
+// size a dictionary build costs more than every id compare it saves (the
+// build sorts the distinct values), so small relations keep the
+// value-keyed paths. The dense layout targets the 10⁶–10⁷ tuple scale.
+const internMinTuples = 4096
+
+// internedCol returns the interned column for (rel, attr), building it on
+// first use. Returns nil when the attribute is unknown or the relation is
+// too small to be worth encoding.
+func (e *Executor) internedCol(relName, attr string) *crystal.Column {
+	key := colKey(relName, attr)
+	e.in.mu.RLock()
+	col, ok := e.in.cols[key]
+	e.in.mu.RUnlock()
+	if ok {
+		return col
+	}
+	e.in.mu.Lock()
+	defer e.in.mu.Unlock()
+	if col, ok = e.in.cols[key]; ok { // lost the build race
+		return col
+	}
+	rel := e.env.DB.Rel(relName)
+	if rel != nil && len(rel.Tuples) >= internMinTuples {
+		col, _ = crystal.BuildColumn(rel, attr) // nil on unknown attr
+	} else {
+		rel = nil // cache the nil: too small or unknown relation
+	}
+	if e.in.cols == nil {
+		e.in.cols = make(map[string]*crystal.Column)
+		e.in.rels = make(map[string]*data.Relation)
+	}
+	e.in.cols[key] = col
+	if col != nil {
+		e.in.rels[key] = rel
+	}
+	return col
+}
+
+// translation maps ids of colA into colB's dictionary, cached per column
+// pair: one O(|dictA|) value lookup pass instead of per-tuple Key()
+// hashing on every join. Entry i is the colB id of colA's value i, or
+// NoValue when colB never saw that value.
+func (e *Executor) translation(relA, attrA string, colA *crystal.Column, relB, attrB string, colB *crystal.Column) []crystal.ValueID {
+	key := colKey(relA, attrA) + "\x1f" + colKey(relB, attrB)
+	e.in.mu.RLock()
+	tr, ok := e.in.trans[key]
+	e.in.mu.RUnlock()
+	if ok {
+		return tr
+	}
+	tr = make([]crystal.ValueID, colA.Dict.Size())
+	for i := range tr {
+		v, _ := colA.Dict.Value(crystal.ValueID(i))
+		if id, ok := colB.Dict.ID(v); ok {
+			tr[i] = id
+		} else {
+			tr[i] = crystal.NoValue
+		}
+	}
+	e.in.mu.Lock()
+	if e.in.trans == nil {
+		e.in.trans = make(map[string][]crystal.ValueID)
+	}
+	e.in.trans[key] = tr
+	e.in.mu.Unlock()
+	return tr
+}
+
+// --- per-binding scratch pools (the deduction path's GC relief) ---
+
+var tupleBufPool = sync.Pool{
+	New: func() any { b := make([]*data.Tuple, 0, 64); return &b },
+}
+
+func getTupleBuf() []*data.Tuple {
+	return (*tupleBufPool.Get().(*[]*data.Tuple))[:0]
+}
+
+func putTupleBuf(b []*data.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	tupleBufPool.Put(&b)
+}
+
+var pairBufPool = sync.Pool{
+	New: func() any { b := make([][2]*data.Tuple, 0, 64); return &b },
+}
+
+func getPairBuf() [][2]*data.Tuple {
+	return (*pairBufPool.Get().(*[][2]*data.Tuple))[:0]
+}
+
+func putPairBuf(b [][2]*data.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	pairBufPool.Put(&b)
+}

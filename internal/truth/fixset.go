@@ -282,6 +282,17 @@ func (f *FixSet) Cell(rel, eid, attr string) (data.Value, bool) {
 	return v, ok
 }
 
+// ForEachCell visits every validated cell [EID.A]= of the fix set, in
+// unspecified order; eidRoot is the entity-class representative (use
+// ClassMembers to expand it). Read-only: safe while no fix is being
+// applied. The chase seeds its shadow-tuple tracking from it — every
+// tuple whose fix-set view may differ from raw data.
+func (f *FixSet) ForEachCell(fn func(rel, eidRoot, attr string, v data.Value)) {
+	for k, v := range f.cells {
+		fn(k.rel, k.eidRoot, k.attr, v)
+	}
+}
+
 // ReplaceCell overwrites the validated constant for (rel, eid, attr) —
 // only the chase's learning-based conflict resolution may do this, after
 // deciding a winner (paper §4.2, MI conflict case).

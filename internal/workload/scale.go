@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/must"
+	"github.com/rockclean/rock/internal/quality"
+	"github.com/rockclean/rock/internal/truth"
+)
+
+// Scale generates the throughput workload of the `-exp scale` experiment:
+// one wide Events relation at 10⁶–10⁷ tuples exercising exactly the
+// dictionary-encoded hot paths — an equality self-join (interned hash
+// join over sku) imputing null manufacturers, and a constant rule with a
+// null guard (interned constant pushdown over region/code). Errors are
+// nulls only, so every deduced fix is certain: no conflict resolution, no
+// oracle, no ML — wall-clock measures the enumeration engine, nothing
+// else. Every tuple is its own entity (no merges), which keeps the dirty
+// propagation of a fix confined to its own tuple.
+func Scale(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 500))
+	gold := quality.NewGold()
+
+	events := data.NewRelation(must.Schema("Events",
+		data.Attribute{Name: "sku", Type: data.TString},
+		data.Attribute{Name: "mfg", Type: data.TString},
+		data.Attribute{Name: "region", Type: data.TString},
+		data.Attribute{Name: "code", Type: data.TString},
+	))
+
+	// Tuples arrive in sku groups of 2–4; each group shares one
+	// manufacturer, so the self-join t.sku = s.sku touches a linear number
+	// of pairs (group-local), not a quadratic one. About 1% of tuples lose
+	// their manufacturer to a null — at most one per group, so the join
+	// rule always finds a non-null witness and the imputation is certain.
+	group, left, nulledInGroup := 0, 0, false
+	var mfg string
+	for i := 0; i < cfg.N; i++ {
+		if left == 0 {
+			group++
+			left = 2 + group%3 // group sizes cycle 2, 3, 4
+			nulledInGroup = false
+			mfg = fmt.Sprintf("M%d", group%997)
+		}
+		left--
+		sku := fmt.Sprintf("K%d", group)
+		region := fmt.Sprintf("R%d", i%10)
+		code := fmt.Sprintf("C%d", i%10)
+		mv := data.S(mfg)
+		if !nulledInGroup && rng.Float64() < 0.01 {
+			nulledInGroup = true
+			mv = data.Null(data.TString)
+		}
+		cv := data.S(code)
+		if region == "R7" {
+			cv = data.S("C7")
+			if rng.Float64() < 0.01 {
+				cv = data.Null(data.TString)
+			}
+		}
+		t := events.Insert(fmt.Sprintf("e%d", i), data.S(sku), mv, data.S(region), cv)
+		if mv.IsNull() {
+			gold.AddMissing("Events", t.TID, "mfg", data.S(mfg))
+		}
+		if region == "R7" && cv.IsNull() {
+			gold.AddMissing("Events", t.TID, "code", data.S("C7"))
+		}
+	}
+
+	db := data.NewDatabase()
+	db.Add(events)
+
+	ruleSrc := []struct{ id, src string }{
+		// ps1: same sku, same manufacturer — the interned hash-join driver.
+		{"ps1", "Events(t) ^ Events(s) ^ t.sku = s.sku -> t.mfg = s.mfg"},
+		// ps2: region R7 ships with code C7 — interned constant pushdown
+		// (region equality and the null guard both run as id compares).
+		{"ps2", "Events(t) ^ t.region = 'R7' ^ null(t.code) -> t.code = 'C7'"},
+	}
+	rules := parseRules(db, ruleSrc)
+
+	return &Dataset{
+		Name:  "Scale",
+		DB:    db,
+		Gold:  gold,
+		Rules: rules,
+		Tasks: []Task{
+			{Name: "Throughput", Description: "null imputation at 10⁶–10⁷ tuples"},
+		},
+		Gamma:         truth.NewFixSet(),
+		TemporalAttrs: map[string][]string{},
+		EIDRefs:       map[string]bool{},
+		stamps:        map[string]*data.TemporalRelation{},
+	}
+}
