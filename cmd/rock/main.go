@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -56,8 +58,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rock gen    -app bank|logistics|sales -n N -out DIR   generate a demo dataset (+ curated rules)
   rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool] [-steal=bool]
-              [-timeout D] [-retries N]
-              [-v] [-metrics-out FILE] [-pprof ADDR]      detect and correct errors in place
+              [-timeout D] [-retries N] [-v] [-metrics-out FILE]
+              [-trace-out FILE] [-telemetry ADDR] [-pprof ADDR]
+                                                        detect and correct errors in place
   rock detect -in DIR -rules FILE [-workers N] [-metrics-out FILE]   detect errors only
   rock demo                                             run the paper's e-commerce walk-through`)
 }
@@ -150,26 +153,40 @@ func cmdClean(args []string, correct bool) error {
 	retries := fs.Int("retries", 2, "max retries for a panicking work unit before it is reported as failed")
 	verbose := fs.Bool("v", false, "print the per-round chase trace table")
 	metricsOut := fs.String("metrics-out", "", "write the run's observability snapshot (counters, histograms, event log) as JSON to FILE")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run")
+	traceOut := fs.String("trace-out", "", "write the run's span tree as Chrome trace-event JSON to FILE (load in Perfetto or chrome://tracing)")
+	telemetry := fs.String("telemetry", "", "serve live telemetry on ADDR (/metrics Prometheus text, /events, /spans, /snapshot JSON) for the duration of the run; use :0 for an ephemeral port")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run; shares the -telemetry server when both are set")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rulesFile == "" {
 		*rulesFile = filepath.Join(*in, "rules.ree")
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "rock: pprof:", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
-	}
 	db, err := loadDB(*in)
 	if err != nil {
 		return err
 	}
 	reg := obs.New()
+	if *traceOut != "" || *telemetry != "" {
+		reg.EnableSpans(0)
+	}
+	if *telemetry != "" || *pprofAddr != "" {
+		addr := *telemetry
+		if addr == "" {
+			addr = *pprofAddr
+		}
+		resolved, shutdown, err := serveDebug(addr, reg, *pprofAddr != "")
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		if *telemetry != "" {
+			fmt.Printf("telemetry listening on http://%s/metrics\n", resolved)
+		}
+		if *pprofAddr != "" {
+			fmt.Printf("pprof listening on http://%s/debug/pprof/\n", resolved)
+		}
+	}
 	opts := rock.DefaultOptions()
 	opts.Workers = *workers
 	opts.Parallel = *parallel
@@ -210,7 +227,10 @@ func cmdClean(args []string, correct bool) error {
 				fmt.Printf("  [%s/%s] %v\n", e.RuleID, e.Task, e.Cells)
 			}
 		}
-		return writeMetrics(reg.Snapshot(), *metricsOut)
+		if err := writeMetrics(reg.Snapshot(), *metricsOut); err != nil {
+			return err
+		}
+		return writeTraceFile(reg, *traceOut)
 	}
 	rep, err := p.Clean()
 	if err != nil {
@@ -218,6 +238,7 @@ func cmdClean(args []string, correct bool) error {
 	}
 	if *verbose {
 		printTrace(rep.RoundTrace)
+		printProfile(rep.RuleProfile, rep.MLProfile)
 	}
 	if rep.Partial {
 		fmt.Printf("PARTIAL RUN: deadline/cancellation or unit failures cut the run short; results below are sound but incomplete\n")
@@ -258,7 +279,86 @@ func cmdClean(args []string, correct bool) error {
 		}
 	}
 	fmt.Printf("corrected relations written back to %s\n", *in)
-	return writeMetrics(rep.Metrics, *metricsOut)
+	if err := writeMetrics(rep.Metrics, *metricsOut); err != nil {
+		return err
+	}
+	return writeTraceFile(reg, *traceOut)
+}
+
+// serveDebug binds addr and starts a dedicated HTTP server carrying the
+// telemetry endpoints of reg and, when withPprof is set, the net/http/pprof
+// handlers. Binding eagerly (rather than inside the serve goroutine) makes
+// bind failures fail the command and resolves ":0" to a printable ephemeral
+// address. The returned shutdown func drains the server gracefully.
+func serveDebug(addr string, reg *obs.Registry, withPprof bool) (resolved string, shutdown func(), err error) {
+	mux := http.NewServeMux()
+	reg.AttachHandlers(mux)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "rock: telemetry:", err)
+		}
+	}()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), shutdown, nil
+}
+
+// writeTraceFile dumps the registry's span ring as Chrome trace-event JSON;
+// a no-op when path is empty.
+func writeTraceFile(reg *obs.Registry, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, reg.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
+}
+
+// printProfile renders the per-rule and per-ML-model cost attribution
+// tables (rock clean -v).
+func printProfile(rules []rock.RuleCost, models []rock.MLCost) {
+	if len(rules) > 0 {
+		fmt.Println("per-rule cost attribution:")
+		fmt.Printf("  %-12s %6s %12s %10s %8s %8s %8s\n",
+			"rule", "units", "wall", "valuations", "ml_calls", "applied", "rejected")
+		for _, rc := range rules {
+			fmt.Printf("  %-12s %6d %12s %10d %8d %8d %8d\n",
+				rc.Rule, rc.Units, rc.Wall.Round(time.Microsecond), rc.Valuations, rc.MLCalls, rc.Applied, rc.Rejected)
+		}
+	}
+	if len(models) > 0 {
+		fmt.Println("per-ML-model cost attribution:")
+		fmt.Printf("  %-12s %8s %12s %10s %10s\n", "model", "calls", "wall", "cache_hit", "cache_miss")
+		for _, mc := range models {
+			fmt.Printf("  %-12s %8d %12s %10d %10d\n",
+				mc.Model, mc.Calls, mc.Wall.Round(time.Microsecond), mc.CacheHits, mc.CacheMisses)
+		}
+	}
 }
 
 // writeMetrics dumps an observability snapshot as indented JSON; a no-op

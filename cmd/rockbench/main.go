@@ -10,7 +10,9 @@
 // Experiments: fig4a..fig4l (the panels of Figure 4), rules (discovered
 // rule counts), ablation (the design-choice ablations), predication (the
 // §5.4 ML predication layer), steal (the §5.2 work-stealing ablation,
-// asserted against the obs steal counters), scale (the §5.1 interned
+// asserted against the obs steal counters), profile (the per-rule /
+// per-ML-model cost-attribution table of a span-traced chase, its Σ row
+// asserted equal to the phase totals), scale (the §5.1 interned
 // hot-path throughput curve at 10⁶ tuples by default — excluded from
 // `-exp all` because of its size; -n moves the top of the curve).
 package main
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, scale, all")
+		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, all")
 		n        = flag.Int("n", 400, "base tuples per application dataset")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		workers  = flag.Int("workers", 4, "default simulated cluster size")

@@ -655,6 +655,82 @@ func Faults(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Profile runs one span-traced Bank chase and publishes the per-rule
+// cost-attribution table: one row per rule — work units, wall clock,
+// valuations, ML calls, fixes applied/rejected — plus a Σ row that is
+// asserted to reconcile with the run's phase totals (the same obs
+// counters `rock clean -metrics-out` reports), so attribution can never
+// silently drift from the numbers it decomposes.
+func Profile(cfg Config) (*Table, error) {
+	ds, err := appDataset("Bank", cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := baselines.NewBench(ds, cfg.Workers)
+	reg := obs.New()
+	reg.EnableSpans(0)
+	opts := chase.DefaultOptions()
+	opts.Workers = cfg.Workers
+	opts.Parallel = cfg.Workers > 1
+	opts.Obs = reg
+	opts.Oracle = b.GoldOracle()
+	opts.EIDRefs = b.DS.EIDRefs
+	eng := chase.New(b.Env, b.Rules, b.DS.Gamma, opts)
+	rep, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("profile", "per-rule cost attribution (traced Bank chase)", "",
+		[]string{"units", "wall_ms", "valuations", "ml_calls", "applied", "rejected"})
+	t.Metrics = make(map[string]uint64)
+	var sum chase.RuleCost
+	for _, rc := range rep.RuleProfile {
+		t.Set(rc.Rule, "units", float64(rc.Units))
+		t.Set(rc.Rule, "wall_ms", float64(rc.Wall.Microseconds())/1000.0)
+		t.Set(rc.Rule, "valuations", float64(rc.Valuations))
+		t.Set(rc.Rule, "ml_calls", float64(rc.MLCalls))
+		t.Set(rc.Rule, "applied", float64(rc.Applied))
+		t.Set(rc.Rule, "rejected", float64(rc.Rejected))
+		sum.Units += rc.Units
+		sum.Wall += rc.Wall
+		sum.Valuations += rc.Valuations
+		sum.MLCalls += rc.MLCalls
+		sum.Applied += rc.Applied
+		sum.Rejected += rc.Rejected
+	}
+	t.Set("Σ", "units", float64(sum.Units))
+	t.Set("Σ", "wall_ms", float64(sum.Wall.Microseconds())/1000.0)
+	t.Set("Σ", "valuations", float64(sum.Valuations))
+	t.Set("Σ", "ml_calls", float64(sum.MLCalls))
+	t.Set("Σ", "applied", float64(sum.Applied))
+	t.Set("Σ", "rejected", float64(sum.Rejected))
+	// Reconcile the Σ row against the run's phase totals.
+	if got, want := uint64(sum.Units), reg.CounterValue("chase.units"); got != want {
+		return nil, fmt.Errorf("profile: per-rule units sum to %d, phase total is %d", got, want)
+	}
+	if got, want := uint64(sum.Valuations), reg.CounterValue("chase.valuations"); got != want {
+		return nil, fmt.Errorf("profile: per-rule valuations sum to %d, phase total is %d", got, want)
+	}
+	if got, want := uint64(sum.MLCalls), reg.CounterValue("chase.ml_calls"); got != want {
+		return nil, fmt.Errorf("profile: per-rule ml_calls sum to %d, phase total is %d", got, want)
+	}
+	if got, want := sum.Applied, len(rep.Applied); got != want {
+		return nil, fmt.Errorf("profile: per-rule applied sum to %d, report has %d fixes", got, want)
+	}
+	for _, mc := range rep.MLProfile {
+		t.Metrics["ml."+mc.Model+".calls"] = mc.Calls
+		t.Metrics["ml."+mc.Model+".wall_ns"] = uint64(mc.Wall)
+		t.Metrics["ml."+mc.Model+".cache_hits"] = mc.CacheHits
+		t.Metrics["ml."+mc.Model+".cache_misses"] = mc.CacheMisses
+	}
+	snap := reg.Snapshot()
+	t.Metrics["spans.retained"] = uint64(len(snap.Spans))
+	t.Metrics["spans.dropped"] = snap.DroppedSpans
+	t.Note("Σ row asserted equal to the chase.units/valuations/ml_calls phase counters and the report's fix count")
+	t.Note("span tracing was enabled for the run: %d spans retained, %d dropped", len(snap.Spans), snap.DroppedSpans)
+	return t, nil
+}
+
 // Scale measures chase throughput on the dictionary-encoded hot path at
 // 10⁶–10⁷ tuples: the Scale workload (one Events relation, an interned
 // equality self-join plus an interned constant rule, null-only errors) is
@@ -874,6 +950,9 @@ func All(cfg Config) ([]*Table, error) {
 	if err := run(Faults(cfg)); err != nil {
 		return out, err
 	}
+	if err := run(Profile(cfg)); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -916,8 +995,10 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Steal(cfg)
 	case "faults":
 		return Faults(cfg)
+	case "profile":
+		return Profile(cfg)
 	case "scale":
 		return Scale(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, scale, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, all)", id)
 }

@@ -119,6 +119,10 @@ type Options struct {
 	// Faults, when non-nil, injects failures into every parallel round's
 	// drain (tests and the rockbench "faults" experiment only).
 	Faults *cluster.FaultInjector
+	// Span, when non-nil, parents the engine's phase span (rock threads
+	// its root "clean" span here). Observed only while the registry has
+	// spans enabled; tracing never changes the chase result.
+	Span *obs.Span
 }
 
 // DefaultOptions is the configuration Rock ships with.
@@ -222,12 +226,43 @@ type Report struct {
 	// the round's work-unit, valuation, fix, steal and timing detail
 	// (rock clean -v renders it).
 	Trace []RoundTrace
+	// RuleProfile attributes the chase's cost to individual rules: one
+	// row per rule that generated work, sorted by rule ID. Wall is the
+	// sum of the rule's unit costs (enumeration time — round wall clock
+	// additionally includes the serial merge), and the Valuations/MLCalls
+	// columns accumulate from the same per-unit stats as the scalar
+	// totals above, so their sums match exactly.
+	RuleProfile []RuleCost
+	// MLProfile attributes ML cost to individual models: calls and wall
+	// time measured at the predicate-evaluation site, cache hits/misses
+	// from the predication layer when it is on. Sorted by model name.
+	MLProfile []MLCost
 	// Metrics is the engine's observability snapshot, taken when Run or
 	// RunIncremental returns. The scalar fields above (Rounds,
 	// Valuations, MLCalls, WallClock, SimMakespan) are views over the
 	// same registry, so Metrics.Counters["chase.rounds"] == Rounds etc.
 	// — exactly one source of truth.
 	Metrics obs.Snapshot
+}
+
+// RuleCost is one row of the per-rule cost-attribution profile.
+type RuleCost struct {
+	Rule       string        `json:"rule"`
+	Units      int           `json:"units"`
+	Wall       time.Duration `json:"wall_ns"`
+	Valuations int           `json:"valuations"`
+	MLCalls    int           `json:"ml_calls"`
+	Applied    int           `json:"applied"`
+	Rejected   int           `json:"rejected"`
+}
+
+// MLCost is one row of the per-model ML cost profile.
+type MLCost struct {
+	Model       string        `json:"model"`
+	Calls       uint64        `json:"calls"`
+	Wall        time.Duration `json:"wall_ns"`
+	CacheHits   uint64        `json:"cache_hits"`
+	CacheMisses uint64        `json:"cache_misses"`
 }
 
 // RoundTrace is one row of the per-round trace table.
@@ -287,6 +322,14 @@ type Engine struct {
 	// over its "chase.*" counters, refreshed by syncReport.
 	obs *obs.Registry
 
+	// phaseSpan is the open "chase" span while a run is in flight (nil
+	// when spans are disabled — every span method is nil-safe). Round
+	// and unit spans parent under it.
+	phaseSpan *obs.Span
+	// ruleCosts accumulates the per-rule attribution rows; written only
+	// by the serial merge/apply steps, so no locking is needed.
+	ruleCosts map[string]*RuleCost
+
 	// ctx is the run's cancellation context (RunCtx/RunIncrementalCtx;
 	// context.Background() otherwise). Checked between rounds here,
 	// between units by the cluster drain, and inside enumeration by the
@@ -321,6 +364,7 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 		tuplesByEID:   make(map[string]map[string][]*data.Tuple),
 		oracleMemo:    make(map[string]data.Value),
 		resolvedCells: make(map[string]bool),
+		ruleCosts:     make(map[string]*RuleCost),
 		ctx:           context.Background(),
 	}
 	e.obs = opts.Obs
@@ -429,6 +473,74 @@ func (e *Engine) syncReport() {
 	e.report.MLCalls = int(e.obs.CounterValue("chase.ml_calls"))
 	e.report.WallClock = time.Duration(e.obs.CounterValue("chase.wall_ns"))
 	e.report.SimMakespan = time.Duration(e.obs.CounterValue("chase.sim_makespan_ns"))
+	ids := make([]string, 0, len(e.ruleCosts))
+	for id := range e.ruleCosts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.report.RuleProfile = e.report.RuleProfile[:0]
+	for _, id := range ids {
+		e.report.RuleProfile = append(e.report.RuleProfile, *e.ruleCosts[id])
+	}
+}
+
+// ruleCost returns (creating on first use) the attribution row of a rule.
+// Callers are the serial merge/apply steps only.
+func (e *Engine) ruleCost(id string) *RuleCost {
+	rc := e.ruleCosts[id]
+	if rc == nil {
+		rc = &RuleCost{Rule: id}
+		e.ruleCosts[id] = rc
+	}
+	return rc
+}
+
+// mlProfileFrom derives the per-model ML cost rows from a registry
+// snapshot: the executor publishes "exec.ml.<model>.calls/.wall_ns"
+// counters, the predication layer "pred.model.<model>.hits/.misses"
+// gauges. Models appearing in either source get a row.
+func mlProfileFrom(snap obs.Snapshot) []MLCost {
+	byModel := map[string]*MLCost{}
+	get := func(m string) *MLCost {
+		c := byModel[m]
+		if c == nil {
+			c = &MLCost{Model: m}
+			byModel[m] = c
+		}
+		return c
+	}
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, "exec.ml.")
+		if !ok {
+			continue
+		}
+		if m, ok := strings.CutSuffix(rest, ".calls"); ok {
+			get(m).Calls += v
+		} else if m, ok := strings.CutSuffix(rest, ".wall_ns"); ok {
+			get(m).Wall += time.Duration(v)
+		}
+	}
+	for name, v := range snap.Gauges {
+		rest, ok := strings.CutPrefix(name, "pred.model.")
+		if !ok {
+			continue
+		}
+		if m, ok := strings.CutSuffix(rest, ".hits"); ok {
+			get(m).CacheHits = uint64(v)
+		} else if m, ok := strings.CutSuffix(rest, ".misses"); ok {
+			get(m).CacheMisses = uint64(v)
+		}
+	}
+	names := make([]string, 0, len(byModel))
+	for m := range byModel {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	out := make([]MLCost, 0, len(names))
+	for _, m := range names {
+		out = append(out, *byModel[m])
+	}
+	return out
 }
 
 // markPartial flags the run as gracefully degraded and records why.
@@ -442,8 +554,11 @@ func (e *Engine) markPartial(reason string) {
 // finish seals the report at the end of a Run/RunIncremental: sync the
 // view fields and snapshot the full registry into Report.Metrics.
 func (e *Engine) finish() {
+	e.phaseSpan.End()
+	e.phaseSpan = nil
 	e.syncReport()
 	e.report.Metrics = e.obs.Snapshot()
+	e.report.MLProfile = mlProfileFrom(e.report.Metrics)
 }
 
 // Run executes the chase to its Church-Rosser fixpoint and returns the
@@ -460,6 +575,7 @@ func (e *Engine) RunCtx(ctx context.Context) (*Report, error) {
 		ctx = context.Background()
 	}
 	e.ctx = ctx
+	e.phaseSpan = e.obs.StartSpan("chase", e.opts.Span)
 	var (
 		rep *Report
 		err error
@@ -497,6 +613,7 @@ func (e *Engine) RunIncrementalCtx(ctx context.Context, dirty map[string]map[int
 		e.finish()
 		return &e.report, nil
 	}
+	e.phaseSpan = e.obs.StartSpan("chase.incremental", e.opts.Span)
 	// Refresh the EID index for tuples inserted since construction.
 	for name, rel := range e.env.DB.Relations {
 		idx := make(map[string][]*data.Tuple)
@@ -631,6 +748,9 @@ func (e *Engine) runSinglePass() (*Report, error) {
 func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]Fix, error) {
 	roundStart := time.Now()
 	round := int(e.obs.CounterValue("chase.rounds")) // caller already counted this round
+	roundSpan := e.obs.StartSpan("round", e.phaseSpan)
+	roundSpan.SetRound(round)
+	defer roundSpan.End()
 	e.obs.Emit(obs.Event{Kind: "round.start", Round: round, N: int64(len(rules))})
 	// Deterministic rule order for reproducibility; Church-Rosser makes
 	// the final result order-independent anyway.
@@ -667,15 +787,26 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		}
 	}
 	results := make([]unitResult, len(work))
-	runUnit := func(i int) {
+	runUnit := func(i int, node string) {
 		w := work[i]
 		res := &results[i]
 		// Reset on entry: a unit retried after a mid-run panic must not
 		// append to a half-filled buffer, or the merged fix set would
 		// diverge from a fault-free run.
 		*res = unitResult{}
+		var unitSpan *obs.Span
+		if e.obs.SpansEnabled() {
+			unitSpan = e.obs.StartSpan("unit", roundSpan)
+			unitSpan.SetRule(w.rule.ID)
+			unitSpan.SetNode(node)
+			unitSpan.SetDetail(w.unit.part)
+			defer func() {
+				unitSpan.SetN(int64(res.st.Valuations))
+				unitSpan.End()
+			}()
+		}
 		start := time.Now()
-		opts := exec.Options{Ctx: e.ctx, UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict}
+		opts := exec.Options{Ctx: e.ctx, UseBlocking: e.opts.UseBlocking, Dirty: dirty, RestrictVar: w.unit.restrict, Span: unitSpan}
 		res.st, res.err = e.exec.Run(w.rule, opts, func(h *predicate.Valuation) bool {
 			res.fixes = e.deduceAppend(res.fixes, w.rule, h)
 			return true
@@ -698,7 +829,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 				RuleID:  w.rule.ID,
 				Part:    w.unit.part,
 				EstCost: est,
-				Run:     func() { runUnit(i) },
+				RunOn:   func(node string) { runUnit(i, node) },
 			})
 		}
 		drain = cl.DrainWithStats(e.ctx, cluster.Options{
@@ -721,7 +852,8 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 				break
 			}
 			node := e.ring.Owner(work[i].unit.part)
-			if ue := e.runUnitShielded(i, node, work[i].rule.ID, work[i].unit.part, runUnit); ue != nil {
+			if ue := e.runUnitShielded(i, node, work[i].rule.ID, work[i].unit.part,
+				func(j int) { runUnit(j, node) }); ue != nil {
 				drain.Panics += ue.Attempts
 				drain.Retries += ue.Attempts - 1
 				drain.Failed = append(drain.Failed, *ue)
@@ -754,6 +886,16 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		}
 		roundVal += res.st.Valuations
 		roundML += res.st.MLCalls
+		rc := e.ruleCost(work[i].rule.ID)
+		rc.Units++
+		rc.Wall += res.cost
+		rc.Valuations += res.st.Valuations
+		rc.MLCalls += res.st.MLCalls
+		pref := "chase.rule." + work[i].rule.ID
+		e.obs.Inc(pref + ".units")
+		e.obs.Add(pref+".wall_ns", uint64(res.cost))
+		e.obs.Add(pref+".valuations", uint64(res.st.Valuations))
+		e.obs.Add(pref+".ml_calls", uint64(res.st.MLCalls))
 		if res.err != nil {
 			// A context error means the unit was cut short mid-enumeration:
 			// its fixes so far are sound, keep them and latch cancellation.
@@ -788,9 +930,13 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		seenFix[key] = true
 		if e.apply(fx) {
 			accepted = append(accepted, fx)
+			e.ruleCost(fx.RuleID).Applied++
+			e.obs.Inc("chase.rule." + fx.RuleID + ".applied")
 			e.obs.Emit(obs.Event{Kind: "fix.applied", Round: round, Rule: fx.RuleID, Detail: fx.String()})
 		} else {
 			rejected++
+			e.ruleCost(fx.RuleID).Rejected++
+			e.obs.Inc("chase.rule." + fx.RuleID + ".rejected")
 			e.obs.Emit(obs.Event{Kind: "fix.rejected", Round: round, Rule: fx.RuleID, Detail: fx.String()})
 		}
 	}
@@ -827,6 +973,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		NodeUnits:  drain.PerNode,
 		Duration:   time.Since(roundStart),
 	})
+	roundSpan.SetN(int64(len(accepted)))
 	e.obs.Emit(obs.Event{Kind: "round.end", Round: round, N: int64(len(accepted))})
 	e.syncReport()
 	return accepted, nil

@@ -330,7 +330,7 @@ func (c *Cluster) runOne(node string, u *crystal.WorkUnit, d *drainRun, opts Opt
 			}
 		}
 	}
-	err := runShielded(opts.Faults, u)
+	err := runShielded(opts.Faults, u, node)
 	if err == nil {
 		c.mu.Lock()
 		c.executed[node]++
@@ -399,7 +399,7 @@ func (c *Cluster) runOne(node string, u *crystal.WorkUnit, d *drainRun, opts Opt
 
 // runShielded runs the unit under recover(), converting a panic into an
 // error so one bad unit cannot take down the process.
-func runShielded(f *FaultInjector, u *crystal.WorkUnit) (err error) {
+func runShielded(f *FaultInjector, u *crystal.WorkUnit, node string) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("unit panic: %v", r)
@@ -408,9 +408,7 @@ func runShielded(f *FaultInjector, u *crystal.WorkUnit) (err error) {
 	if f != nil {
 		f.maybePanic(u.ID)
 	}
-	if u.Run != nil {
-		u.Run()
-	}
+	u.Exec(node)
 	return nil
 }
 

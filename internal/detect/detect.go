@@ -85,6 +85,10 @@ type Options struct {
 	// Faults, when non-nil, injects failures into the detection drain
 	// (tests and the fault experiments only).
 	Faults *cluster.FaultInjector
+	// Span, when non-nil, parents the detection phase span (rock threads
+	// its root "clean" span here). Observed only while the registry has
+	// spans enabled; tracing never changes detection results.
+	Span *obs.Span
 }
 
 // DefaultOptions is Rock's shipped configuration.
@@ -193,6 +197,12 @@ func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, s
 	start := time.Now()
 	cl := cluster.New(d.opts.Workers)
 	cl.SetObs(d.opts.Obs, "detect")
+	phaseName := "detect"
+	if dirty != nil {
+		phaseName = "detect.incremental"
+	}
+	phase := d.opts.Obs.StartSpan(phaseName, d.opts.Span)
+	defer phase.End()
 	var mu sync.Mutex
 	seen := make(map[string]bool)
 	var out []*Error
@@ -201,7 +211,7 @@ func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, s
 	blocks := d.partition()
 	var all []*crystal.WorkUnit
 	for _, r := range d.rules {
-		units, err := d.unitsFor(r, blocks, dirty, func(errs []*Error) {
+		units, err := d.unitsFor(r, blocks, dirty, phase, func(errs []*Error) {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, e := range errs {
@@ -230,7 +240,7 @@ func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, s
 			}
 			node := cl.Ring.Owner(u.Part)
 			unitStart := time.Now()
-			u.Run()
+			u.Exec(node)
 			cost := time.Since(unitStart)
 			sims = append(sims, cluster.SimUnit{Node: node, Cost: cost})
 			hist.Observe(cost)
@@ -258,6 +268,7 @@ func (d *Detector) runMode(ctx context.Context, dirty map[string]map[int]bool, s
 	}
 	out = AttributeCulpritsFreq(out, d.culpritScore())
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	phase.SetN(int64(len(out)))
 	d.opts.Obs.Add("detect.errors.found", uint64(len(out)))
 	d.opts.Obs.Add("detect.wall_ns", uint64(time.Since(start)))
 	if d.opts.Pred != nil {
@@ -477,18 +488,29 @@ func (d *Detector) partition() map[string][][]*data.Tuple {
 // single-variable rules). Each unit runs the local executor on its
 // partition and reports implicated errors through sink.
 func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
-	dirty map[string]map[int]bool, sink func([]*Error), mu *sync.Mutex, firstErr *error) ([]*crystal.WorkUnit, error) {
+	dirty map[string]map[int]bool, phase *obs.Span, sink func([]*Error), mu *sync.Mutex, firstErr *error) ([]*crystal.WorkUnit, error) {
 
 	if err := r.Validate(d.env.DB); err != nil {
 		return nil, err
 	}
-	mkRun := func(restrictVar map[string][]*data.Tuple, estRows int) func() {
-		return func() {
+	reg := d.opts.Obs
+	mkRun := func(part string, restrictVar map[string][]*data.Tuple, estRows int) func(node string) {
+		return func(node string) {
+			var unitSpan *obs.Span
+			if reg.SpansEnabled() {
+				unitSpan = reg.StartSpan("unit", phase)
+				unitSpan.SetRule(r.ID)
+				unitSpan.SetNode(node)
+				unitSpan.SetDetail(part)
+				defer unitSpan.End()
+			}
+			unitStart := time.Now()
 			var local []*Error
-			_, err := d.ex.Run(r, exec.Options{
+			st, err := d.ex.Run(r, exec.Options{
 				UseBlocking: d.opts.UseBlocking,
 				Dirty:       dirty,
 				RestrictVar: restrictVar,
+				Span:        unitSpan,
 			}, func(h *predicate.Valuation) bool {
 				ok, evalErr := r.P0.Eval(d.env, h)
 				if evalErr != nil {
@@ -504,7 +526,11 @@ func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
 				}
 				return true
 			})
+			unitSpan.SetN(int64(st.Valuations))
+			reg.Inc("detect.rule." + r.ID + ".units")
+			reg.Add("detect.rule."+r.ID+".wall_ns", uint64(time.Since(unitStart)))
 			if err != nil {
+				reg.Inc("detect.rule." + r.ID + ".errors")
 				mu.Lock()
 				if *firstErr == nil {
 					*firstErr = err
@@ -529,12 +555,13 @@ func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
 			if len(blk) == 0 {
 				continue
 			}
+			part := fmt.Sprintf("%s/b%d", a.Rel, i)
 			units = append(units, &crystal.WorkUnit{
 				ID:      uid,
 				RuleID:  r.ID,
-				Part:    fmt.Sprintf("%s/b%d", a.Rel, i),
+				Part:    part,
 				EstCost: float64(len(blk)),
-				Run:     mkRun(map[string][]*data.Tuple{a.Var: blk}, len(blk)),
+				RunOn:   mkRun(part, map[string][]*data.Tuple{a.Var: blk}, len(blk)),
 			})
 			uid++
 		}
@@ -548,12 +575,13 @@ func (d *Detector) unitsFor(r *ree.Rule, blocks map[string][][]*data.Tuple,
 				if len(b2) == 0 {
 					continue
 				}
+				part := fmt.Sprintf("%s-%s/b%d-%d", a1.Rel, a2.Rel, i, j)
 				units = append(units, &crystal.WorkUnit{
 					ID:      uid,
 					RuleID:  r.ID,
-					Part:    fmt.Sprintf("%s-%s/b%d-%d", a1.Rel, a2.Rel, i, j),
+					Part:    part,
 					EstCost: float64(len(b1) * len(b2)),
-					Run: mkRun(map[string][]*data.Tuple{
+					RunOn: mkRun(part, map[string][]*data.Tuple{
 						a1.Var: b1,
 						a2.Var: b2,
 					}, len(b1)*len(b2)),

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/rockclean/rock/internal/crystal"
 	"github.com/rockclean/rock/internal/data"
@@ -55,6 +56,11 @@ type Options struct {
 	RestrictVar map[string][]*data.Tuple
 	// MaxResults stops enumeration after this many callbacks (<=0: all).
 	MaxResults int
+	// Span, when non-nil, is the parent span this run is traced under
+	// (the work unit's span). Run opens an "exec" child span and, per ML
+	// predicate evaluation, an "ml.<model>" grandchild — only while the
+	// registry has spans enabled; otherwise tracing costs one nil check.
+	Span *obs.Span
 }
 
 // Stats reports what the executor did — used by benches and the lazy-chase
@@ -208,6 +214,30 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 	if len(r.Atoms) == 0 {
 		return st, fmt.Errorf("exec: rule %s has no tuple atoms", r.ID)
 	}
+	spansOn := e.reg.SpansEnabled()
+	var execSpan *obs.Span
+	if spansOn {
+		execSpan = e.reg.StartSpan("exec", opts.Span)
+		execSpan.SetRule(r.ID)
+		defer func() {
+			execSpan.SetN(int64(st.Valuations))
+			execSpan.End()
+		}()
+	}
+	// Per-model ML attribution accumulates locally (the binder is hot)
+	// and flushes to the registry once per run.
+	var mlWall map[string]time.Duration
+	var mlCalls map[string]int64
+	if e.reg != nil {
+		mlWall = make(map[string]time.Duration)
+		mlCalls = make(map[string]int64)
+		defer func() {
+			for m, n := range mlCalls {
+				e.reg.Add("exec.ml."+m+".calls", uint64(n))
+				e.reg.Add("exec.ml."+m+".wall_ns", uint64(mlWall[m]))
+			}
+		}()
+	}
 	// Candidate tuples per variable after constant pushdown. Filtered
 	// candidate lists come from the scratch pool and are released when the
 	// run finishes; unfiltered variables alias the partition slice itself
@@ -293,10 +323,25 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 			if !ready {
 				continue
 			}
+			var mname string
+			var msp *obs.Span
+			var t0 time.Time
 			if p.IsML() {
 				st.MLCalls++
+				if mlCalls != nil {
+					mname = modelName(p)
+					if spansOn {
+						msp = e.reg.StartSpan("ml."+mname, execSpan)
+					}
+					t0 = time.Now()
+				}
 			}
 			ok, err := p.Eval(e.env, h)
+			if mname != "" {
+				mlWall[mname] += time.Since(t0)
+				mlCalls[mname]++
+				msp.End()
+			}
 			if err != nil {
 				return false, err
 			}
@@ -478,6 +523,28 @@ func (e *Executor) Run(r *ree.Rule, opts Options, fn func(h *predicate.Valuation
 		bindRest(0)
 	}
 	return st, finalErr
+}
+
+// modelName names the model behind an ML predicate for cost attribution:
+// the declared Model when present, else a stable kind-based fallback (some
+// ML kinds — HER, match, rank — reference built-in models implicitly).
+func modelName(p *predicate.Predicate) string {
+	if p.Model != "" {
+		return p.Model
+	}
+	switch p.Kind {
+	case predicate.KHER:
+		return "HER"
+	case predicate.KMatch:
+		return "match"
+	case predicate.KRank:
+		return "rank"
+	case predicate.KCorr:
+		return "corr"
+	case predicate.KPredict:
+		return "predict"
+	}
+	return "ml"
 }
 
 func selfPair(h *predicate.Valuation, a ree.Atom, t *data.Tuple) bool {

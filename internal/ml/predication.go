@@ -453,6 +453,13 @@ func (s PredStats) HitRate() float64 {
 type Predication struct {
 	Embeds *EmbedStore
 	Preds  *PredCache
+
+	// mu guards wrapped: every PredicatedModel built by Wrap, kept so
+	// PublishTo can aggregate per-model hit/miss counters by model name
+	// (the same model may be wrapped more than once — detection and the
+	// chase each re-register registry models).
+	mu      sync.Mutex
+	wrapped []*PredicatedModel
 }
 
 // NewPredication creates a predication layer with default capacities.
@@ -490,6 +497,30 @@ func (p *Predication) PublishTo(reg *obs.Registry) {
 	reg.SetGauge("pred.embed.misses", int64(st.EmbedMisses))
 	reg.SetGauge("pred.embed.evictions", int64(st.EmbedEvictions))
 	reg.SetGauge("pred.invalidations", int64(st.Invalidations))
+	for name, hm := range p.ModelStats() {
+		reg.SetGauge("pred.model."+name+".hits", int64(hm[0]))
+		reg.SetGauge("pred.model."+name+".misses", int64(hm[1]))
+	}
+}
+
+// ModelStats aggregates deduction-time cache lookups per model name:
+// map value is {hits, misses}. Wrappers of the same underlying model
+// (e.g. one per pipeline phase) sum into one row.
+func (p *Predication) ModelStats() map[string][2]uint64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	wrapped := append([]*PredicatedModel(nil), p.wrapped...)
+	p.mu.Unlock()
+	out := make(map[string][2]uint64, len(wrapped))
+	for _, pm := range wrapped {
+		hm := out[pm.Name()]
+		hm[0] += pm.hits.Load()
+		hm[1] += pm.misses.Load()
+		out[pm.Name()] = hm
+	}
+	return out
 }
 
 // Wrap returns m reading through the layer's prediction cache. Callers
@@ -504,6 +535,9 @@ func (p *Predication) Wrap(m Model) *PredicatedModel {
 		pm.threshold = th.DecisionThreshold()
 		pm.thresholded = true
 	}
+	p.mu.Lock()
+	p.wrapped = append(p.wrapped, pm)
+	p.mu.Unlock()
 	return pm
 }
 
@@ -519,6 +553,11 @@ type PredicatedModel struct {
 	id          uint32
 	threshold   float64
 	thresholded bool
+
+	// hits/misses count this wrapper's deduction-time cache lookups —
+	// the per-model slice of the shard-level counters, aggregated by
+	// Predication.ModelStats for cost attribution.
+	hits, misses atomic.Uint64
 }
 
 // Name implements Model.
@@ -536,8 +575,10 @@ func (m *PredicatedModel) key(left, right []data.Value) predKey {
 func (m *PredicatedModel) Confidence(left, right []data.Value) float64 {
 	k := m.key(left, right)
 	if v, ok := m.cache.getConf(k); ok {
+		m.hits.Add(1)
 		return v
 	}
+	m.misses.Add(1)
 	v := m.Inner.Confidence(left, right)
 	m.cache.putConf(k, v)
 	return v
@@ -550,8 +591,10 @@ func (m *PredicatedModel) Predict(left, right []data.Value) bool {
 	}
 	k := m.key(left, right)
 	if v, ok := m.cache.getPred(k); ok {
+		m.hits.Add(1)
 		return v
 	}
+	m.misses.Add(1)
 	v := m.Inner.Predict(left, right)
 	m.cache.putPred(k, v)
 	return v

@@ -190,6 +190,10 @@ type Registry struct {
 	evCap   int
 	evSeq   uint64
 	dropped uint64
+
+	// sp is the hierarchical span ring (span.go); disabled until
+	// EnableSpans, so default runs pay one atomic load per StartSpan.
+	sp spanRing
 }
 
 // New creates a registry with the default event-log capacity.
@@ -347,6 +351,14 @@ type Snapshot struct {
 	Histograms    map[string]HistogramStat `json:"histograms,omitempty"`
 	Events        []Event                  `json:"events,omitempty"`
 	DroppedEvents uint64                   `json:"dropped_events,omitempty"`
+	// OldestEventSeq is the sequence number of the oldest RETAINED event:
+	// everything below it (1..OldestEventSeq-1, exactly DroppedEvents
+	// entries) was evicted by the bounded ring. 0 when no events exist.
+	OldestEventSeq uint64 `json:"oldest_event_seq,omitempty"`
+	// Spans are the retained completed trace spans (EnableSpans runs
+	// only; empty otherwise) and DroppedSpans counts ring evictions.
+	Spans        []SpanRecord `json:"spans,omitempty"`
+	DroppedSpans uint64       `json:"dropped_spans,omitempty"`
 }
 
 // Snapshot exports every metric and the retained events. Safe to call
@@ -388,6 +400,11 @@ func (r *Registry) Snapshot() Snapshot {
 	r.evMu.Lock()
 	snap.DroppedEvents = r.dropped
 	r.evMu.Unlock()
+	if len(snap.Events) > 0 {
+		snap.OldestEventSeq = snap.Events[0].Seq
+	}
+	snap.Spans = r.Spans()
+	snap.DroppedSpans = r.DroppedSpans()
 	return snap
 }
 

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the hierarchical span layer of the observability package:
+// a run records a tree of timed intervals — clean → detect/chase → round
+// → work unit → exec operator / ML predicate call — alongside the flat
+// counters. Spans follow the same discipline as the rest of the
+// registry: recording is race-clean, every receiver is nil-safe, and
+// retention is bounded (completed spans land in a ring like the event
+// log, dropping and counting the oldest on overflow). Timestamps are
+// offsets from the registry's creation read through time.Since, so they
+// use the monotonic clock and are immune to wall-clock steps.
+//
+// Recording is opt-in: spans are disabled until EnableSpans is called,
+// and a disabled registry hands out nil *Span handles whose methods all
+// no-op — instrumented code pays one atomic load per StartSpan and
+// nothing per tag/End. Tracing is therefore determinism-neutral by
+// construction: spans only observe, nothing reads them back during a
+// run, and the traced fix set is bit-identical to the untraced one
+// (pinned by rock's determinism matrix test).
+
+// defaultSpanCap bounds completed-span retention; the oldest records are
+// dropped (and counted) once the ring is full.
+const defaultSpanCap = 16384
+
+// SpanRecord is one completed span: a named interval with a parent link.
+// IDs are allocated monotonically at span start, so a parent's ID is
+// always smaller than its children's — parent links are acyclic by
+// construction. Durations are nanoseconds in the JSON encoding,
+// measured from the registry's creation.
+type SpanRecord struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"` // 0 = root
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"`
+	End    time.Duration `json:"end_ns"`
+	// Rule is the REE++ the span concerns, when any.
+	Rule string `json:"rule,omitempty"`
+	// Node is the worker that executed the span's work (unit spans).
+	Node string `json:"node,omitempty"`
+	// Round is the 1-based chase round, when the span is round-scoped.
+	Round int `json:"round,omitempty"`
+	// N is a name-specific magnitude (valuations, fixes, ...).
+	N int64 `json:"n,omitempty"`
+	// Detail is free-form context (partition key, model name, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Span is an open span handle. It is owned by the goroutine that started
+// it: tag it with the setters, then End it exactly once to push the
+// completed record into the registry's span ring. A nil *Span (from a
+// nil or span-disabled registry) is a valid no-op handle for every
+// method, so instrumented code never branches.
+type Span struct {
+	reg  *Registry
+	rec  SpanRecord
+	done atomic.Bool
+}
+
+// spanRing is the bounded completed-span store inside a Registry.
+type spanRing struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	next    int
+	cap     int
+	dropped uint64
+}
+
+// EnableSpans turns span recording on, retaining at most cap completed
+// spans (cap <= 0 selects the default). Idempotent; safe to call
+// concurrently with recording. Nil-safe.
+func (r *Registry) EnableSpans(cap int) {
+	if r == nil {
+		return
+	}
+	r.sp.mu.Lock()
+	if r.sp.cap == 0 {
+		if cap <= 0 {
+			cap = defaultSpanCap
+		}
+		r.sp.cap = cap
+	}
+	r.sp.mu.Unlock()
+	r.sp.enabled.Store(true)
+}
+
+// SpansEnabled reports whether the registry records spans (false for nil).
+func (r *Registry) SpansEnabled() bool {
+	return r != nil && r.sp.enabled.Load()
+}
+
+// StartSpan opens a span under parent (nil parent = root). Returns nil —
+// a valid no-op handle — on a nil registry or when spans are disabled,
+// so callers never check. The ID is allocated immediately and is
+// strictly greater than the parent's.
+func (r *Registry) StartSpan(name string, parent *Span) *Span {
+	if r == nil || !r.sp.enabled.Load() {
+		return nil
+	}
+	s := &Span{reg: r}
+	s.rec.ID = r.sp.seq.Add(1)
+	if parent != nil {
+		s.rec.Parent = parent.rec.ID
+	}
+	s.rec.Name = name
+	s.rec.Start = time.Since(r.start)
+	return s
+}
+
+// SetRule tags the span with a rule ID. Nil-safe.
+func (s *Span) SetRule(rule string) {
+	if s != nil {
+		s.rec.Rule = rule
+	}
+}
+
+// SetNode tags the span with the executing worker. Nil-safe.
+func (s *Span) SetNode(node string) {
+	if s != nil {
+		s.rec.Node = node
+	}
+}
+
+// SetRound tags the span with a chase round. Nil-safe.
+func (s *Span) SetRound(round int) {
+	if s != nil {
+		s.rec.Round = round
+	}
+}
+
+// SetN tags the span with a magnitude. Nil-safe.
+func (s *Span) SetN(n int64) {
+	if s != nil {
+		s.rec.N = n
+	}
+}
+
+// SetDetail tags the span with free-form context. Nil-safe.
+func (s *Span) SetDetail(d string) {
+	if s != nil {
+		s.rec.Detail = d
+	}
+}
+
+// ID returns the span's ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// End closes the span and records it. Nil-safe; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.End = time.Since(s.reg.start)
+	sp := &s.reg.sp
+	sp.mu.Lock()
+	if len(sp.spans) < sp.cap {
+		sp.spans = append(sp.spans, s.rec)
+	} else {
+		sp.spans[sp.next] = s.rec
+		sp.next = (sp.next + 1) % sp.cap
+		sp.dropped++
+	}
+	sp.mu.Unlock()
+}
+
+// Spans returns the retained completed spans in completion order (nil
+// for a nil or span-disabled registry).
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.sp.mu.Lock()
+	defer r.sp.mu.Unlock()
+	if len(r.sp.spans) == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, 0, len(r.sp.spans))
+	out = append(out, r.sp.spans[r.sp.next:]...)
+	out = append(out, r.sp.spans[:r.sp.next]...)
+	return out
+}
+
+// DroppedSpans reports how many completed spans the ring evicted.
+func (r *Registry) DroppedSpans() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.sp.mu.Lock()
+	defer r.sp.mu.Unlock()
+	return r.sp.dropped
+}

@@ -380,7 +380,7 @@ type DetectedError struct {
 
 // Detect runs batch error detection with the registered rules.
 func (p *Pipeline) Detect() ([]DetectedError, error) {
-	errs, _, err := p.detectWith(context.Background(), nil, p.opts.Obs)
+	errs, _, err := p.detectWith(context.Background(), nil, p.opts.Obs, nil)
 	return errs, err
 }
 
@@ -398,10 +398,14 @@ func (p *Pipeline) detectOptions(pred *ml.Predication, reg *obs.Registry) detect
 }
 
 // detectWith runs detection, optionally filling a predication layer that
-// a subsequent chase will serve from and recording into reg. partial is
-// true when ctx was cancelled and only part of the data was scanned.
-func (p *Pipeline) detectWith(ctx context.Context, pred *ml.Predication, reg *obs.Registry) ([]DetectedError, bool, error) {
-	d := detect.New(p.env, p.rules, p.detectOptions(pred, reg))
+// a subsequent chase will serve from and recording into reg. span, when
+// non-nil, parents the detection phase span (CleanCtx passes its root
+// "clean" span). partial is true when ctx was cancelled and only part of
+// the data was scanned.
+func (p *Pipeline) detectWith(ctx context.Context, pred *ml.Predication, reg *obs.Registry, span *obs.Span) ([]DetectedError, bool, error) {
+	dOpts := p.detectOptions(pred, reg)
+	dOpts.Span = span
+	d := detect.New(p.env, p.rules, dOpts)
 	errs, partial, err := d.DetectCtx(ctx)
 	if err != nil {
 		return nil, partial, err
@@ -463,6 +467,15 @@ type Report struct {
 	// RoundTrace is the chase's per-round trace table (rounds, units,
 	// valuations, ML calls, fixes, steals, per-node counts, duration).
 	RoundTrace []ChaseRoundTrace
+	// RuleProfile attributes the chase's cost to individual rules (wall
+	// clock, work units, valuations, ML calls, fixes applied/rejected);
+	// the Valuations/MLCalls columns sum exactly to the chase phase
+	// totals. rock clean -v renders it; rockbench's "profile" experiment
+	// tables it.
+	RuleProfile []RuleCost
+	// MLProfile attributes ML cost to individual models (calls, wall
+	// clock, predication-cache hits/misses).
+	MLProfile []MLCost
 	// Metrics is the unified observability snapshot of the whole run —
 	// detection, chase, predication and executor counters, histograms and
 	// the bounded event log. The scalar fields above are views over the
@@ -473,6 +486,12 @@ type Report struct {
 
 // ChaseRoundTrace re-exports the chase engine's per-round trace row.
 type ChaseRoundTrace = chase.RoundTrace
+
+// RuleCost re-exports the chase engine's per-rule attribution row.
+type RuleCost = chase.RuleCost
+
+// MLCost re-exports the chase engine's per-model ML cost row.
+type MLCost = chase.MLCost
 
 // PredicationStats re-exports the predication layer's counter snapshot:
 // prediction-cache hits/misses/evictions, embedding-store reuse, and
@@ -519,11 +538,17 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 	if p.opts.Predication {
 		pred = ml.NewPredication()
 	}
-	errs, detPartial, err := p.detectWith(ctx, pred, reg)
+	// Root span of the hierarchical trace (recorded only when the
+	// registry has spans enabled): clean → detect/chase → round → unit →
+	// exec → ml.<model>.
+	root := reg.StartSpan("clean", nil)
+	defer root.End()
+	errs, detPartial, err := p.detectWith(ctx, pred, reg, root)
 	if err != nil {
 		return nil, err
 	}
 	cOpts := chase.Options{
+		Span:         root,
 		Mode:         chase.Unified,
 		Lazy:         p.opts.Lazy,
 		UseBlocking:  p.opts.UseBlocking,
@@ -556,6 +581,8 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 		Predication:         chaseRep.Predication,
 		PredicationByRound:  chaseRep.PredicationByRound,
 		RoundTrace:          chaseRep.Trace,
+		RuleProfile:         chaseRep.RuleProfile,
+		MLProfile:           chaseRep.MLProfile,
 	}
 	// Collect corrections before materialising.
 	u := eng.Truth()
@@ -588,6 +615,10 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 		violating += len(e.Cells)
 	}
 	rep.Assessment = quality.Assess(p.db, violating-len(rep.Corrections))
+	// Close the root span before snapshotting so Report.Metrics carries
+	// the complete trace (End is idempotent; the defer covers error
+	// paths).
+	root.End()
 	rep.Metrics = reg.Snapshot()
 	return rep, nil
 }
