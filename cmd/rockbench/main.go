@@ -32,11 +32,12 @@ func main() {
 		n        = flag.Int("n", 400, "base tuples per application dataset")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		workers  = flag.Int("workers", 4, "default simulated cluster size")
+		budget   = flag.Int64("membudget", 0, "interned-column memory budget in bytes for the scale experiment (0 = no cap; a small budget forces the spill-to-disk path)")
 		jsonPath = flag.String("json", "", "also write the result tables as JSON to this file")
 	)
 	flag.Parse()
 
-	cfg := benchkit.Config{N: *n, Seed: *seed, Workers: *workers}
+	cfg := benchkit.Config{N: *n, Seed: *seed, Workers: *workers, MemBudget: *budget}
 	var tables []*benchkit.Table
 	var err error
 	if *exp == "all" {
@@ -63,6 +64,14 @@ func main() {
 	}
 }
 
+// benchFile is the BENCH_*.json document: the result tables plus the
+// environment they were measured in, so numbers stay comparable across
+// machines and CI runners.
+type benchFile struct {
+	Env    benchkit.EnvInfo  `json:"env"`
+	Tables []*benchkit.Table `json:"tables"`
+}
+
 func writeJSON(path string, tables []*benchkit.Table) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -70,7 +79,7 @@ func writeJSON(path string, tables []*benchkit.Table) error {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(tables); err != nil {
+	if err := enc.Encode(benchFile{Env: benchkit.Environment(), Tables: tables}); err != nil {
 		f.Close()
 		return err
 	}

@@ -130,6 +130,10 @@ type Config struct {
 	Seed int64
 	// Workers is the default cluster size.
 	Workers int
+	// MemBudget, when positive, caps the chase executor's resident
+	// interned-column bytes in the scale experiment — columns above it
+	// spill to flat on-disk blocks (the 10⁷–10⁸ tuple configurations).
+	MemBudget int64
 }
 
 // DefaultConfig keeps experiments laptop-fast.

@@ -732,20 +732,23 @@ func Profile(cfg Config) (*Table, error) {
 }
 
 // Scale measures chase throughput on the dictionary-encoded hot path at
-// 10⁶–10⁷ tuples: the Scale workload (one Events relation, an interned
+// 10⁶–10⁸ tuples: the Scale workload (one Events relation, an interned
 // equality self-join plus an interned constant rule, null-only errors) is
 // chased at four sizes up to cfg.N, publishing a tuples-vs-wallclock
-// curve. The total defaults to 10⁶ tuples when cfg.N is left at the
+// curve. The total defaults to 10⁷ tuples when cfg.N is left at the
 // laptop-scale default; pass -n to move it (CI smoke runs use small -n,
-// the acceptance run uses 1e6+). ML, blocking and predication are off —
-// the workload has no ML predicates, so the engine's enumeration and
-// join machinery is the only thing on the clock. At the smallest size
-// the experiment also chases serially and asserts the fix-set snapshot
-// is bit-identical to the parallel run's. Excluded from -exp all.
+// the 10⁸ configuration is run manually with a MemBudget so the interned
+// columns spill to disk instead of residing in memory). ML, blocking and
+// predication are off — the workload has no ML predicates, so the
+// engine's enumeration and join machinery (the vectorized selection and
+// posting-join kernels) is the only thing on the clock. At the smallest
+// size the experiment also chases serially and asserts the fix-set
+// snapshot is bit-identical to the parallel run's. Excluded from -exp
+// all.
 func Scale(cfg Config) (*Table, error) {
 	total := cfg.N
 	if total <= DefaultConfig().N {
-		total = 1_000_000
+		total = 10_000_000
 	}
 	t := NewTable("scale", "chase throughput at scale (§5.1 interning)", "",
 		[]string{"tuples", "ms", "rounds", "valuations", "fixes", "ktuples/s"})
@@ -761,6 +764,7 @@ func Scale(cfg Config) (*Table, error) {
 		opts.Workers = cfg.Workers
 		opts.UseBlocking = false
 		opts.Predication = false
+		opts.MemBudget = cfg.MemBudget
 		opts.Obs = reg
 		eng := chase.New(env, ds.Rules, ds.Gamma, opts)
 		ms, err := timeIt(func() error {

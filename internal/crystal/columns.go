@@ -37,35 +37,83 @@ func NewDictionary() *Dictionary {
 
 // BuildDictionary builds the dictionary of one column's distinct values.
 func BuildDictionary(rel *data.Relation, attr string) (*Dictionary, error) {
+	d, _, err := buildEncoded(rel, attr)
+	return d, err
+}
+
+// buildEncoded is the shared single-pass build behind BuildDictionary,
+// BuildColumn and BuildColumnSpilled: each tuple's value keys exactly
+// once, distinct values collect in first-sight order, ids re-rank into
+// sorted value order, and the per-tuple id assignment (parallel to
+// rel.Tuples) comes back with the dictionary so callers never pay a
+// second Key-and-probe pass over the data.
+func buildEncoded(rel *data.Relation, attr string) (*Dictionary, []ValueID, error) {
 	ai := rel.Schema.Index(attr)
 	if ai < 0 {
-		return nil, fmt.Errorf("crystal: %s has no attribute %q", rel.Schema.Name, attr)
+		return nil, nil, fmt.Errorf("crystal: %s has no attribute %q", rel.Schema.Name, attr)
 	}
-	seen := make(map[string]data.Value)
-	for _, t := range rel.Tuples {
+	sizeHint := 16 + len(rel.Tuples)/8
+	firstSight := make(map[string]ValueID, sizeHint)
+	keys := make([]string, 0, sizeHint)
+	vals := make([]data.Value, 0, sizeHint)
+	tup := make([]ValueID, len(rel.Tuples))
+	// Run cache: grouped or sorted data repeats values back to back
+	// (Equal implies Key-equal), so a run costs one Equal instead of a
+	// Key allocation plus a map probe per tuple.
+	var prev data.Value
+	prevID := NoValue
+	for i, t := range rel.Tuples {
 		v := t.Values[ai]
-		if _, ok := seen[v.Key()]; !ok {
-			seen[v.Key()] = v
+		if prevID != NoValue && v.Equal(prev) {
+			tup[i] = prevID
+			continue
 		}
-	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+		k := v.Key()
+		id, ok := firstSight[k]
+		if !ok {
+			id = ValueID(len(vals))
+			firstSight[k] = id
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		tup[i] = id
+		prev, prevID = v, id
 	}
 	// Sorted-order id assignment: true value order (Compare), key text as
-	// the deterministic tie-break for incomparable kinds.
-	sort.Slice(keys, func(i, j int) bool {
-		c := seen[keys[i]].Compare(seen[keys[j]])
+	// the deterministic tie-break for incomparable kinds. Sorting a
+	// permutation of first-sight ids keeps the comparator map-free.
+	perm := make([]ValueID, len(vals))
+	for i := range perm {
+		perm[i] = ValueID(i)
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		a, b := perm[i], perm[j]
+		c := vals[a].Compare(vals[b])
 		if c != 0 {
 			return c < 0
 		}
-		return keys[i] < keys[j]
+		return keys[a] < keys[b]
 	})
-	d := NewDictionary()
-	for _, k := range keys {
-		d.intern(k, seen[k])
+	// The first-sight map becomes the dictionary's map: re-ranking its
+	// ids in place skips a whole second build (hash, rehash, key copies)
+	// over every distinct value.
+	rank := make([]ValueID, len(vals))
+	sortedVals := make([]data.Value, len(vals))
+	d := &Dictionary{ids: firstSight, values: sortedVals, nullID: NoValue}
+	for newID, old := range perm {
+		rank[old] = ValueID(newID)
+		sortedVals[newID] = vals[old]
+		if vals[old].IsNull() {
+			d.nullID = ValueID(newID)
+		}
 	}
-	return d, nil
+	for k, id := range firstSight {
+		firstSight[k] = rank[id]
+	}
+	for i, id := range tup {
+		tup[i] = rank[id]
+	}
+	return d, tup, nil
 }
 
 func (d *Dictionary) intern(key string, v data.Value) ValueID {
@@ -120,48 +168,106 @@ type Column struct {
 	Dict *Dictionary
 	// IDs maps TID → value id; NoValue marks TIDs the column has no tuple
 	// for (holes from deletions, or inserts after the last Refresh).
+	// Access via IDVec/IDAt — a spilled column keeps this nil.
 	IDs []ValueID
 	// Postings maps value id → sorted TIDs carrying it — the "similar
 	// values gathered together" layout that accelerates hash joins and
-	// blocking. Indexed by dictionary id.
+	// blocking. Indexed by dictionary id. Access via PostingList — a
+	// spilled column keeps this nil.
 	Postings [][]int
+
+	// holes counts NoValue entries in IDs: zero holes plus full TID
+	// coverage means no tuple can be unseen (Complete), which lets the
+	// executor's posting-driven paths skip per-tuple fallback scans.
+	holes int
+	// spill, when set, holds the column's storage in a flat on-disk
+	// block (spill.go); IDs/Postings are nil until Unspill.
+	spill *spillFile
 }
 
 // BuildColumn encodes one attribute of a relation.
 func BuildColumn(rel *data.Relation, attr string) (*Column, error) {
-	dict, err := BuildDictionary(rel, attr)
+	dict, tup, err := buildEncoded(rel, attr)
 	if err != nil {
 		return nil, err
 	}
-	ai := rel.Schema.Index(attr)
-	col := &Column{Attr: attr, Dict: dict, Postings: make([][]int, dict.Size())}
-	for _, t := range rel.Tuples {
-		id, _ := dict.ID(t.Values[ai])
-		col.setID(t.TID, id)
-		col.Postings[id] = append(col.Postings[id], t.TID)
+	n := rel.NextTID()
+	ids := make([]ValueID, n)
+	for i := range ids {
+		ids[i] = NoValue
 	}
-	for _, p := range col.Postings {
-		sort.Ints(p)
+	// Counting sort into one shared backing array: postings come out as
+	// adjacent subslices (capacity-clamped, so a Refresh append copies
+	// out instead of clobbering a neighbour), and because rel.Tuples is
+	// TID-ascending each bucket fills already sorted — one allocation
+	// replaces per-bucket append churn and the per-bucket sort pass.
+	counts := make([]int, dict.Size()+1)
+	asc, last := true, -1
+	for i, t := range rel.Tuples {
+		if t.TID >= len(ids) { // defensive: TIDs past NextTID
+			grown := make([]ValueID, t.TID+1)
+			copy(grown, ids)
+			for j := len(ids); j < len(grown); j++ {
+				grown[j] = NoValue
+			}
+			ids = grown
+		}
+		ids[t.TID] = tup[i]
+		counts[tup[i]+1]++
+		if t.TID <= last {
+			asc = false
+		}
+		last = t.TID
 	}
-	return col, nil
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	flat := make([]int, len(rel.Tuples))
+	cursor := append([]int(nil), counts[:dict.Size()]...)
+	for i, t := range rel.Tuples {
+		id := tup[i]
+		flat[cursor[id]] = t.TID
+		cursor[id]++
+	}
+	post := make([][]int, dict.Size())
+	for id := range post {
+		post[id] = flat[counts[id]:counts[id+1]:counts[id+1]]
+		if !asc {
+			sort.Ints(post[id])
+		}
+	}
+	return &Column{Attr: attr, Dict: dict, IDs: ids, Postings: post, holes: len(ids) - len(rel.Tuples)}, nil
 }
 
-// setID stores id at tid, growing the dense slice with NoValue holes.
+// setID stores id at tid, growing the dense slice with NoValue holes and
+// keeping the hole count (the Complete invariant) exact.
 func (c *Column) setID(tid int, id ValueID) {
 	for len(c.IDs) <= tid {
 		c.IDs = append(c.IDs, NoValue)
+		c.holes++
+	}
+	if c.IDs[tid] == NoValue {
+		if id != NoValue {
+			c.holes--
+		}
+	} else if id == NoValue {
+		c.holes++
 	}
 	c.IDs[tid] = id
 }
 
 // IDAt returns the interned id of the tuple's value; ok is false when the
 // column holds no entry for the TID (the caller should fall back to the
-// row-oriented value).
+// row-oriented value). Works on spilled columns through the block view.
 func (c *Column) IDAt(tid int) (ValueID, bool) {
-	if tid < 0 || tid >= len(c.IDs) || c.IDs[tid] == NoValue {
+	ids := c.IDs
+	if c.spill != nil {
+		ids = c.spill.ids
+	}
+	if tid < 0 || tid >= len(ids) || ids[tid] == NoValue {
 		return NoValue, false
 	}
-	return c.IDs[tid], true
+	return ids[tid], true
 }
 
 // Refresh re-interns the raw values of the given TIDs (nil: every tuple),
@@ -172,6 +278,9 @@ func (c *Column) Refresh(rel *data.Relation, tids map[int]bool) {
 	if ai < 0 {
 		return
 	}
+	// A spilled block is immutable: reload it into memory first. The
+	// caller's budget accounting treats a refresh as a reload.
+	c.Unspill()
 	for _, t := range rel.Tuples {
 		if tids != nil && !tids[t.TID] {
 			continue
@@ -243,15 +352,32 @@ func (cs *ColumnStore) Refresh(tids map[int]bool) {
 // result is a defensive copy: callers may append, sort or mutate it
 // without corrupting the store's posting lists.
 func (cs *ColumnStore) TIDsWithValue(attr string, v data.Value) []int {
+	view := cs.TIDsView(attr, v)
+	if view == nil {
+		return nil
+	}
+	return append([]int(nil), view...)
+}
+
+// TIDsView is the allocation-free counterpart of TIDsWithValue for
+// executor-internal use: it returns the posting list itself (sorted,
+// possibly a view into a spilled block). The result is strictly
+// read-only and must not be retained across a Refresh; external callers
+// wanting an owned slice use TIDsWithValue.
+func (cs *ColumnStore) TIDsView(attr string, v data.Value) []int {
 	col := cs.Columns[attr]
 	if col == nil {
 		return nil
 	}
 	id, ok := col.Dict.ID(v)
-	if !ok || int(id) >= len(col.Postings) || len(col.Postings[id]) == 0 {
+	if !ok {
 		return nil
 	}
-	return append([]int(nil), col.Postings[id]...)
+	p := col.PostingList(id)
+	if len(p) == 0 {
+		return nil
+	}
+	return p
 }
 
 // StoreRelation serialises a relation into the block store under key

@@ -1,0 +1,56 @@
+package crystal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// BenchmarkSelectBitmap times the equality-selection kernel over a 1M-id
+// vector at 1% selectivity — the inner loop of vectorized constant
+// pushdown.
+func BenchmarkSelectBitmap(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]ValueID, n)
+	for i := range ids {
+		ids[i] = ValueID(rng.Intn(100))
+	}
+	bits := make([]uint64, BitmapWords(n))
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BitmapSetAll(bits, n)
+		SelectEq(bits, ids, 7)
+	}
+}
+
+// BenchmarkPostingIntersect times the galloping sorted intersection on
+// the imbalanced shape posting-probe joins hit: a short posting list
+// against a large partition TID array.
+func BenchmarkPostingIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	hay := make([]int, 1<<20)
+	for i := range hay {
+		hay[i] = i * 2
+	}
+	needles := make([]int, 1024)
+	for i := range needles {
+		needles[i] = rng.Intn(1 << 21)
+	}
+	seen := map[int]bool{}
+	out := needles[:0]
+	for _, x := range needles {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	needles = out
+	sort.Ints(needles)
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectPositions(dst[:0], needles, hay)
+	}
+}

@@ -135,6 +135,11 @@ func (r *Relation) Insert(eid string, values ...Value) *Tuple {
 // Get returns the tuple with the given TID, or nil.
 func (r *Relation) Get(tid int) *Tuple { return r.byTID[tid] }
 
+// NextTID returns the TID the next Insert will assign — the exclusive
+// upper bound of every TID ever assigned. Dense TID-indexed structures
+// (crystal columns) use it to tell full coverage from stale builds.
+func (r *Relation) NextTID() int { return r.nextID }
+
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 

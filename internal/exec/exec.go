@@ -581,19 +581,11 @@ func (e *Executor) candidates(r *ree.Rule, a ree.Atom, opts Options, fast bool) 
 	if len(preds) == 0 {
 		return base, false, nil
 	}
-	// Split into interned filters (id compares over the dense column) and
-	// slow predicates (full Eval). Null checks always read raw data, so
-	// they intern unconditionally; constant equality reads through the
-	// value view, so shadowed tuples re-evaluate per tuple below.
-	type idFilter struct {
-		p       *predicate.Predicate
-		col     *crystal.Column
-		cid     crystal.ValueID // interned constant (KConst)
-		hasCID  bool
-		nullID  crystal.ValueID
-		hasNull bool
-		viewed  bool // reads through ValueOf: shadowed tuples fall back
-	}
+	// Split into interned filters (id compares over the dense column —
+	// idFilter, vector.go) and slow predicates (full Eval). Null checks
+	// always read raw data, so they intern unconditionally; constant
+	// equality reads through the value view, so shadowed tuples
+	// re-evaluate per tuple below.
 	var fasts []idFilter
 	var slows []*predicate.Predicate
 	for _, p := range preds {
@@ -614,56 +606,33 @@ func (e *Executor) candidates(r *ree.Rule, a ree.Atom, opts Options, fast bool) 
 		}
 	}
 	shadow := e.shadowOf(a.Rel)
+	// Batch kernels take over above the size gate when the partition is
+	// TID-ascending (vector.go); the scalar loop remains the oracle and
+	// the fallback for filtered or re-ordered partitions.
+	if len(fasts) > 0 && len(base) >= vecMinTuples {
+		if vout, handled, verr := e.candidatesVec(a, rel, base, fasts, slows, shadow); handled {
+			return vout, true, verr
+		}
+	}
 	out = getTupleBuf()
 	fromPool = true
 	h := predicate.NewValuation()
 	for _, t := range base {
 		keep := true
-		for fi := range fasts {
-			f := &fasts[fi]
-			id, okID := f.col.IDAt(t.TID)
-			if !okID || (f.viewed && shadow != nil && shadow[t.TID]) {
-				// Unseen TID or view-sensitive shadowed tuple: evaluate the
-				// predicate the slow way for this tuple only.
-				h.Bind(a.Var, a.Rel, t)
-				ok, evalErr := f.p.Eval(e.env, h)
-				if evalErr != nil {
-					putTupleBuf(out)
-					return nil, false, evalErr
-				}
-				if !ok {
-					keep = false
-					break
-				}
-				continue
-			}
-			isNull := f.hasNull && id == f.nullID
-			switch {
-			case f.p.Kind == predicate.KNull:
-				keep = isNull
-			case f.p.Kind == predicate.KNotNull:
-				keep = !isNull
-			case f.p.Op == predicate.Eq:
-				keep = !isNull && f.hasCID && id == f.cid
-			default: // Neq: non-null and different id
-				keep = !isNull && !(f.hasCID && id == f.cid)
-			}
-			if !keep {
-				break
+		if len(fasts) > 0 {
+			var evalErr error
+			keep, evalErr = e.keepFasts(a, t, fasts, shadow, h)
+			if evalErr != nil {
+				putTupleBuf(out)
+				return nil, false, evalErr
 			}
 		}
-		if keep {
-			for _, p := range slows {
-				h.Bind(a.Var, a.Rel, t)
-				ok, evalErr := p.Eval(e.env, h)
-				if evalErr != nil {
-					putTupleBuf(out)
-					return nil, false, evalErr
-				}
-				if !ok {
-					keep = false
-					break
-				}
+		if keep && len(slows) > 0 {
+			var evalErr error
+			keep, evalErr = e.evalSlows(a, t, slows, h)
+			if evalErr != nil {
+				putTupleBuf(out)
+				return nil, false, evalErr
 			}
 		}
 		if keep {
@@ -761,6 +730,11 @@ func (e *Executor) hashJoin(r *ree.Rule, p *predicate.Predicate, opts Options,
 		colA := e.internedCol(relTName, p.A)
 		colB := e.internedCol(relSName, p.B)
 		if colA != nil && colB != nil {
+			// Posting-list enumeration first (vector.go); it declines when
+			// colB is incomplete or an input is not TID-ascending.
+			if out, ok := e.postingJoin(r, p, opts, tuplesT, tuplesS, colA, colB, ai, bi, relS); ok {
+				return out, true
+			}
 			return e.hashJoinInterned(r, p, opts, tuplesT, tuplesS, colA, colB, ai, bi), true
 		}
 	}
@@ -1142,8 +1116,12 @@ func (e *Executor) probeJoin(r *ree.Rule, a ree.Atom, bound map[string]bool, h *
 		out := getTupleBuf()
 		if fast {
 			if col := e.internedCol(a.Rel, freeAttr); col != nil {
-				target, haveTarget := col.Dict.ID(v)
 				shadow := e.shadowOf(a.Rel)
+				if vout, ok := e.probeJoinVec(a.Rel, rel, base, col, v, freeAttr, fi, shadow); ok {
+					putTupleBuf(out)
+					return vout, true
+				}
+				target, haveTarget := col.Dict.ID(v)
 				for _, t := range base {
 					if shadow != nil && shadow[t.TID] {
 						if valueThrough(e.env, a.Rel, t, freeAttr, fi).Equal(v) {

@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"sort"
 	"sync"
+	"unsafe"
 
 	"github.com/rockclean/rock/internal/crystal"
 	"github.com/rockclean/rock/internal/data"
@@ -34,6 +36,114 @@ type internIndex struct {
 	// data; track is true once a caller claims to maintain it.
 	shadow map[string]map[int]bool
 	track  bool
+	// shadowSorted caches, per relation, the ascending TID list of the
+	// shadow set — the vectorized paths intersect it against partition
+	// TID arrays instead of probing the map per tuple. Entries drop when
+	// MarkShadowed touches the relation.
+	shadowSorted map[string][]int
+	// parts maps registered stable tuple slices (chase partition blocks,
+	// full relation slices) to their precomputed ascending TID arrays.
+	parts map[partKey]*partEntry
+	// Spill budget (SetSpill): above budget resident bytes, newly built
+	// columns go straight to flat on-disk blocks.
+	spillBudget int64
+	spillOpts   crystal.SpillOptions
+	memBytes    int64
+}
+
+// partKey identifies a tuple slice by its backing window — data pointer
+// plus length. A slice is a contiguous window, so an equal key implies
+// identical content as long as the backing elements are unmodified: the
+// same invalidate-after-structural-mutation contract the interned
+// columns themselves live under (RefreshTuples / InvalidateInterned).
+type partKey struct {
+	p unsafe.Pointer
+	n int
+}
+
+type partEntry struct {
+	ts   []*data.Tuple // pins the backing array so the key stays unique
+	tids []int         // ascending TIDs; nil when ts was not TID-ascending
+}
+
+func keyOfSlice(ts []*data.Tuple) (partKey, bool) {
+	if len(ts) == 0 {
+		return partKey{}, false
+	}
+	return partKey{p: unsafe.Pointer(&ts[0]), n: len(ts)}, true
+}
+
+// RegisterPartition precomputes the ascending TID array of a stable
+// tuple slice (a chase partition block or a full relation slice), so
+// the vectorized selection and join paths skip their per-call TID
+// extraction pass. The slice must stay alive and unchanged until
+// InvalidatePartitions / RefreshTuples / InvalidateInterned.
+func (e *Executor) RegisterPartition(ts []*data.Tuple) {
+	k, ok := keyOfSlice(ts)
+	if !ok {
+		return
+	}
+	tids := make([]int, 0, len(ts))
+	last := -1
+	for _, t := range ts {
+		if t.TID <= last {
+			tids = nil // not ascending: cache the miss, callers fall back
+			break
+		}
+		last = t.TID
+		tids = append(tids, t.TID)
+	}
+	e.in.mu.Lock()
+	if e.in.parts == nil {
+		e.in.parts = make(map[partKey]*partEntry)
+	}
+	e.in.parts[k] = &partEntry{ts: ts, tids: tids}
+	e.in.mu.Unlock()
+}
+
+// InvalidatePartitions drops every registered partition TID array. Call
+// whenever the partition slices are rebuilt or raw data changes shape.
+func (e *Executor) InvalidatePartitions() {
+	e.in.mu.Lock()
+	e.in.parts = nil
+	e.in.mu.Unlock()
+}
+
+// tidsOf returns the ascending TID array of ts — the registered
+// precomputed one, or pooled scratch (pooled true: release with
+// putIntBuf). A nil result means ts is not strictly TID-ascending and
+// the caller must take the scalar path.
+func (e *Executor) tidsOf(ts []*data.Tuple) (tids []int, pooled bool) {
+	if k, ok := keyOfSlice(ts); ok {
+		e.in.mu.RLock()
+		ent := e.in.parts[k]
+		e.in.mu.RUnlock()
+		if ent != nil {
+			return ent.tids, false
+		}
+	}
+	buf := getIntBuf()
+	last := -1
+	for _, t := range ts {
+		if t.TID <= last {
+			putIntBuf(buf)
+			return nil, false
+		}
+		last = t.TID
+		buf = append(buf, t.TID)
+	}
+	return buf, true
+}
+
+// SetSpill installs the interned-column memory budget: once the resident
+// bytes of built columns exceed budget, later builds write flat spill
+// blocks under dir (empty: the system temp directory) and read them back
+// through mmap or chunked ReadAt. Call before the first Run.
+func (e *Executor) SetSpill(budget int64, dir string) {
+	e.in.mu.Lock()
+	e.in.spillBudget = budget
+	e.in.spillOpts = crystal.SpillOptions{Dir: dir}
+	e.in.mu.Unlock()
 }
 
 func colKey(rel, attr string) string { return rel + "\x1f" + attr }
@@ -62,6 +172,7 @@ func (e *Executor) SetShadowTracking(shadow map[string]map[int]bool) {
 	}
 	e.in.shadow = shadow
 	e.in.track = true
+	e.in.shadowSorted = nil
 }
 
 // MarkShadowed adds the given TIDs to the shadow sets. Call from the
@@ -82,7 +193,36 @@ func (e *Executor) MarkShadowed(dirty map[string]map[int]bool) {
 		for tid := range tids {
 			m[tid] = true
 		}
+		delete(e.in.shadowSorted, rel)
 	}
+}
+
+// shadowSortedOf returns the ascending TID list of a relation's shadow
+// set (nil when empty), built lazily and cached until MarkShadowed next
+// touches the relation. Concurrent builders compute identical lists, so
+// the last writer winning is harmless.
+func (e *Executor) shadowSortedOf(rel string) []int {
+	e.in.mu.RLock()
+	s, ok := e.in.shadowSorted[rel]
+	m := e.in.shadow[rel]
+	e.in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	if len(m) > 0 {
+		s = make([]int, 0, len(m))
+		for tid := range m {
+			s = append(s, tid)
+		}
+		sort.Ints(s)
+	}
+	e.in.mu.Lock()
+	if e.in.shadowSorted == nil {
+		e.in.shadowSorted = make(map[string][]int)
+	}
+	e.in.shadowSorted[rel] = s
+	e.in.mu.Unlock()
+	return s
 }
 
 // shadowOf returns the shadow TID set of a relation (nil when empty) —
@@ -120,9 +260,17 @@ func (e *Executor) RefreshTuples(dirty map[string]map[int]bool) {
 		if len(tids) == 0 {
 			continue
 		}
-		col.Refresh(rel, tids)
+		wasSpilled := col.Spilled()
+		col.Refresh(rel, tids) // unspills first: spilled blocks are immutable
+		if wasSpilled {
+			e.in.memBytes += col.MemBytes()
+			if e.reg != nil {
+				e.reg.Inc("exec.spill.reloads")
+			}
+		}
 	}
 	e.in.trans = nil
+	e.in.parts = nil // raw tuples changed shape: partition TIDs may be stale
 }
 
 // InvalidateInterned drops every interned column and translation; the
@@ -131,9 +279,16 @@ func (e *Executor) RefreshTuples(dirty map[string]map[int]bool) {
 func (e *Executor) InvalidateInterned() {
 	e.in.mu.Lock()
 	defer e.in.mu.Unlock()
+	for _, col := range e.in.cols {
+		if col != nil {
+			col.Close() // release spill blocks and mappings
+		}
+	}
 	e.in.cols = nil
 	e.in.rels = nil
 	e.in.trans = nil
+	e.in.parts = nil
+	e.in.memBytes = 0
 }
 
 // internMinTuples gates the interned layout by cardinality: below this
@@ -160,7 +315,25 @@ func (e *Executor) internedCol(relName, attr string) *crystal.Column {
 	}
 	rel := e.env.DB.Rel(relName)
 	if rel != nil && len(rel.Tuples) >= internMinTuples {
-		col, _ = crystal.BuildColumn(rel, attr) // nil on unknown attr
+		// Over the memory budget, build straight into a flat spill block:
+		// ids + postings live on disk (mmap or chunked reads), only the
+		// dictionary and block metadata stay resident.
+		if e.in.spillBudget > 0 && e.in.memBytes+int64(12*len(rel.Tuples)) > e.in.spillBudget {
+			col, _ = crystal.BuildColumnSpilled(rel, attr, e.in.spillOpts)
+			if col != nil {
+				e.in.memBytes += col.MemBytes()
+				if e.reg != nil {
+					e.reg.Inc("exec.spill.columns")
+					e.reg.Add("exec.spill.bytes", uint64(col.SpillBytes()))
+				}
+			}
+		}
+		if col == nil {
+			col, _ = crystal.BuildColumn(rel, attr) // nil on unknown attr
+			if col != nil {
+				e.in.memBytes += col.MemBytes()
+			}
+		}
 	} else {
 		rel = nil // cache the nil: too small or unknown relation
 	}
@@ -221,6 +394,81 @@ func putTupleBuf(b []*data.Tuple) {
 	}
 	b = b[:0]
 	tupleBufPool.Put(&b)
+}
+
+var intBufPool = sync.Pool{
+	New: func() any { b := make([]int, 0, 256); return &b },
+}
+
+func getIntBuf() []int {
+	return (*intBufPool.Get().(*[]int))[:0]
+}
+
+func putIntBuf(b []int) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	intBufPool.Put(&b)
+}
+
+var posBufPool = sync.Pool{
+	New: func() any { b := make([]int32, 0, 256); return &b },
+}
+
+func getPosBuf() []int32 {
+	return (*posBufPool.Get().(*[]int32))[:0]
+}
+
+func putPosBuf(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	posBufPool.Put(&b)
+}
+
+var idBufPool = sync.Pool{
+	New: func() any { b := make([]crystal.ValueID, 0, 1024); return &b },
+}
+
+// getIDBuf returns an id gather buffer of length n.
+func getIDBuf(n int) []crystal.ValueID {
+	b := (*idBufPool.Get().(*[]crystal.ValueID))[:0]
+	if cap(b) < n {
+		b = make([]crystal.ValueID, n)
+	}
+	return b[:n]
+}
+
+func putIDBuf(b []crystal.ValueID) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	idBufPool.Put(&b)
+}
+
+var wordBufPool = sync.Pool{
+	New: func() any { b := make([]uint64, 0, 64); return &b },
+}
+
+// getWordBuf returns a bitmap buffer of length n words (contents
+// unspecified; callers BitmapSetAll/ClearAll first).
+func getWordBuf(n int) []uint64 {
+	b := (*wordBufPool.Get().(*[]uint64))[:0]
+	if cap(b) < n {
+		b = make([]uint64, n)
+	}
+	return b[:n]
+}
+
+func putWordBuf(b []uint64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	wordBufPool.Put(&b)
 }
 
 var pairBufPool = sync.Pool{

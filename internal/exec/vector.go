@@ -1,0 +1,722 @@
+package exec
+
+// Vectorized evaluation over the interned columns: constant/null
+// predicates run as batch kernels producing selection bitmaps (or, when
+// every filter maps to a posting list, as sorted-set intersections), and
+// id-compare equijoins enumerate from the posting lists instead of
+// building per-unit hash indexes. Both paths preserve the deterministic
+// merge invariant exactly: selections materialize survivors in ascending
+// partition-position order (the scalar loop's order), and the posting
+// join emits pairs t-major with s ascending by position — bit-identical
+// to hashJoinInterned. Tuples the kernels cannot decide (TIDs unseen by
+// a column, view-sensitive shadowed tuples) fall back to the scalar
+// per-tuple semantics via keepFasts, never silently dropped.
+
+import (
+	mathbits "math/bits"
+	"sort"
+
+	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/data"
+	"github.com/rockclean/rock/internal/predicate"
+	"github.com/rockclean/rock/internal/ree"
+)
+
+// vecMinTuples gates the vectorized paths by input size: below it the
+// per-call setup (TID extraction, bitmap clears) costs more than the
+// scalar loop saves. A variable so equivalence tests can force both
+// paths over small fixtures.
+var vecMinTuples = 128
+
+// heavyPostingLen is the posting-list length above which the posting
+// join memoises its partition intersection: dense buckets are probed by
+// many t-tuples, so the O(|posting| ∩ |partition|) work is paid once.
+const heavyPostingLen = 64
+
+// idFilter is one interned single-variable filter: an id compare over
+// the dense column. Shared by the scalar candidates loop and the
+// vectorized kernels so both paths apply one definition.
+type idFilter struct {
+	p       *predicate.Predicate
+	col     *crystal.Column
+	cid     crystal.ValueID // interned constant (KConst)
+	hasCID  bool
+	nullID  crystal.ValueID
+	hasNull bool
+	viewed  bool // reads through ValueOf: shadowed tuples fall back
+}
+
+// keepFasts applies the interned filters to one tuple exactly as the
+// scalar candidates loop always has — including the per-tuple Eval
+// fallback for TIDs the column has not seen and for view-sensitive
+// shadowed tuples. The vectorized paths call it for exactly the
+// positions their kernels cannot decide.
+func (e *Executor) keepFasts(a ree.Atom, t *data.Tuple, fasts []idFilter,
+	shadow map[int]bool, h *predicate.Valuation) (bool, error) {
+	for fi := range fasts {
+		f := &fasts[fi]
+		id, okID := f.col.IDAt(t.TID)
+		if !okID || (f.viewed && shadow != nil && shadow[t.TID]) {
+			h.Bind(a.Var, a.Rel, t)
+			ok, err := f.p.Eval(e.env, h)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+			continue
+		}
+		isNull := f.hasNull && id == f.nullID
+		keep := true
+		switch {
+		case f.p.Kind == predicate.KNull:
+			keep = isNull
+		case f.p.Kind == predicate.KNotNull:
+			keep = !isNull
+		case f.p.Op == predicate.Eq:
+			keep = !isNull && f.hasCID && id == f.cid
+		default: // Neq: non-null and different id
+			keep = !isNull && !(f.hasCID && id == f.cid)
+		}
+		if !keep {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalSlows runs the non-interned single-variable predicates on one
+// tuple.
+func (e *Executor) evalSlows(a ree.Atom, t *data.Tuple, slows []*predicate.Predicate,
+	h *predicate.Valuation) (bool, error) {
+	for _, p := range slows {
+		h.Bind(a.Var, a.Rel, t)
+		ok, err := p.Eval(e.env, h)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// candidatesVec is the batch form of the candidates filter loop. It
+// picks one of two kernels:
+//
+//   - posting path: every filter is an equality (= constant, or null
+//     check) over a Complete column, so the survivors are exactly the
+//     intersection of the filters' posting lists with the partition's
+//     TID array — no per-tuple work at all;
+//   - bitmap path: gather each column's id vector over the partition
+//     and compose SelectEq/SelectNe word-at-a-time kernels.
+//
+// handled=false means the partition is not TID-ascending (pooled,
+// re-sorted, or filtered by a caller) and the scalar loop must run.
+func (e *Executor) candidatesVec(a ree.Atom, rel *data.Relation, base []*data.Tuple,
+	fasts []idFilter, slows []*predicate.Predicate, shadow map[int]bool) (out []*data.Tuple, handled bool, err error) {
+	tids, pooledTids := e.tidsOf(base)
+	if tids == nil {
+		return nil, false, nil
+	}
+	if pooledTids {
+		defer putIntBuf(tids)
+	}
+	n := len(base)
+	h := predicate.NewValuation()
+
+	viewed := false
+	postingOK := true
+	for i := range fasts {
+		f := &fasts[i]
+		if f.viewed {
+			viewed = true
+		}
+		if !f.col.Complete(rel) {
+			// An incomplete column cannot drive posting selection: tuples it
+			// has never seen would be silently dropped.
+			postingOK = false
+		}
+		if f.p.Kind == predicate.KNotNull || (f.p.Kind == predicate.KConst && f.p.Op != predicate.Eq) {
+			postingOK = false
+		}
+	}
+
+	// Shadowed positions re-evaluate per tuple — but only view-sensitive
+	// filters care (null checks read raw data even for shadowed tuples).
+	var shadowPos []int32
+	var shadowBuf []int32
+	if viewed && shadow != nil {
+		shadowBuf = crystal.IntersectPositions(getPosBuf(), e.shadowSortedOf(a.Rel), tids)
+		shadowPos = shadowBuf
+	}
+	defer func() {
+		if shadowBuf != nil {
+			putPosBuf(shadowBuf)
+		}
+	}()
+
+	if postingOK {
+		out, err = e.postingSelect(a, base, tids, fasts, slows, shadowPos, shadow, h)
+		if err != nil {
+			return nil, true, err
+		}
+		e.reg.Inc("exec.vec.posting_selects")
+		e.reg.Add("exec.vec.select_input", uint64(n))
+		e.reg.Add("exec.vec.select_kept", uint64(len(out)))
+		return out, true, nil
+	}
+
+	words := crystal.BitmapWords(n)
+	bits := getWordBuf(words)
+	idbuf := getIDBuf(n)
+	fb := getPosBuf()
+	free := func() {
+		putWordBuf(bits)
+		putIDBuf(idbuf)
+		putPosBuf(fb)
+	}
+	crystal.BitmapSetAll(bits, n)
+	for fi := range fasts {
+		f := &fasts[fi]
+		vec := f.col.IDVec()
+		for k, tid := range tids {
+			if tid < len(vec) {
+				idbuf[k] = vec[tid]
+			} else {
+				idbuf[k] = crystal.NoValue
+			}
+		}
+		if !f.col.Complete(rel) {
+			// Unseen TIDs take the scalar Eval fallback below, whatever the
+			// kernels decided for their bit.
+			for k := range idbuf {
+				if idbuf[k] == crystal.NoValue {
+					fb = append(fb, int32(k))
+				}
+			}
+		}
+		switch {
+		case f.p.Kind == predicate.KNull:
+			// nullID is NoValue when the column has no null entry, so this
+			// clears every seen position — exactly the scalar outcome.
+			crystal.SelectEq(bits, idbuf, f.nullID)
+		case f.p.Kind == predicate.KNotNull:
+			crystal.SelectNe(bits, idbuf, f.nullID)
+		case f.p.Op == predicate.Eq:
+			if f.hasCID && !(f.hasNull && f.cid == f.nullID) {
+				crystal.SelectEq(bits, idbuf, f.cid)
+			} else {
+				crystal.BitmapClearAll(bits)
+			}
+		default: // Neq: non-null and different id
+			if f.hasNull {
+				crystal.SelectNe(bits, idbuf, f.nullID)
+			}
+			if f.hasCID {
+				crystal.SelectNe(bits, idbuf, f.cid)
+			}
+		}
+	}
+	if len(shadowPos) > 0 {
+		fb = append(fb, shadowPos...)
+	}
+	if len(fb) > 0 {
+		sort.Slice(fb, func(i, j int) bool { return fb[i] < fb[j] })
+		w := 0
+		for r := range fb {
+			if r > 0 && fb[r] == fb[r-1] {
+				continue
+			}
+			fb[w] = fb[r]
+			w++
+		}
+		fb = fb[:w]
+		for _, pos := range fb {
+			keep, kerr := e.keepFasts(a, base[pos], fasts, shadow, h)
+			if kerr != nil {
+				free()
+				return nil, true, kerr
+			}
+			wi, off := int(pos)/64, uint(pos)%64
+			if keep {
+				bits[wi] |= 1 << off
+			} else {
+				bits[wi] &^= 1 << off
+			}
+		}
+	}
+	out = getTupleBuf()
+	for w := 0; w < words; w++ {
+		word := bits[w]
+		for word != 0 {
+			pos := w*64 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			t := base[pos]
+			keep := true
+			if len(slows) > 0 {
+				keep, err = e.evalSlows(a, t, slows, h)
+				if err != nil {
+					free()
+					putTupleBuf(out)
+					return nil, true, err
+				}
+			}
+			if keep {
+				out = append(out, t)
+			}
+		}
+	}
+	free()
+	e.reg.Inc("exec.vec.select_batches")
+	e.reg.Add("exec.vec.select_input", uint64(n))
+	e.reg.Add("exec.vec.select_kept", uint64(len(out)))
+	e.reg.Add("exec.vec.select_fallbacks", uint64(len(fb)))
+	return out, true, nil
+}
+
+// postingSelect intersects the filters' posting lists with the
+// partition TID array and merges shadowed positions back in ascending
+// position order. Preconditions (checked by candidatesVec): every
+// filter is KNull or KConst-Eq over a Complete column.
+func (e *Executor) postingSelect(a ree.Atom, base []*data.Tuple, tids []int,
+	fasts []idFilter, slows []*predicate.Predicate, shadowPos []int32,
+	shadow map[int]bool, h *predicate.Valuation) ([]*data.Tuple, error) {
+	lists := make([][]int, 0, len(fasts))
+	empty := false
+	for i := range fasts {
+		f := &fasts[i]
+		var p []int
+		if f.p.Kind == predicate.KNull {
+			if f.hasNull {
+				p = f.col.PostingList(f.nullID)
+			}
+		} else if f.hasCID && !(f.hasNull && f.cid == f.nullID) {
+			p = f.col.PostingList(f.cid)
+		}
+		if len(p) == 0 {
+			empty = true
+			break
+		}
+		lists = append(lists, p)
+	}
+	matchPos := getPosBuf()
+	free := func() { putPosBuf(matchPos) }
+	if !empty {
+		// Smallest list first: every later intersection is bounded by it.
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		if len(lists) == 1 {
+			matchPos = crystal.IntersectPositions(matchPos, lists[0], tids)
+		} else {
+			acc := crystal.IntersectSorted(getIntBuf(), lists[0], lists[1])
+			for k := 2; k < len(lists) && len(acc) > 0; k++ {
+				next := crystal.IntersectSorted(getIntBuf(), acc, lists[k])
+				putIntBuf(acc)
+				acc = next
+			}
+			matchPos = crystal.IntersectPositions(matchPos, acc, tids)
+			putIntBuf(acc)
+		}
+	}
+	out := getTupleBuf()
+	i, j := 0, 0
+	for i < len(matchPos) || j < len(shadowPos) {
+		var pos int32
+		fromShadow := false
+		switch {
+		case j >= len(shadowPos):
+			pos = matchPos[i]
+			i++
+		case i >= len(matchPos):
+			pos = shadowPos[j]
+			j++
+			fromShadow = true
+		case matchPos[i] < shadowPos[j]:
+			pos = matchPos[i]
+			i++
+		default:
+			pos = shadowPos[j]
+			j++
+			fromShadow = true
+			if i < len(matchPos) && matchPos[i] == pos {
+				i++ // shadowed position: the scalar semantics decide, not the posting
+			}
+		}
+		t := base[pos]
+		keep := true
+		var err error
+		if fromShadow {
+			keep, err = e.keepFasts(a, t, fasts, shadow, h)
+		}
+		if err == nil && keep && len(slows) > 0 {
+			keep, err = e.evalSlows(a, t, slows, h)
+		}
+		if err != nil {
+			free()
+			putTupleBuf(out)
+			return nil, err
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	free()
+	return out, nil
+}
+
+// postingJoin enumerates the id-compare equijoin t.A = s.B from colB's
+// posting lists: for each probing t-id, the matching s-tuples are the
+// bucket's posting list intersected (galloping) with the s-candidates'
+// TID array — no per-unit hash index is ever built, and the partition
+// intersection of dense buckets is memoised across probes. Shadowed
+// tuples on either side keep the hashJoinInterned fallback semantics
+// (valueThrough, dictionary probe, string-keyed overflow). ok=false
+// when a precondition fails — colB incomplete, inputs too small or not
+// TID-ascending — and the caller falls back to hashJoinInterned.
+func (e *Executor) postingJoin(r *ree.Rule, p *predicate.Predicate, opts Options,
+	tuplesT, tuplesS []*data.Tuple, colA, colB *crystal.Column, ai, bi int,
+	relS *data.Relation) ([][2]*data.Tuple, bool) {
+	if len(tuplesT)+len(tuplesS) < vecMinTuples || !colB.Complete(relS) {
+		return nil, false
+	}
+	tTIDs, tPooled := e.tidsOf(tuplesT)
+	if tTIDs == nil {
+		return nil, false
+	}
+	sTIDs, sPooled := e.tidsOf(tuplesS)
+	if sTIDs == nil {
+		if tPooled {
+			putIntBuf(tTIDs)
+		}
+		return nil, false
+	}
+	defer func() {
+		if tPooled {
+			putIntBuf(tTIDs)
+		}
+		if sPooled {
+			putIntBuf(sTIDs)
+		}
+	}()
+
+	relTName, relSName := r.RelOf(p.T), r.RelOf(p.S)
+	shadowT := e.shadowOf(relTName)
+	shadowS := e.shadowOf(relSName)
+
+	// s-side: compact shadowed tuples out of the probe targets (posting
+	// lists index raw values only) and classify their view values by
+	// dictionary id, with a string-keyed overflow for values colB never
+	// interned. cleanPos maps compacted index → original position so
+	// emission can restore the legacy interleaved bucket order.
+	cleanTIDs := sTIDs
+	var cleanPos []int32
+	var shadowByID map[crystal.ValueID][]int32
+	var slow map[string][]*data.Tuple
+	var sShadowBuf, cleanPosBuf []int32
+	var cleanTIDBuf []int
+	if shadowS != nil {
+		sShadowBuf = crystal.IntersectPositions(getPosBuf(), e.shadowSortedOf(relSName), sTIDs)
+		if len(sShadowBuf) > 0 {
+			cleanTIDBuf = getIntBuf()
+			cleanPosBuf = getPosBuf()
+			k := 0
+			for i, tid := range sTIDs {
+				if k < len(sShadowBuf) && int(sShadowBuf[k]) == i {
+					k++
+					s := tuplesS[i]
+					v := valueThrough(e.env, relSName, s, p.B, bi)
+					if v.IsNull() {
+						continue
+					}
+					if id, ok := colB.Dict.ID(v); ok {
+						if shadowByID == nil {
+							shadowByID = make(map[crystal.ValueID][]int32)
+						}
+						shadowByID[id] = append(shadowByID[id], int32(i))
+					} else {
+						if slow == nil {
+							slow = make(map[string][]*data.Tuple)
+						}
+						slow[v.Key()] = append(slow[v.Key()], s)
+					}
+					continue
+				}
+				cleanTIDBuf = append(cleanTIDBuf, tid)
+				cleanPosBuf = append(cleanPosBuf, int32(i))
+			}
+			cleanTIDs, cleanPos = cleanTIDBuf, cleanPosBuf
+		}
+	}
+	var tShadowPos, tShadowBuf []int32
+	if shadowT != nil {
+		tShadowBuf = crystal.IntersectPositions(getPosBuf(), e.shadowSortedOf(relTName), tTIDs)
+		tShadowPos = tShadowBuf
+	}
+	matchBuf := getPosBuf()
+	defer func() {
+		if sShadowBuf != nil {
+			putPosBuf(sShadowBuf)
+		}
+		if cleanTIDBuf != nil {
+			putIntBuf(cleanTIDBuf)
+		}
+		if cleanPosBuf != nil {
+			putPosBuf(cleanPosBuf)
+		}
+		if tShadowBuf != nil {
+			putPosBuf(tShadowBuf)
+		}
+		putPosBuf(matchBuf)
+	}()
+
+	sameCol := relTName == relSName && p.A == p.B
+	var trans []crystal.ValueID
+	if !sameCol {
+		trans = e.translation(relTName, p.A, colA, relSName, p.B, colB)
+	}
+	nullA, hasNullA := colA.Dict.NullID()
+
+	// Dense identity: when tuplesS is the whole relation in TID order with
+	// no shadow compaction and no deletions (ascending distinct TIDs from
+	// 0 to n-1 covering NextTID), every posting TID is live and equals its
+	// own position — the per-probe posting ∩ partition intersection is the
+	// identity and the galloping kernel can be skipped entirely.
+	denseS := cleanPos == nil && len(cleanTIDs) == relS.NextTID() &&
+		len(cleanTIDs) > 0 && cleanTIDs[0] == 0 && cleanTIDs[len(cleanTIDs)-1] == len(cleanTIDs)-1
+
+	// Dirty-filter hoist: the relations are fixed for the whole join, so
+	// resolve the two dirty sets once and test pairs with at most two
+	// int-keyed probes (none at all in a full, non-incremental run)
+	// instead of per-pair rule/relation string lookups.
+	var dirtyT, dirtyS map[int]bool
+	filtered := opts.Dirty != nil
+	if filtered {
+		dirtyT, dirtyS = opts.Dirty[relTName], opts.Dirty[relSName]
+	}
+	curTDirty := false // dirtyT[t.TID] for the t currently enumerating
+	pairOK := func(s *data.Tuple) bool {
+		return !filtered || curTDirty || (dirtyS != nil && dirtyS[s.TID])
+	}
+
+	out := getPairBuf()
+	var memo map[crystal.ValueID][]int32
+	probes := 0
+	origPos := func(m int32) int32 {
+		if cleanPos == nil {
+			return m
+		}
+		return cleanPos[m]
+	}
+	emitOverflow := func(t *data.Tuple, overflow []*data.Tuple) {
+		for _, s := range overflow {
+			if pairOK(s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+		}
+	}
+	emitID := func(t *data.Tuple, idB crystal.ValueID, overflow []*data.Tuple) {
+		probes++
+		if denseS {
+			// cleanPos == nil implies no shadowed s tuples were compacted,
+			// so shadowByID and slow are empty: the posting list alone is
+			// the match set, already in emission (position) order.
+			if !filtered || curTDirty {
+				for _, tid := range colB.PostingList(idB) {
+					out = append(out, [2]*data.Tuple{t, tuplesS[tid]})
+				}
+			} else {
+				for _, tid := range colB.PostingList(idB) {
+					s := tuplesS[tid]
+					if dirtyS != nil && dirtyS[s.TID] {
+						out = append(out, [2]*data.Tuple{t, s})
+					}
+				}
+			}
+			emitOverflow(t, overflow)
+			return
+		}
+		var matched []int32
+		if posting := colB.PostingList(idB); len(posting) > 0 {
+			if len(posting) > heavyPostingLen {
+				m, ok := memo[idB]
+				if !ok {
+					m = crystal.IntersectPositions(nil, posting, cleanTIDs)
+					if memo == nil {
+						memo = make(map[crystal.ValueID][]int32)
+					}
+					memo[idB] = m
+				}
+				matched = m
+			} else {
+				matchBuf = crystal.IntersectPositions(matchBuf[:0], posting, cleanTIDs)
+				matched = matchBuf
+			}
+		}
+		// Merge clean matches with shadowed bucket members ascending by
+		// original position: hashJoinInterned builds its bucket in one
+		// pass over tuplesS, so this is exactly its emission order.
+		shadowList := shadowByID[idB]
+		i, j := 0, 0
+		for i < len(matched) || j < len(shadowList) {
+			var pos int32
+			switch {
+			case j >= len(shadowList):
+				pos = origPos(matched[i])
+				i++
+			case i >= len(matched):
+				pos = shadowList[j]
+				j++
+			default:
+				if pi := origPos(matched[i]); pi < shadowList[j] {
+					pos = pi
+					i++
+				} else {
+					pos = shadowList[j]
+					j++
+				}
+			}
+			s := tuplesS[pos]
+			if pairOK(s) {
+				out = append(out, [2]*data.Tuple{t, s})
+			}
+		}
+		emitOverflow(t, overflow)
+	}
+
+	vecA := colA.IDVec()
+	next := 0
+	for i, t := range tuplesT {
+		curTDirty = filtered && dirtyT != nil && dirtyT[t.TID]
+		if next < len(tShadowPos) && int(tShadowPos[next]) == i {
+			next++
+			v := valueThrough(e.env, relTName, t, p.A, ai)
+			if v.IsNull() {
+				continue
+			}
+			var overflow []*data.Tuple
+			if slow != nil {
+				overflow = slow[v.Key()]
+			}
+			if id, ok := colB.Dict.ID(v); ok {
+				emitID(t, id, overflow)
+			} else {
+				emitOverflow(t, overflow)
+			}
+			continue
+		}
+		var idA = crystal.NoValue
+		if t.TID < len(vecA) {
+			idA = vecA[t.TID]
+		}
+		if idA == crystal.NoValue {
+			// TID unseen by colA (insert since last refresh): the raw value
+			// is still authoritative for a non-shadowed tuple.
+			v := t.Values[ai]
+			if v.IsNull() {
+				continue
+			}
+			var overflow []*data.Tuple
+			if slow != nil {
+				overflow = slow[v.Key()]
+			}
+			if id, ok := colB.Dict.ID(v); ok {
+				emitID(t, id, overflow)
+			} else {
+				emitOverflow(t, overflow)
+			}
+			continue
+		}
+		if hasNullA && idA == nullA {
+			continue
+		}
+		idB := idA
+		if !sameCol {
+			idB = trans[idA]
+		}
+		var overflow []*data.Tuple
+		if slow != nil {
+			if v, ok := colA.Dict.Value(idA); ok {
+				overflow = slow[v.Key()]
+			}
+		}
+		if idB != crystal.NoValue {
+			emitID(t, idB, overflow)
+		} else {
+			emitOverflow(t, overflow)
+		}
+	}
+	e.reg.Inc("exec.vec.joins")
+	e.reg.Add("exec.vec.join_probes", uint64(probes))
+	e.reg.Add("exec.vec.join_pairs", uint64(len(out)))
+	return out, true
+}
+
+// probeJoinVec filters base (the free variable's candidate list) to the
+// tuples whose freeAttr equals v via one posting-list intersection
+// instead of a per-tuple id scan. ok=false: caller runs the scalar scan.
+func (e *Executor) probeJoinVec(aRel string, rel *data.Relation, base []*data.Tuple,
+	col *crystal.Column, v data.Value, freeAttr string, fi int,
+	shadow map[int]bool) ([]*data.Tuple, bool) {
+	if len(base) < vecMinTuples || !col.Complete(rel) {
+		return nil, false
+	}
+	tids, pooled := e.tidsOf(base)
+	if tids == nil {
+		return nil, false
+	}
+	if pooled {
+		defer putIntBuf(tids)
+	}
+	matchBuf := getPosBuf()
+	var shBuf []int32
+	defer func() {
+		putPosBuf(matchBuf)
+		if shBuf != nil {
+			putPosBuf(shBuf)
+		}
+	}()
+	var matched []int32
+	if target, ok := col.Dict.ID(v); ok {
+		matchBuf = crystal.IntersectPositions(matchBuf, col.PostingList(target), tids)
+		matched = matchBuf
+	}
+	var shPos []int32
+	if shadow != nil {
+		shBuf = crystal.IntersectPositions(getPosBuf(), e.shadowSortedOf(aRel), tids)
+		shPos = shBuf
+	}
+	out := getTupleBuf()
+	i, j := 0, 0
+	for i < len(matched) || j < len(shPos) {
+		var pos int32
+		fromShadow := false
+		switch {
+		case j >= len(shPos):
+			pos = matched[i]
+			i++
+		case i >= len(matched):
+			pos = shPos[j]
+			j++
+			fromShadow = true
+		case matched[i] < shPos[j]:
+			pos = matched[i]
+			i++
+		default:
+			pos = shPos[j]
+			j++
+			fromShadow = true
+			if i < len(matched) && matched[i] == pos {
+				i++ // shadowed: the view value decides, not the raw posting
+			}
+		}
+		t := base[pos]
+		if fromShadow && !valueThrough(e.env, aRel, t, freeAttr, fi).Equal(v) {
+			continue
+		}
+		out = append(out, t)
+	}
+	e.reg.Inc("exec.vec.probe_selects")
+	return out, true
+}

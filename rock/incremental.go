@@ -112,6 +112,8 @@ func (d *Delta) CleanIncrementalCtx(ctx context.Context) ([]Correction, bool, er
 		Steal:        d.p.opts.Steal,
 		Obs:          d.p.opts.Obs,
 		EIDRefs:      d.p.eidRefs,
+		MemBudget:    d.p.opts.MemBudget,
+		SpillDir:     d.p.opts.SpillDir,
 		MaxRetries:   d.p.opts.MaxRetries,
 		RetryBackoff: d.p.opts.RetryBackoff,
 	}
