@@ -14,7 +14,11 @@
 // per-ML-model cost-attribution table of a span-traced chase, its Σ row
 // asserted equal to the phase totals), scale (the §5.1 interned
 // hot-path throughput curve at 10⁶ tuples by default — excluded from
-// `-exp all` because of its size; -n moves the top of the curve).
+// `-exp all` because of its size; -n moves the top of the curve),
+// serve (the rockd serving-path load test: 64 concurrent HTTP sessions
+// against a warm tenant, reporting cleans/sec and the p95
+// ingest→fix-visible latency — also excluded from `-exp all` since it
+// spins up a live server).
 package main
 
 import (
@@ -28,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, all")
+		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, all")
 		n        = flag.Int("n", 400, "base tuples per application dataset")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		workers  = flag.Int("workers", 4, "default simulated cluster size")

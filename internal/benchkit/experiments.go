@@ -1003,6 +1003,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Profile(cfg)
 	case "scale":
 		return Scale(cfg)
+	case "serve":
+		return ServeLoad(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, all)", id)
 }

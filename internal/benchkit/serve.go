@@ -1,0 +1,163 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rockclean/rock/internal/serve"
+	"github.com/rockclean/rock/rock"
+)
+
+// ServeLoad is the `serve` experiment: a load generator against an
+// in-process rockd (internal/serve over real HTTP) measuring what the
+// paper's service deployment serves under concurrent sessions (§3, §6
+// "heavy traffic") — sustained incremental cleans/sec and the
+// ingest→fix-visible latency distribution under the read-your-fixes
+// session guarantee. Each session streams tuples with a known error
+// into a shared warm tenant and blocks on its token after every
+// ingest, exactly the serving path a client sees.
+func ServeLoad(cfg Config) (*Table, error) {
+	const (
+		sessions = 64
+		opsPer   = 6
+		tenant   = "bench"
+	)
+	scfg := serve.DefaultConfig()
+	opts := rock.DefaultOptions()
+	if cfg.Workers > 0 {
+		opts.Workers = cfg.Workers
+	}
+	srv := serve.New(scfg, serve.WorkloadFactory("ecommerce", cfg.wl(), opts))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	base := hs.URL + "/v1/" + tenant
+
+	// Warm the tenant: build the pipeline, train models, settle the
+	// dataset's initial errors with one full clean.
+	if err := postJSON(base+"/clean", nil, nil); err != nil {
+		return nil, fmt.Errorf("warm clean: %w", err)
+	}
+
+	type result struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]result, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			for k := 0; k < opsPer; k++ {
+				body := map[string]any{
+					"rel": "Trans",
+					"tuples": []map[string]any{{
+						"eid":    fmt.Sprintf("s%d-%d", i, k),
+						"values": []string{"p3", "s3", "Mate X2 (Limited Sold)", "Huawei", "5200", "2023-08-12"},
+					}},
+				}
+				t0 := time.Now()
+				var ing struct {
+					Token uint64 `json:"token"`
+				}
+				if err := postJSON(base+"/ingest", body, &ing); err != nil {
+					r.err = fmt.Errorf("session %d op %d: %w", i, k, err)
+					return
+				}
+				// Block until the covering batch materialized (since=1<<30
+				// clamps to the ledger end: we want the watermark, not the
+				// whole fix list, on every poll).
+				url := fmt.Sprintf("%s/fixes?token=%d&since=%d&timeout_ms=60000", base, ing.Token, 1<<30)
+				resp, err := http.Get(url)
+				if err != nil {
+					r.err = fmt.Errorf("session %d op %d wait: %w", i, k, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					r.err = fmt.Errorf("session %d op %d wait: status %d", i, k, resp.StatusCode)
+					return
+				}
+				r.lat = append(r.lat, time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lats []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		lats = append(lats, results[i].lat...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000.0
+	}
+
+	tn, err := srv.Tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	snap := tn.Registry().Snapshot()
+	batches := snap.Counters["serve.batches"]
+	fixes := snap.Counters["serve.fixes.applied"]
+
+	t := NewTable("serve", "rockd serving: 64 concurrent sessions, warm tenant", "", []string{"value"})
+	t.Set("sessions", "value", sessions)
+	t.Set("ingests", "value", float64(len(lats)))
+	t.Set("wall_s", "value", wall.Seconds())
+	t.Set("cleans_per_s", "value", float64(batches)/wall.Seconds())
+	t.Set("ingests_per_s", "value", float64(len(lats))/wall.Seconds())
+	t.Set("p50_visible_ms", "value", pct(0.50))
+	t.Set("p95_visible_ms", "value", pct(0.95))
+	t.Set("p99_visible_ms", "value", pct(0.99))
+	t.Set("batches", "value", float64(batches))
+	t.Set("fixes_applied", "value", float64(fixes))
+	t.Metrics = make(map[string]uint64)
+	for k, v := range snap.Counters {
+		t.Metrics[tenant+"."+k] = v
+	}
+	t.Note("%d sessions × %d ingests, batch window %v, max batch %d, %d workers",
+		sessions, opsPer, scfg.BatchWindow, scfg.MaxBatch, opts.Workers)
+	t.Note("ingest→fix-visible latency measured client-side over HTTP (read-your-fixes token wait)")
+	if batches == 0 {
+		return t, fmt.Errorf("serve: no batches completed")
+	}
+	return t, nil
+}
+
+func postJSON(url string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

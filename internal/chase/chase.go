@@ -469,6 +469,18 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 // Truth exposes the engine's fix set U (read-mostly; mutate via the chase).
 func (e *Engine) Truth() *truth.FixSet { return e.u }
 
+// TuplesByEID returns rel's tuples carrying the given EID, from the
+// engine's index (refreshed on RunIncrementalCtx entry, so inserts made
+// through a Delta are covered). The incremental corrections diff uses it
+// to expand touched truth cells to tuples without scanning the database.
+func (e *Engine) TuplesByEID(rel, eid string) []*data.Tuple {
+	idx := e.tuplesByEID[rel]
+	if idx == nil {
+		return nil
+	}
+	return idx[eid]
+}
+
 // Report returns the run summary; valid after Run.
 func (e *Engine) Report() *Report {
 	e.syncReport()
@@ -642,6 +654,10 @@ func (e *Engine) RunIncrementalCtx(ctx context.Context, dirty map[string]map[int
 	e.blocks = nil
 	e.exec.RefreshTuples(dirty)
 	e.exec.MarkShadowed(dirty)
+	// With a predication layer shared across runs (rockd's warm per-tenant
+	// state), the embedding store may hold vectors computed from the
+	// tuples' pre-update values — retire them before enumeration.
+	e.exec.InvalidateTuples(dirty)
 	rep, err := e.runUnified(e.rules, dirty)
 	e.finish()
 	return rep, err

@@ -162,6 +162,13 @@ type FixSet struct {
 	// orders records [A]⪯ per relation.attr.
 	orders map[string]*data.TemporalOrder
 
+	// touched, when non-nil, records every cell whose validated value was
+	// set, replaced, or extended to new entity members (a merge re-roots
+	// the class, so every cell of the merged class counts as touched).
+	// The incremental clean diffs only these cells against raw data
+	// instead of scanning the whole database (see rock.CleanIncremental).
+	touched map[cellKey]bool
+
 	// counters for reporting
 	merges, cellFixes, orderFixes int
 }
@@ -173,6 +180,51 @@ func NewFixSet() *FixSet {
 		neq:    make(map[eidPair]bool),
 		cells:  make(map[cellKey]data.Value),
 		orders: make(map[string]*data.TemporalOrder),
+	}
+}
+
+// StartTouchTracking begins (or resets) touched-cell tracking: from now
+// on every cell fix, replacement, and merge-extended cell is recorded
+// until the next call.
+func (f *FixSet) StartTouchTracking() {
+	f.touched = make(map[cellKey]bool)
+}
+
+// TouchedCell locates one validated cell recorded by touch tracking;
+// EIDRoot is the entity-class representative at observation time (expand
+// with ClassMembers).
+type TouchedCell struct {
+	Rel, EIDRoot, Attr string
+}
+
+// TouchedCells returns every cell touched since StartTouchTracking, in
+// deterministic order. Nil when tracking is off.
+func (f *FixSet) TouchedCells() []TouchedCell {
+	if f.touched == nil {
+		return nil
+	}
+	out := make([]TouchedCell, 0, len(f.touched))
+	for k := range f.touched {
+		// Re-root stale keys: a merge after the touch may have absorbed
+		// the recorded root into a larger class.
+		out = append(out, TouchedCell{Rel: k.rel, EIDRoot: f.eids.FindRO(k.eidRoot), Attr: k.attr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		if a.EIDRoot != b.EIDRoot {
+			return a.EIDRoot < b.EIDRoot
+		}
+		return a.Attr < b.Attr
+	})
+	return out
+}
+
+func (f *FixSet) touch(k cellKey) {
+	if f.touched != nil {
+		f.touched[k] = true
 	}
 }
 
@@ -241,6 +293,16 @@ func (f *FixSet) MergeEIDs(a, b string) (changed bool, conflict *Conflict) {
 			}
 		}
 	}
+	if f.touched != nil {
+		// A merge extends every validated cell of the combined class to the
+		// members absorbed from the other side, so all of them may now
+		// disagree with raw data.
+		for k := range f.cells {
+			if k.eidRoot == root {
+				f.touched[k] = true
+			}
+		}
+	}
 	f.merges++
 	return true, nil
 }
@@ -270,6 +332,7 @@ func (f *FixSet) SetCell(rel, eid, attr string, v data.Value) (changed bool, con
 		return false, &Conflict{Kind: ValueConflict, Rel: rel, Attr: attr, EID: eid, Old: old, New: v}
 	}
 	f.cells[k] = v
+	f.touch(k)
 	f.cellFixes++
 	return true, nil
 }
@@ -297,7 +360,9 @@ func (f *FixSet) ForEachCell(fn func(rel, eidRoot, attr string, v data.Value)) {
 // only the chase's learning-based conflict resolution may do this, after
 // deciding a winner (paper §4.2, MI conflict case).
 func (f *FixSet) ReplaceCell(rel, eid, attr string, v data.Value) {
-	f.cells[cellKey{rel, attr, f.eids.Find(eid)}] = v
+	k := cellKey{rel, attr, f.eids.Find(eid)}
+	f.cells[k] = v
+	f.touch(k)
 }
 
 // ClassMembers returns every EID validated identical to eid (including
@@ -405,6 +470,9 @@ func (f *FixSet) Clone() *FixSet {
 	for k, o := range f.orders {
 		c.orders[k] = o.Clone()
 	}
+	// Touch tracking deliberately does NOT survive Clone: clones serve
+	// trial steps and batch chases, which never read TouchedCells — the
+	// incremental path opts in on its own copy via StartTouchTracking.
 	c.merges, c.cellFixes, c.orderFixes = f.merges, f.cellFixes, f.orderFixes
 	return c
 }

@@ -2,9 +2,13 @@ package rock
 
 import (
 	"context"
+	"sort"
 
 	"github.com/rockclean/rock/internal/chase"
 	"github.com/rockclean/rock/internal/detect"
+	"github.com/rockclean/rock/internal/ml"
+	"github.com/rockclean/rock/internal/obs"
+	"github.com/rockclean/rock/internal/truth"
 )
 
 // Delta tracks a batch of updates to the pipeline's database for the
@@ -63,6 +67,22 @@ func (d *Delta) Size() int {
 	return n
 }
 
+// invalidateEmbeddings retires the warm predication layer's cached
+// vectors for the delta's tuples: their raw values just changed, and a
+// layer shared across runs (the pipeline keeps one for its lifetime)
+// would otherwise serve embeddings of the old content. No-op with the
+// layer off.
+func (d *Delta) invalidateEmbeddings(pred *ml.Predication) {
+	if pred == nil {
+		return
+	}
+	for rel, tids := range d.dirty {
+		for tid := range tids {
+			pred.Embeds.Invalidate(rel, tid)
+		}
+	}
+}
+
 // DetectIncremental finds only the errors involving this delta's tuples.
 func (d *Delta) DetectIncremental() ([]DetectedError, error) {
 	errs, _, err := d.DetectIncrementalCtx(context.Background())
@@ -71,11 +91,24 @@ func (d *Delta) DetectIncremental() ([]DetectedError, error) {
 
 // DetectIncrementalCtx is DetectIncremental under a cancellation context
 // (plus Options.Deadline): on cancel it returns the errors found so far
-// with partial=true and a nil error.
+// with partial=true and a nil error. Like the batch path it runs under a
+// root span ("detect.incremental") and fills the pipeline's warm
+// predication layer, so a following CleanIncremental serves
+// detection-scored pairs as cache hits.
 func (d *Delta) DetectIncrementalCtx(ctx context.Context) ([]DetectedError, bool, error) {
 	ctx, cancel := d.p.withDeadline(ctx)
 	defer cancel()
-	det := detect.New(d.p.env, d.p.rules, d.p.detectOptions(nil, d.p.opts.Obs))
+	reg := d.p.opts.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	pred := d.p.predication()
+	d.invalidateEmbeddings(pred)
+	root := reg.StartSpan("detect.incremental", nil)
+	defer root.End()
+	dOpts := d.p.detectOptions(pred, reg)
+	dOpts.Span = root
+	det := detect.New(d.p.env, d.p.rules, dOpts)
 	errs, partial, err := det.DetectIncrementalCtx(ctx, d.dirty)
 	if err != nil {
 		return nil, partial, err
@@ -100,49 +133,126 @@ func (d *Delta) CleanIncremental() ([]Correction, error) {
 // certain fixes established so far are materialised and returned with
 // partial=true and a nil error.
 func (d *Delta) CleanIncrementalCtx(ctx context.Context) ([]Correction, bool, error) {
-	ctx, cancel := d.p.withDeadline(ctx)
-	defer cancel()
-	cOpts := chase.Options{
-		Mode:         chase.Unified,
-		Lazy:         d.p.opts.Lazy,
-		UseBlocking:  d.p.opts.UseBlocking,
-		MaxRounds:    d.p.opts.MaxRounds,
-		Workers:      d.p.opts.Workers,
-		Parallel:     d.p.opts.Parallel,
-		Steal:        d.p.opts.Steal,
-		Obs:          d.p.opts.Obs,
-		EIDRefs:      d.p.eidRefs,
-		MemBudget:    d.p.opts.MemBudget,
-		SpillDir:     d.p.opts.SpillDir,
-		MaxRetries:   d.p.opts.MaxRetries,
-		RetryBackoff: d.p.opts.RetryBackoff,
-	}
-	if d.p.opts.Oracle != nil {
-		cOpts.Oracle = d.p.opts.Oracle
-	}
-	eng := chase.New(d.p.env, d.p.rules, d.p.gamma, cOpts)
-	chaseRep, err := eng.RunIncrementalCtx(ctx, d.dirty)
+	rep, err := d.CleanIncrementalReport(ctx)
 	if err != nil {
 		return nil, false, err
 	}
+	return rep.Corrections, rep.Partial, nil
+}
+
+// CleanIncrementalReport is CleanIncrementalCtx returning the full run
+// Report — corrections plus the predication cache counters, chase
+// trace, per-rule profile and metrics snapshot of the incremental run.
+// rockd reads it to attribute per-batch cost and cache behaviour. The
+// incremental chase shares the batch path's whole option set (one
+// builder, see Pipeline.chaseOptions), including the §5.4 predication
+// layer and the root trace span.
+func (d *Delta) CleanIncrementalReport(ctx context.Context) (*Report, error) {
+	ctx, cancel := d.p.withDeadline(ctx)
+	defer cancel()
+	reg := d.p.opts.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	pred := d.p.predication()
+	root := reg.StartSpan("clean.incremental", nil)
+	defer root.End()
+	// Cells validated through Pipeline.Validate since the last clean:
+	// this run didn't touch them, but no prior scan reported them either,
+	// so they join the diff set below.
+	pending := d.p.gamma.TouchedCells()
+	eng := chase.New(d.p.env, d.p.rules, d.p.gamma, d.p.chaseOptions(pred, reg, root))
 	u := eng.Truth()
+	u.StartTouchTracking()
+	chaseRep, err := eng.RunIncrementalCtx(ctx, d.dirty)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Partial:             chaseRep.Partial,
+		UnitErrors:          chaseRep.UnitErrors,
+		ChaseRounds:         chaseRep.Rounds,
+		UnresolvedConflicts: len(chaseRep.Unresolved),
+		OracleCalls:         chaseRep.OracleCalls,
+		Predication:         chaseRep.Predication,
+		PredicationByRound:  chaseRep.PredicationByRound,
+		RoundTrace:          chaseRep.Trace,
+		RuleProfile:         chaseRep.RuleProfile,
+		MLProfile:           chaseRep.MLProfile,
+	}
+	rep.Corrections = d.corrections(eng, u, append(u.TouchedCells(), pending...))
+	eng.Materialize()
+	// The diff consumed the pending validations; restart the window.
+	d.p.gamma.StartTouchTracking()
+	root.End()
+	rep.Metrics = reg.Snapshot()
+	return rep, nil
+}
+
+// corrections diffs exactly the cells this run may have changed — the
+// delta's dirty tuples plus every touched validated cell expanded over
+// its entity class — rather than scanning the whole database per delta
+// (the old O(|D|) hot-spot once small batches stream in). The result is
+// provably the same set: a correction needs a validated cell differing
+// from raw data, and such a discrepancy can only appear at a tuple whose
+// raw values changed (dirty) or whose class gained/extended a validated
+// cell (touched).
+func (d *Delta) corrections(eng *chase.Engine, u *truth.FixSet, touched []truth.TouchedCell) []Correction {
+	seen := make(map[CellRef]bool)
 	var out []Correction
-	for relName, rel := range d.p.db.Relations {
-		for _, t := range rel.Tuples {
+	diffCell := func(relName string, t *Tuple, i int, attr string) {
+		ref := CellRef{Rel: relName, TID: t.TID, Attr: attr}
+		if seen[ref] {
+			return
+		}
+		seen[ref] = true
+		v, ok := u.Cell(relName, t.EID, attr)
+		if !ok || v.Equal(t.Values[i]) {
+			return
+		}
+		out = append(out, Correction{
+			Cell:  ref,
+			Old:   t.Values[i],
+			New:   v,
+			IsNew: t.Values[i].IsNull(),
+		})
+	}
+	// 1. The delta's own tuples: fresh raw values may disagree with any
+	// validated cell of their class, touched or not.
+	for relName, tids := range d.dirty {
+		rel := d.p.db.Rel(relName)
+		if rel == nil {
+			continue
+		}
+		for tid := range tids {
+			t := rel.Get(tid)
+			if t == nil {
+				continue
+			}
 			for i, a := range rel.Schema.Attrs {
-				v, ok := u.Cell(relName, t.EID, a.Name)
-				if !ok || v.Equal(t.Values[i]) {
-					continue
-				}
-				out = append(out, Correction{
-					Cell:  CellRef{Rel: relName, TID: t.TID, Attr: a.Name},
-					Old:   t.Values[i],
-					New:   v,
-					IsNew: t.Values[i].IsNull(),
-				})
+				diffCell(relName, t, i, a.Name)
 			}
 		}
 	}
-	eng.Materialize()
-	return out, chaseRep.Partial, nil
+	// 2. Touched validated cells, expanded to every member tuple of their
+	// entity class through the engine's EID index.
+	for _, tc := range touched {
+		rel := d.p.db.Rel(tc.Rel)
+		if rel == nil {
+			continue
+		}
+		i := rel.Schema.Index(tc.Attr)
+		if i < 0 {
+			continue
+		}
+		for _, member := range u.ClassMembers(tc.EIDRoot) {
+			for _, t := range eng.TuplesByEID(tc.Rel, member) {
+				diffCell(tc.Rel, t, i, tc.Attr)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Cell.String() < out[b].Cell.String()
+	})
+	return out
 }

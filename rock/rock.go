@@ -179,6 +179,15 @@ type Pipeline struct {
 	eidRefs map[string]bool
 	qmon    *quality.Monitor
 
+	// pred is the pipeline's warm §5.4 predication layer, created lazily
+	// when Options.Predication is on and shared across every Clean and
+	// CleanIncremental of the pipeline — so a long-lived pipeline (rockd's
+	// per-tenant state) serves later runs from caches earlier runs filled.
+	// Both caches memoise pure computations (the embedding store is
+	// invalidated per tuple as raw data or fixes change), so results stay
+	// bit-identical to a cold layer.
+	pred *ml.Predication
+
 	ruleSeq int
 }
 
@@ -192,13 +201,29 @@ func NewPipelineWith(db *data.Database, opts Options) *Pipeline {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	gamma := truth.NewFixSet()
+	// Track cells validated between cleans (Pipeline.Validate) so the
+	// incremental corrections diff covers master data added mid-stream.
+	gamma.StartTouchTracking()
 	return &Pipeline{
 		db:      db,
 		env:     predicate.NewEnv(db),
-		gamma:   truth.NewFixSet(),
+		gamma:   gamma,
 		opts:    opts,
 		eidRefs: make(map[string]bool),
 	}
+}
+
+// predication returns the pipeline's warm predication layer, creating it
+// on first use; nil when Options.Predication is off.
+func (p *Pipeline) predication() *ml.Predication {
+	if !p.opts.Predication {
+		return nil
+	}
+	if p.pred == nil {
+		p.pred = ml.NewPredication()
+	}
+	return p.pred
 }
 
 // DB returns the pipeline's database.
@@ -392,6 +417,34 @@ func (p *Pipeline) Detect() ([]DetectedError, error) {
 	return errs, err
 }
 
+// chaseOptions maps the pipeline options onto a chase run. It is the ONE
+// place rock builds chase.Options — both the batch (CleanCtx) and the
+// incremental (Delta.CleanIncrementalCtx) paths call it, so a field added
+// to Options cannot reach one path and silently drop from the other
+// again (the Predication/Pred/Span drift this builder replaced). pred
+// and span may be nil (layer off / spans disabled).
+func (p *Pipeline) chaseOptions(pred *ml.Predication, reg *obs.Registry, span *obs.Span) chase.Options {
+	return chase.Options{
+		Span:         span,
+		Mode:         chase.Unified,
+		Lazy:         p.opts.Lazy,
+		UseBlocking:  p.opts.UseBlocking,
+		Predication:  p.opts.Predication,
+		Pred:         pred,
+		MaxRounds:    p.opts.MaxRounds,
+		Workers:      p.opts.Workers,
+		Parallel:     p.opts.Parallel,
+		Steal:        p.opts.Steal,
+		Obs:          reg,
+		Oracle:       p.opts.Oracle,
+		EIDRefs:      p.eidRefs,
+		MemBudget:    p.opts.MemBudget,
+		SpillDir:     p.opts.SpillDir,
+		MaxRetries:   p.opts.MaxRetries,
+		RetryBackoff: p.opts.RetryBackoff,
+	}
+}
+
 // detectOptions maps the pipeline options onto a detection run.
 func (p *Pipeline) detectOptions(pred *ml.Predication, reg *obs.Registry) detect.Options {
 	o := detect.DefaultOptions()
@@ -539,13 +592,11 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 	if reg == nil {
 		reg = obs.New()
 	}
-	// One predication layer spans the whole run: detection fills the
-	// content-keyed prediction cache, the chase serves from it (and from
-	// its tuple-versioned embedding store) during deduction.
-	var pred *ml.Predication
-	if p.opts.Predication {
-		pred = ml.NewPredication()
-	}
+	// One predication layer spans the whole run (and, on a long-lived
+	// pipeline, every later run): detection fills the content-keyed
+	// prediction cache, the chase serves from it (and from its
+	// tuple-versioned embedding store) during deduction.
+	pred := p.predication()
 	// Root span of the hierarchical trace (recorded only when the
 	// registry has spans enabled): clean → detect/chase → round → unit →
 	// exec → ml.<model>.
@@ -555,28 +606,7 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cOpts := chase.Options{
-		Span:         root,
-		Mode:         chase.Unified,
-		Lazy:         p.opts.Lazy,
-		UseBlocking:  p.opts.UseBlocking,
-		Predication:  p.opts.Predication,
-		Pred:         pred,
-		MaxRounds:    p.opts.MaxRounds,
-		Workers:      p.opts.Workers,
-		Parallel:     p.opts.Parallel,
-		Steal:        p.opts.Steal,
-		Obs:          reg,
-		EIDRefs:      p.eidRefs,
-		MemBudget:    p.opts.MemBudget,
-		SpillDir:     p.opts.SpillDir,
-		MaxRetries:   p.opts.MaxRetries,
-		RetryBackoff: p.opts.RetryBackoff,
-	}
-	if p.opts.Oracle != nil {
-		cOpts.Oracle = p.opts.Oracle
-	}
-	eng := chase.New(p.env, p.rules, p.gamma, cOpts)
+	eng := chase.New(p.env, p.rules, p.gamma, p.chaseOptions(pred, reg, root))
 	chaseRep, err := eng.RunCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -625,6 +655,9 @@ func (p *Pipeline) CleanCtx(ctx context.Context) (*Report, error) {
 		violating += len(e.Cells)
 	}
 	rep.Assessment = quality.Assess(p.db, violating-len(rep.Corrections))
+	// The full scan above covered every pending validation; restart the
+	// between-cleans tracking window.
+	p.gamma.StartTouchTracking()
 	// Close the root span before snapshotting so Report.Metrics carries
 	// the complete trace (End is idempotent; the defer covers error
 	// paths).
