@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/rockclean/rock/internal/cluster/remote"
 	"github.com/rockclean/rock/internal/data"
 	"github.com/rockclean/rock/internal/obs"
 	"github.com/rockclean/rock/internal/workload"
@@ -60,6 +61,7 @@ func usage() {
   rock gen    -app bank|logistics|sales -n N -out DIR   generate a demo dataset (+ curated rules)
   rock clean  -in DIR -rules FILE [-workers N] [-parallel=bool] [-steal=bool]
               [-timeout D] [-retries N] [-mem-budget SIZE] [-spill-dir DIR]
+              [-distributed N] [-workers-addr ADDR]
               [-v] [-metrics-out FILE]
               [-trace-out FILE] [-telemetry ADDR] [-pprof ADDR]
                                                         detect and correct errors in place
@@ -160,6 +162,8 @@ func cmdClean(args []string, correct bool) error {
 	traceOut := fs.String("trace-out", "", "write the run's span tree as Chrome trace-event JSON to FILE (load in Perfetto or chrome://tracing)")
 	telemetry := fs.String("telemetry", "", "serve live telemetry on ADDR (/metrics Prometheus text, /events, /spans, /snapshot JSON) for the duration of the run; use :0 for an ephemeral port")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060) for the duration of the run; shares the -telemetry server when both are set")
+	distributed := fs.Int("distributed", 0, "distribute the chase across N external rockworker processes; the coordinator prints its address, then waits for N workers to connect (launch them with: rockworker -coord ADDR -in DIR -workers W)")
+	workersAddr := fs.String("workers-addr", "127.0.0.1:0", "TCP listen address for worker connections (with -distributed); :0 picks a free port")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,6 +225,29 @@ func cmdClean(args []string, correct bool) error {
 		return err
 	}
 	fmt.Printf("loaded %d relations (%d tuples), %d rules\n", len(db.Relations), db.TupleCount(), len(rules))
+
+	if *distributed > 0 && correct {
+		coord := remote.NewCoordinator(remote.CoordOptions{
+			Addr:        *workersAddr,
+			Workers:     *distributed,
+			Fingerprint: p.Fingerprint(),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "rock: "+format+"\n", args...)
+			},
+		})
+		addr, err := coord.Start()
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		// Print the bound address before blocking on worker connections so
+		// launcher scripts can scrape it and start the workers.
+		fmt.Printf("coordinator listening on %s; waiting for %d worker(s)\n", addr, *distributed)
+		if err := coord.WaitWorkers(context.Background()); err != nil {
+			return err
+		}
+		p.SetCluster(coord)
+	}
 
 	if !correct {
 		errs, err := p.Detect()

@@ -18,7 +18,11 @@
 // serve (the rockd serving-path load test: 64 concurrent HTTP sessions
 // against a warm tenant, reporting cleans/sec and the p95
 // ingest→fix-visible latency — also excluded from `-exp all` since it
-// spins up a live server).
+// spins up a live server), distributed (serial vs cross-process chase
+// over a TCP coordinator and worker replicas, asserting the distributed
+// fix set is bit-identical to serial — excluded from `-exp all` since
+// it binds sockets; `rockbench -exp distributed -json
+// BENCH_distributed.json` records the comparison).
 package main
 
 import (
@@ -32,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, all")
+		exp      = flag.String("exp", "all", "experiment id: fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, distributed, all")
 		n        = flag.Int("n", 400, "base tuples per application dataset")
 		seed     = flag.Int64("seed", 2024, "generator seed")
 		workers  = flag.Int("workers", 4, "default simulated cluster size")

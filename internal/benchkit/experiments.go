@@ -1005,6 +1005,8 @@ func ByID(id string, cfg Config) (*Table, error) {
 		return Scale(cfg)
 	case "serve":
 		return ServeLoad(cfg)
+	case "distributed":
+		return Distributed(cfg)
 	}
-	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, all)", id)
+	return nil, fmt.Errorf("benchkit: unknown experiment %q (want fig4a..fig4l, rules, poly, ablation, predication, steal, faults, profile, scale, serve, distributed, all)", id)
 }

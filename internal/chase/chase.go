@@ -129,6 +129,17 @@ type Options struct {
 	// Faults, when non-nil, injects failures into every parallel round's
 	// drain (tests and the rockbench "faults" experiment only).
 	Faults *cluster.FaultInjector
+	// Cluster, when non-nil, replaces the engine-private in-process worker
+	// pool with a caller-supplied one. When it additionally implements
+	// DistRunner (the remote coordinator does), rounds run distributed:
+	// the engine journals its truth mutations, ships a round preamble to
+	// the worker replicas, submits metadata-only units, and reads the
+	// deduced fixes back from TakeResults — the merge/apply step stays
+	// local and serial, so the result is bit-identical to the in-process
+	// run. Distributed runs require replicas built from the same
+	// deterministic pipeline (same data, rules, models, Workers) and a nil
+	// (or replica-identical deterministic) Oracle.
+	Cluster cluster.Runner
 	// Span, when non-nil, parents the engine's phase span (rock threads
 	// its root "clean" span here). Observed only while the registry has
 	// spans enabled; tracing never changes the chase result.
@@ -308,11 +319,18 @@ type Engine struct {
 	// reuses one partition instead of rebuilding it every round. Reset
 	// when the incremental path absorbs inserts.
 	blocks map[string][][]*data.Tuple
-	// cl is the run-wide worker pool; ring and nodes (borrowed from cl)
-	// simulate work-unit placement for makespan accounting.
-	cl    *cluster.Cluster
-	ring  *crystal.Ring
+	// cl is the run-wide worker pool (in-process by default, the remote
+	// coordinator when Options.Cluster supplies one); nodes (borrowed
+	// from cl) simulate work-unit placement for makespan accounting.
+	cl    cluster.Runner
 	nodes []string
+	// lastAccepted carries the previous round's accepted fixes into the
+	// next distributed round's preamble (workers derive their dirty set
+	// and invalidations from it, mirroring the post-merge bookkeeping).
+	lastAccepted []Fix
+	// follow* hold a worker replica's prepared round (see FollowRound).
+	followWork  []unitWork
+	followDirty map[string]map[int]bool
 	// oracleMemo caches user answers per (rel, entity-class, attr): the
 	// user answers each question once.
 	oracleMemo map[string]data.Value
@@ -383,11 +401,20 @@ func New(env *predicate.Env, rules []*ree.Rule, gamma *truth.FixSet, opts Option
 	}
 	// One worker pool for the whole run: the consistent-hash ring and
 	// scheduler are built once here and drained by every parallel round
-	// (a drain leaves the scheduler empty, so rounds can reuse it).
-	e.cl = cluster.New(opts.Workers)
+	// (a drain leaves the scheduler empty, so rounds can reuse it). A
+	// caller-supplied Runner (the remote coordinator) takes its place.
+	if opts.Cluster != nil {
+		e.cl = opts.Cluster
+	} else {
+		e.cl = cluster.New(opts.Workers)
+	}
 	e.cl.SetObs(e.obs, "chase")
-	e.ring = e.cl.Ring
 	e.nodes = e.cl.Nodes()
+	if _, ok := e.cl.(DistRunner); ok {
+		// Distributed: journal every truth mutation so the next round's
+		// preamble can replicate it to the workers.
+		e.u.StartJournal()
+	}
 	for name, rel := range env.DB.Relations {
 		idx := make(map[string][]*data.Tuple)
 		for _, t := range rel.Tuples {
@@ -810,10 +837,6 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		}
 	}
 	blocks := e.blocks
-	type unitWork struct {
-		rule *ree.Rule
-		unit chaseUnit
-	}
 	type unitResult struct {
 		fixes []Fix
 		st    exec.Stats
@@ -821,12 +844,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		cost  time.Duration
 		done  bool
 	}
-	var work []unitWork
-	for _, r := range ordered {
-		for _, u := range e.unitsFor(r, blocks) {
-			work = append(work, unitWork{rule: r, unit: u})
-		}
-	}
+	work := e.buildWork(ordered, blocks)
 	results := make([]unitResult, len(work))
 	runUnit := func(i int, node string) {
 		w := work[i]
@@ -856,7 +874,60 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		res.done = true
 	}
 	var drain cluster.DrainStats
-	if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
+	if dr, ok := e.cl.(DistRunner); ok && len(work) > 0 {
+		// Distributed round: replicate this round's inputs to the worker
+		// processes (truth journal + last round's accepted fixes + active
+		// rule IDs), submit metadata-only units, and read the deduced fix
+		// buffers back by unit index. The merge below then proceeds exactly
+		// as in-process — fixes are tagged with their generation order (the
+		// unit index), so the result is bit-identical to serial.
+		ids := make([]string, len(ordered))
+		for i, r := range ordered {
+			ids[i] = r.ID
+		}
+		pre := RoundPreamble{
+			Round:    round,
+			RuleIDs:  ids,
+			Journal:  e.u.TakeJournal(),
+			Accepted: e.lastAccepted,
+			UseDirty: dirty != nil,
+			Units:    len(work),
+		}
+		if err := dr.BeginRound(e.ctx, pre); err != nil {
+			return nil, err
+		}
+		for i := range work {
+			w := work[i]
+			est := 1.0
+			for _, blk := range w.unit.restrict {
+				est *= float64(len(blk))
+			}
+			dr.Submit(&crystal.WorkUnit{ID: i, RuleID: w.rule.ID, Part: w.unit.part, EstCost: est})
+		}
+		drain = dr.DrainWithStats(e.ctx, cluster.Options{
+			Steal:        e.opts.Steal,
+			MaxRetries:   e.opts.MaxRetries,
+			RetryBackoff: e.opts.RetryBackoff,
+			Faults:       e.opts.Faults,
+		})
+		for _, out := range dr.TakeResults() {
+			if out.Unit < 0 || out.Unit >= len(results) {
+				continue
+			}
+			results[out.Unit] = unitResult{
+				fixes: out.Fixes,
+				st:    exec.Stats{Valuations: out.Valuations, MLCalls: out.MLCalls},
+				cost:  time.Duration(out.CostNs),
+				done:  true,
+			}
+			// Deduction-side report state travels with the outcome (it was
+			// recorded on the worker replica's report, not ours). TakeResults
+			// is sorted by unit index, so the appends reproduce the serial
+			// recording order.
+			e.report.Unresolved = append(e.report.Unresolved, out.Unresolved...)
+			e.report.ResolvedMI += out.ResolvedMI
+		}
+	} else if e.opts.Parallel && e.opts.Workers > 1 && len(work) > 1 {
 		cl := e.cl
 		for i := range work {
 			i := i
@@ -892,7 +963,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 				e.obs.Inc("chase.cancelled")
 				break
 			}
-			node := e.ring.Owner(work[i].unit.part)
+			node := e.cl.Owner(work[i].unit.part)
 			if ue := e.runUnitShielded(i, node, work[i].rule.ID, work[i].unit.part,
 				func(j int) { runUnit(j, node) }); ue != nil {
 				drain.Panics += ue.Attempts
@@ -947,7 +1018,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 			}
 		}
 		candidates = append(candidates, res.fixes...)
-		sims = append(sims, cluster.SimUnit{Node: e.ring.Owner(work[i].unit.part), Cost: res.cost})
+		sims = append(sims, cluster.SimUnit{Node: e.cl.Owner(work[i].unit.part), Cost: res.cost})
 		unitHist.Observe(res.cost)
 	}
 	e.obs.Add("chase.valuations", uint64(roundVal))
@@ -996,6 +1067,7 @@ func (e *Engine) runRound(rules []*ree.Rule, dirty map[string]map[int]bool) ([]F
 		e.exec.InvalidateTuples(ds)
 		e.exec.MarkShadowed(ds)
 	}
+	e.lastAccepted = accepted
 	if e.pred != nil {
 		e.report.Predication = e.pred.Stats()
 		e.report.PredicationByRound = append(e.report.PredicationByRound, e.report.Predication)

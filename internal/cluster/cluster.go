@@ -16,6 +16,21 @@ import (
 	"github.com/rockclean/rock/internal/obs"
 )
 
+// Runner is the drain/submit surface the chase engine schedules on.
+// The in-process Cluster implements it with goroutine workers; the
+// remote coordinator (internal/cluster/remote) implements it over TCP
+// worker processes. Everything the engine needs — placement (Owner),
+// submission, the barrier drain, and observability routing — goes
+// through this interface so the two are interchangeable.
+type Runner interface {
+	Size() int
+	Nodes() []string
+	Owner(part string) string
+	Submit(u *crystal.WorkUnit)
+	DrainWithStats(ctx context.Context, opts Options) DrainStats
+	SetObs(reg *obs.Registry, prefix string)
+}
+
 // Cluster is a set of named workers sharing a ring and scheduler.
 type Cluster struct {
 	Ring  *crystal.Ring
@@ -84,6 +99,9 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Nodes returns the worker names.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// Owner returns the consistent-hash owner of a partition.
+func (c *Cluster) Owner(part string) string { return c.Ring.Owner(part) }
 
 // Submit assigns a work unit by partition affinity.
 func (c *Cluster) Submit(u *crystal.WorkUnit) { c.Sched.Assign(c.Ring, u) }
@@ -379,7 +397,16 @@ func (c *Cluster) runOne(node string, u *crystal.WorkUnit, d *drainRun, opts Opt
 		c.reg.Inc(c.prefix + ".retries")
 	}
 	if opts.RetryBackoff > 0 {
-		time.Sleep(time.Duration(attempt) * opts.RetryBackoff)
+		// Backoff must yield to cancellation: a cancelled drain with many
+		// retried units would otherwise serialize the full per-unit sleeps
+		// before returning. The unit is still requeued below either way —
+		// the drain's leftover reclaim counts it as Skipped.
+		t := time.NewTimer(time.Duration(attempt) * opts.RetryBackoff)
+		select {
+		case <-t.C:
+		case <-d.ctx.Done():
+			t.Stop()
+		}
 	}
 	target := c.Sched.AssignExcluding(u, c.retryExclusion(node, d))
 	d.mu.Lock()

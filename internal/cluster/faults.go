@@ -16,6 +16,14 @@ import (
 // one-shot state machines: a scheduled panic is consumed per attempt,
 // a node kill triggers once.
 type FaultInjector struct {
+	// ProcessKill, when set, is the injector's "real mode": instead of
+	// simulating a node death inside the process, a triggered KillNode
+	// schedule invokes this hook, which is expected to SIGKILL the actual
+	// worker process behind the node (internal/cluster/remote wires it to
+	// os.Process.Kill). Set it before the drain starts; it is called at
+	// most once per scheduled kill, outside the injector's lock.
+	ProcessKill func(node string)
+
 	mu     sync.Mutex
 	panics map[int]int           // unit ID -> remaining attempts to panic
 	delays map[int]time.Duration // unit ID -> straggler delay
@@ -79,6 +87,21 @@ func (f *FaultInjector) maybePanic(id int) {
 	if n > 0 {
 		panic(fmt.Sprintf("fault injection: unit %d", id))
 	}
+}
+
+// ShouldDie records one executed unit on node and reports whether the
+// node's scheduled kill has now triggered; when it has and ProcessKill
+// is set, the hook fires (real mode — the caller's worker process is
+// killed for real rather than simulated dead). The remote coordinator
+// consults this after every received result.
+func (f *FaultInjector) ShouldDie(node string) bool {
+	if !f.shouldDie(node) {
+		return false
+	}
+	if f.ProcessKill != nil {
+		f.ProcessKill(node)
+	}
+	return true
 }
 
 // shouldDie records one executed unit on node and reports whether the

@@ -276,3 +276,31 @@ func TestVnodeScalingBalancesPlacement(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryBackoffYieldsToCancellation(t *testing.T) {
+	// Regression: the retry backoff used to be an unconditional
+	// time.Sleep, so cancelling a drain mid-backoff still waited the
+	// whole k*RetryBackoff out. With a seconds-scale backoff the drain
+	// must nevertheless return promptly after cancel.
+	c := New(2)
+	f := NewFaultInjector()
+	f.PanicUnit(0, 100) // panics on every attempt, forcing backoffs
+	c.Submit(&crystal.WorkUnit{ID: 0, Part: "p/b", EstCost: 1, Run: func() {}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st := c.DrainWithStats(ctx, Options{
+		Steal: true, MaxRetries: 5, RetryBackoff: 30 * time.Second, Faults: f,
+	})
+	elapsed := time.Since(start)
+	if !st.Cancelled {
+		t.Errorf("drain not marked cancelled: %+v", st)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled drain took %v; backoff ignored cancellation", elapsed)
+	}
+}

@@ -1,0 +1,618 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rockclean/rock/internal/chase"
+	"github.com/rockclean/rock/internal/cluster"
+	"github.com/rockclean/rock/internal/crystal"
+	"github.com/rockclean/rock/internal/obs"
+)
+
+// CoordOptions configures a Coordinator.
+type CoordOptions struct {
+	// Addr is the TCP listen address; ":0" picks a free port (read the
+	// bound address back with Addr() after Start).
+	Addr string
+	// Workers is the number of worker processes expected to connect.
+	Workers int
+	// Fingerprint digests this process's replica inputs; workers whose
+	// hello carries a different fingerprint are rejected.
+	Fingerprint string
+	// HeartbeatTimeout is how long a worker connection may stay silent
+	// (no heartbeat, ack or result) before the coordinator declares it
+	// dead and redistributes its queue. Default 5s.
+	HeartbeatTimeout time.Duration
+	// AcceptTimeout bounds WaitWorkers. Default 30s.
+	AcceptTimeout time.Duration
+	// MaxFrame bounds received frame payloads (DefaultMaxFrame when 0).
+	MaxFrame int
+	// Logf, when set, receives progress lines (worker joins, deaths,
+	// reassignments).
+	Logf func(format string, args ...any)
+}
+
+func (o CoordOptions) withDefaults() CoordOptions {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 5 * time.Second
+	}
+	if o.AcceptTimeout <= 0 {
+		o.AcceptTimeout = 30 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// event is one message (or death notice) from a worker's reader
+// goroutine, serialized onto the coordinator's event channel.
+type event struct {
+	node string
+	env  envelope
+	err  error // non-nil: the connection died (EOF, reset, heartbeat timeout)
+}
+
+// workerConn is one connected worker process.
+type workerConn struct {
+	name    string
+	meta    string // worker-supplied identity from the hello (e.g. its PID)
+	conn    net.Conn
+	writeMu sync.Mutex // WriteFrame is a single Write, but serialize anyway
+	alive   bool
+}
+
+func (w *workerConn) send(env envelope) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	return writeMsg(w.conn, env)
+}
+
+// Coordinator owns the truth ledger side of a distributed chase: it
+// accepts worker connections, runs the round barrier (BeginRound),
+// assigns work units to workers by partition affinity, collects
+// deduction buffers, and survives worker deaths by redistributing
+// their queues. It implements both cluster.Runner and chase.DistRunner
+// — hand it to rock.Options.Cluster (or Pipeline.SetCluster) and the
+// engine schedules rounds on it instead of the in-process pool.
+type Coordinator struct {
+	opts CoordOptions
+	ln   net.Listener
+	ring *crystal.Ring
+
+	mu      sync.Mutex
+	workers map[string]*workerConn
+	order   []string // names in connection order ("worker-0".."worker-N-1")
+
+	events chan event
+
+	round    int
+	units    map[int]*crystal.WorkUnit // Submit buffer for the current round
+	outcomes []chase.UnitOutcome
+
+	reg    *obs.Registry
+	prefix string
+}
+
+// NewCoordinator creates an unstarted coordinator.
+func NewCoordinator(opts CoordOptions) *Coordinator {
+	opts = opts.withDefaults()
+	return &Coordinator{
+		opts:    opts,
+		ring:    crystal.NewRing(32),
+		workers: make(map[string]*workerConn),
+		events:  make(chan event, 256),
+		units:   make(map[int]*crystal.WorkUnit),
+	}
+}
+
+// Start binds the listener and returns the bound address — call it
+// before launching workers so ":0" deployments can hand the real
+// address to the worker processes.
+func (c *Coordinator) Start() (string, error) {
+	ln, err := net.Listen("tcp", c.opts.Addr)
+	if err != nil {
+		return "", fmt.Errorf("remote: listen %s: %w", c.opts.Addr, err)
+	}
+	c.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// WaitWorkers accepts connections until the expected worker count is
+// reached, verifying each hello's fingerprint and assigning names in
+// connection order. It must complete before the coordinator is handed
+// to the engine.
+func (c *Coordinator) WaitWorkers(ctx context.Context) error {
+	if c.ln == nil {
+		if _, err := c.Start(); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(c.opts.AcceptTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for i := 0; i < c.opts.Workers; i++ {
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("remote: accepting worker %d/%d: %w", i, c.opts.Workers, err)
+		}
+		name := fmt.Sprintf("worker-%d", i)
+		meta, err := c.handshake(conn, name, deadline)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		w := &workerConn{name: name, meta: meta, conn: conn, alive: true}
+		c.mu.Lock()
+		c.workers[name] = w
+		c.order = append(c.order, name)
+		c.mu.Unlock()
+		c.ring.AddNode(name)
+		go c.reader(w)
+		c.opts.Logf("remote: %s joined from %s", name, conn.RemoteAddr())
+	}
+	return nil
+}
+
+func (c *Coordinator) handshake(conn net.Conn, name string, deadline time.Time) (string, error) {
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	env, err := readMsg(conn, c.opts.MaxFrame)
+	if err != nil {
+		return "", fmt.Errorf("remote: reading hello: %w", err)
+	}
+	if env.Type != mtHello || env.Hello == nil {
+		return "", fmt.Errorf("remote: expected hello, got %q", env.Type)
+	}
+	if env.Hello.Fingerprint != c.opts.Fingerprint {
+		writeMsg(conn, envelope{Type: mtHelloAck, Ack: &helloAckMsg{
+			Err: fmt.Sprintf("fingerprint mismatch: coordinator %q, worker %q",
+				c.opts.Fingerprint, env.Hello.Fingerprint),
+		}})
+		return "", fmt.Errorf("remote: worker fingerprint %q != coordinator %q",
+			env.Hello.Fingerprint, c.opts.Fingerprint)
+	}
+	return env.Hello.Name, writeMsg(conn, envelope{Type: mtHelloAck, Ack: &helloAckMsg{Name: name}})
+}
+
+// WorkerMeta returns the identity string the named worker supplied in
+// its hello (cmd/rockworker sends its PID — FaultInjector.ProcessKill
+// hooks resolve the OS process to SIGKILL through it).
+func (c *Coordinator) WorkerMeta(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[name]; w != nil {
+		return w.meta
+	}
+	return ""
+}
+
+// reader pumps one worker's messages onto the event channel. The read
+// deadline doubles as the heartbeat monitor: workers heartbeat every
+// HeartbeatInterval, so a connection silent for HeartbeatTimeout is a
+// dead process (SIGKILL produces EOF/RST even sooner).
+func (c *Coordinator) reader(w *workerConn) {
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
+		env, err := readMsg(w.conn, c.opts.MaxFrame)
+		if err != nil {
+			c.events <- event{node: w.name, err: err}
+			return
+		}
+		if env.Type == mtHeartbeat {
+			continue
+		}
+		c.events <- event{node: w.name, env: env}
+	}
+}
+
+// liveWorkers returns the alive workers in connection order.
+func (c *Coordinator) liveWorkers() []*workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*workerConn
+	for _, name := range c.order {
+		if w := c.workers[name]; w != nil && w.alive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) worker(name string) *workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[name]
+}
+
+// markDead transitions a worker to dead (idempotent) and reports
+// whether this call made the transition.
+func (c *Coordinator) markDead(name string) bool {
+	c.mu.Lock()
+	w := c.workers[name]
+	dead := w != nil && w.alive
+	if dead {
+		w.alive = false
+	}
+	c.mu.Unlock()
+	if dead {
+		w.conn.Close()
+		c.ring.RemoveNode(name)
+		if c.reg != nil {
+			c.reg.Counter(c.prefix + ".remote.worker_deaths").Inc()
+		}
+		c.opts.Logf("remote: %s declared dead", name)
+	}
+	return dead
+}
+
+// --- cluster.Runner ---
+
+// Size returns the configured worker count.
+func (c *Coordinator) Size() int { return c.opts.Workers }
+
+// Nodes returns the worker names in connection order (the stable node
+// set; deaths do not shrink it — placement just avoids dead workers).
+func (c *Coordinator) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Owner returns the live worker owning the partition by consistent
+// hash, or "" when every worker is dead.
+func (c *Coordinator) Owner(part string) string { return c.ring.Owner(part) }
+
+// Submit buffers one work unit's metadata for the current round. The
+// unit's Run/RunOn closures are never invoked — execution happens on
+// the worker replica, addressed by the unit's ID (its index in the
+// round's deterministic work list).
+func (c *Coordinator) Submit(u *crystal.WorkUnit) {
+	c.units[u.ID] = u
+}
+
+// SetObs wires drain counters into the registry.
+func (c *Coordinator) SetObs(reg *obs.Registry, prefix string) {
+	c.reg, c.prefix = reg, prefix
+}
+
+// --- chase.DistRunner ---
+
+// BeginRound ships the round preamble to every live worker and
+// collects their acks. An ack error or unit-count mismatch means a
+// replica diverged and aborts the run; a worker death during the
+// barrier is tolerated while survivors remain.
+func (c *Coordinator) BeginRound(ctx context.Context, pre chase.RoundPreamble) error {
+	c.round = pre.Round
+	c.units = make(map[int]*crystal.WorkUnit)
+	c.outcomes = nil
+
+	rm := toWirePreamble(pre)
+	env := envelope{Type: mtRound, Round: &rm}
+	waiting := map[string]bool{}
+	for _, w := range c.liveWorkers() {
+		if err := w.send(env); err != nil {
+			c.markDead(w.name)
+			continue
+		}
+		waiting[w.name] = true
+	}
+	if len(waiting) == 0 {
+		return fmt.Errorf("remote: round %d: no live workers", pre.Round)
+	}
+	for len(waiting) > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-c.events:
+			if ev.err != nil {
+				if c.markDead(ev.node) {
+					delete(waiting, ev.node)
+				}
+				if len(c.liveWorkers()) == 0 {
+					return fmt.Errorf("remote: round %d: all workers died during barrier (last: %s: %v)",
+						pre.Round, ev.node, ev.err)
+				}
+				continue
+			}
+			if ev.env.Type != mtRoundAck || ev.env.RAck == nil {
+				continue // stale result from a reassigned unit of the previous round
+			}
+			ack := ev.env.RAck
+			if ack.Round != pre.Round {
+				continue
+			}
+			if ack.Err != "" {
+				return fmt.Errorf("remote: round %d: %s rejected preamble: %s", pre.Round, ev.node, ack.Err)
+			}
+			if ack.Units != pre.Units {
+				return fmt.Errorf("remote: round %d: %s derived %d units, coordinator has %d (replica diverged)",
+					pre.Round, ev.node, ack.Units, pre.Units)
+			}
+			delete(waiting, ev.node)
+		}
+	}
+	return nil
+}
+
+// TakeResults returns the outcomes collected by the last drain, sorted
+// by unit index (the serial generation order), and resets the buffer.
+func (c *Coordinator) TakeResults() []chase.UnitOutcome {
+	out := c.outcomes
+	c.outcomes = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit < out[j].Unit })
+	return out
+}
+
+// DrainWithStats assigns the submitted units to workers by partition
+// affinity and consumes results until every unit is resolved, the
+// context is cancelled, or no workers survive. Worker deaths —
+// heartbeat timeouts, connection errors, or fault-injected kills —
+// redistribute the dead worker's incomplete queue across survivors.
+func (c *Coordinator) DrainWithStats(ctx context.Context, opts cluster.Options) cluster.DrainStats {
+	stats := cluster.DrainStats{PerNode: map[string]int{}, Queued: len(c.units)}
+
+	// Deterministic assignment pass: sorted unit IDs, each placed on its
+	// partition's ring owner (ring holds live workers only).
+	ids := make([]int, 0, len(c.units))
+	for id := range c.units {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	assigned := map[string][]int{} // worker -> unit IDs
+	unitHome := map[int]string{}   // unit ID -> current worker
+	done := map[int]bool{}
+	attempts := map[int]int{}
+	live := c.liveWorkers()
+	if len(live) == 0 {
+		for _, id := range ids {
+			u := c.units[id]
+			stats.Failed = append(stats.Failed, cluster.UnitError{
+				UnitID: id, RuleID: u.RuleID, Part: u.Part,
+				Attempts: 0, Err: fmt.Errorf("no surviving worker"),
+			})
+		}
+		return stats
+	}
+	rr := 0
+	for _, id := range ids {
+		owner := c.ring.Owner(c.units[id].Part)
+		if owner == "" || c.worker(owner) == nil || !c.worker(owner).alive {
+			owner = live[rr%len(live)].name
+			rr++
+		}
+		assigned[owner] = append(assigned[owner], id)
+		unitHome[id] = owner
+	}
+	// Rebalance pass — the remote analogue of work stealing. HashObject
+	// co-locates every unit of a relation on one ring owner, which is
+	// right for cache locality but can leave workers idle on datasets
+	// with few relations; with stealing enabled, excess units above an
+	// even share move (deterministically: donors shed their tail, takers
+	// fill in connection order) to under-loaded live workers. Placement
+	// never affects results — only which replica computes a buffer.
+	if opts.Steal && len(live) > 1 {
+		target := (len(ids) + len(live) - 1) / len(live)
+		var excess []int
+		for _, w := range live {
+			if n := len(assigned[w.name]); n > target {
+				excess = append(excess, assigned[w.name][target:]...)
+				assigned[w.name] = assigned[w.name][:target]
+			}
+		}
+		sort.Ints(excess)
+		stats.Steals = len(excess)
+		for _, w := range live {
+			for len(assigned[w.name]) < target && len(excess) > 0 {
+				id := excess[0]
+				excess = excess[1:]
+				assigned[w.name] = append(assigned[w.name], id)
+				unitHome[id] = w.name
+			}
+		}
+	}
+	for _, w := range live {
+		if len(assigned[w.name]) == 0 {
+			continue
+		}
+		if err := w.send(envelope{Type: mtAssign, Assign: &assignMsg{Round: c.round, Units: assigned[w.name]}}); err != nil {
+			c.deadAndReassign(w.name, unitHome, done, &stats)
+		}
+	}
+
+	// Failed units are marked done when they are given up, so pending
+	// counts exactly the units still awaiting a result.
+	pending := func() int {
+		n := 0
+		for _, id := range ids {
+			if !done[id] {
+				n++
+			}
+		}
+		return n
+	}
+
+	for pending() > 0 {
+		select {
+		case <-ctx.Done():
+			stats.Cancelled = true
+			stats.Skipped = pending()
+			return stats
+		case ev := <-c.events:
+			if ev.err != nil {
+				if c.markDead(ev.node) {
+					stats.Killed = append(stats.Killed, ev.node)
+					c.reassignFrom(ev.node, unitHome, done, &stats)
+				}
+				continue
+			}
+			if ev.env.Type != mtResult || ev.env.Result == nil {
+				continue
+			}
+			res := ev.env.Result
+			if res.Round != c.round || done[res.Unit] {
+				continue // stale round, or duplicate after a reassignment race
+			}
+			if res.Err != "" {
+				attempts[res.Unit]++
+				u := c.units[res.Unit]
+				stats.Panics++
+				if attempts[res.Unit] <= opts.MaxRetries {
+					if c.retryElsewhere(res.Unit, ev.node, unitHome, &stats) {
+						stats.Retries++
+						continue
+					}
+				}
+				stats.Failed = append(stats.Failed, cluster.UnitError{
+					UnitID: res.Unit, RuleID: u.RuleID, Part: u.Part, Node: ev.node,
+					Attempts: attempts[res.Unit], Err: fmt.Errorf("%s", res.Err),
+				})
+				done[res.Unit] = true
+				continue
+			}
+			done[res.Unit] = true
+			stats.PerNode[ev.node]++
+			c.outcomes = append(c.outcomes, chase.UnitOutcome{
+				Unit: res.Unit, Fixes: fromWireFixes(res.Fixes),
+				Unresolved: fromWireUnres(res.Unresolved), ResolvedMI: res.ResolvedMI,
+				Valuations: res.Valuations, MLCalls: res.MLCalls,
+				CostNs: res.CostNs, Node: ev.node,
+			})
+			if c.reg != nil {
+				c.reg.Counter(c.prefix + ".remote.results").Inc()
+			}
+			// Fault injection: a scheduled kill on this node fires after the
+			// unit count it was configured with. Real mode (ProcessKill set)
+			// SIGKILLs the actual process inside ShouldDie and detection
+			// happens the honest way — EOF/RST or heartbeat timeout on the
+			// reader; simulated mode closes the connection here, which the
+			// reader reports as a death through the same path.
+			if opts.Faults != nil && opts.Faults.ShouldDie(ev.node) {
+				if opts.Faults.ProcessKill == nil {
+					if w := c.worker(ev.node); w != nil {
+						w.conn.Close()
+					}
+				}
+			}
+		}
+	}
+	c.opts.Logf("remote: round %d drained: per-node %v, reassigned %d, killed %v",
+		c.round, stats.PerNode, stats.Reassigned, stats.Killed)
+	return stats
+}
+
+// deadAndReassign marks a worker dead and moves its incomplete units.
+func (c *Coordinator) deadAndReassign(name string, unitHome map[int]string, done map[int]bool, stats *cluster.DrainStats) {
+	if c.markDead(name) {
+		stats.Killed = append(stats.Killed, name)
+		c.reassignFrom(name, unitHome, done, stats)
+	}
+}
+
+// reassignFrom redistributes a dead worker's incomplete units across
+// the survivors (round-robin in connection order); with no survivors
+// the units are reported failed.
+func (c *Coordinator) reassignFrom(deadNode string, unitHome map[int]string, done map[int]bool, stats *cluster.DrainStats) {
+	var orphans []int
+	for id, home := range unitHome {
+		if home == deadNode && !done[id] {
+			orphans = append(orphans, id)
+		}
+	}
+	sort.Ints(orphans)
+	if len(orphans) == 0 {
+		return
+	}
+	live := c.liveWorkers()
+	if len(live) == 0 {
+		for _, id := range orphans {
+			u := c.units[id]
+			stats.Failed = append(stats.Failed, cluster.UnitError{
+				UnitID: id, RuleID: u.RuleID, Part: u.Part, Node: deadNode,
+				Err: fmt.Errorf("no surviving worker"),
+			})
+			done[id] = true
+		}
+		return
+	}
+	moved := map[string][]int{}
+	for i, id := range orphans {
+		w := live[i%len(live)]
+		moved[w.name] = append(moved[w.name], id)
+		unitHome[id] = w.name
+	}
+	for name, us := range moved {
+		w := c.worker(name)
+		if err := w.send(envelope{Type: mtAssign, Assign: &assignMsg{Round: c.round, Units: us}}); err != nil {
+			c.deadAndReassign(name, unitHome, done, stats)
+			continue
+		}
+		stats.Reassigned += len(us)
+		c.opts.Logf("remote: reassigned %d unit(s) from %s to %s", len(us), deadNode, name)
+	}
+	if c.reg != nil {
+		c.reg.Counter(c.prefix + ".remote.reassigned").Add(uint64(len(orphans)))
+	}
+}
+
+// retryElsewhere re-sends a failed unit to a live worker other than
+// the one it failed on; it reports whether a retry was scheduled.
+func (c *Coordinator) retryElsewhere(unit int, failedOn string, unitHome map[int]string, stats *cluster.DrainStats) bool {
+	for _, w := range c.liveWorkers() {
+		if w.name == failedOn {
+			continue
+		}
+		if err := w.send(envelope{Type: mtAssign, Assign: &assignMsg{Round: c.round, Units: []int{unit}}}); err != nil {
+			continue
+		}
+		unitHome[unit] = w.name
+		stats.Reassigned++
+		return true
+	}
+	// Sole survivor: retry on the same node (a panic may be transient).
+	if w := c.worker(failedOn); w != nil && w.alive {
+		if err := w.send(envelope{Type: mtAssign, Assign: &assignMsg{Round: c.round, Units: []int{unit}}}); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Close tears down every worker connection and the listener; workers
+// observe EOF and exit cleanly.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	for _, w := range c.workers {
+		w.alive = false
+		w.conn.Close()
+	}
+	c.mu.Unlock()
+	if c.ln != nil {
+		return c.ln.Close()
+	}
+	return nil
+}

@@ -63,6 +63,11 @@ type Config struct {
 	CleanTimeout time.Duration
 	// SpanCap is the per-tenant retained-span ring size.
 	SpanCap int
+	// MaxFixLedger caps the per-tenant retained fix ledger. When a batch
+	// pushes the ledger past the cap the oldest entries are truncated;
+	// ?since= indices remain stable because they are absolute positions
+	// (the tenant tracks how many entries were dropped). 0 = default.
+	MaxFixLedger int
 }
 
 // DefaultConfig returns serving defaults sized for small tenants.
@@ -74,6 +79,7 @@ func DefaultConfig() Config {
 		MaxTuples:    0,
 		CleanTimeout: 30 * time.Second,
 		SpanCap:      4096,
+		MaxFixLedger: 65536,
 	}
 }
 
@@ -93,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpanCap <= 0 {
 		c.SpanCap = d.SpanCap
+	}
+	if c.MaxFixLedger <= 0 {
+		c.MaxFixLedger = d.MaxFixLedger
 	}
 	return c
 }
@@ -354,9 +363,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *Tenant)
 // ---- reads ----
 
 // FixesResponse is the fix ledger past ?since=, plus the watermark.
+// Total counts every fix ever applied; Offset is the index of the
+// oldest entry still retained (entries before it were truncated by
+// Config.MaxFixLedger). ?since= indices are absolute, so a cursor of
+// Total stays valid across truncations.
 type FixesResponse struct {
 	Applied uint64      `json:"applied"`
 	Total   int         `json:"total"`
+	Offset  int         `json:"offset,omitempty"`
 	Fixes   []FixRecord `json:"fixes"`
 }
 
@@ -405,8 +419,8 @@ func (s *Server) handleFixes(w http.ResponseWriter, r *http.Request, t *Tenant) 
 		}
 		since = n
 	}
-	fixes, applied := t.fixesSince(since)
-	writeJSON(w, http.StatusOK, FixesResponse{Applied: applied, Total: since + len(fixes), Fixes: fixes})
+	fixes, applied, total, offset := t.fixesSince(since)
+	writeJSON(w, http.StatusOK, FixesResponse{Applied: applied, Total: total, Offset: offset, Fixes: fixes})
 }
 
 // QueryResponse is one cleaned tuple.

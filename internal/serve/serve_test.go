@@ -219,7 +219,7 @@ func TestGracefulDrain(t *testing.T) {
 	s.mu.Lock()
 	acme := s.tenants["acme"]
 	s.mu.Unlock()
-	fixes, applied := acme.fixesSince(0)
+	fixes, applied, _, _ := acme.fixesSince(0)
 	if applied < ing.Token {
 		t.Fatalf("drain left applied=%d behind token=%d", applied, ing.Token)
 	}

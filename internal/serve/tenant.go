@@ -69,6 +69,7 @@ type Tenant struct {
 	pending    int // queued ops not yet materialized
 	tuples     int // tenant tuple count (quota accounting)
 	fixes      []FixRecord
+	fixOffset  int // ledger entries truncated so far; ?since= indices are absolute
 	draining   bool
 
 	kick chan struct{}
@@ -195,7 +196,11 @@ func (t *Tenant) maybeFlush(force bool) {
 func (t *Tenant) runBatch(ops []op, hi uint64) {
 	t.runMu.Lock()
 	d := t.p.NewDelta()
-	applyErrs := 0
+	// insertErrs is tracked separately from update failures: enqueue
+	// charged the tuple quota for every insert in the batch, so each
+	// insert that never materializes must be refunded below or the
+	// tenant's quota leaks until restart.
+	applyErrs, insertErrs := 0, 0
 	for _, o := range ops {
 		if o.update {
 			if !d.Update(o.rel, o.tid, o.attr, o.val) {
@@ -203,6 +208,7 @@ func (t *Tenant) runBatch(ops []op, hi uint64) {
 			}
 		} else if d.Insert(o.rel, o.eid, o.values...) == nil {
 			applyErrs++
+			insertErrs++
 		}
 	}
 	start := time.Now()
@@ -222,6 +228,14 @@ func (t *Tenant) runBatch(ops []op, hi uint64) {
 	defer t.mu.Unlock()
 	if applyErrs > 0 {
 		t.reg.Add("serve.apply.errors", uint64(applyErrs))
+	}
+	if insertErrs > 0 {
+		// Refund quota for inserts that never landed. Failed updates cost
+		// nothing (enqueue only charges inserts), and a whole-clean error
+		// does not refund: Delta.Insert mutates the database immediately,
+		// so successfully inserted tuples persist even when the clean fails.
+		t.tuples -= insertErrs
+		t.reg.SetGauge("serve.tuples", int64(t.tuples))
 	}
 	if err != nil {
 		t.reg.Inc("serve.batch.errors")
@@ -273,10 +287,20 @@ func (t *Tenant) renderFixes(seq uint64, cs []rock.Correction) []FixRecord {
 	return recs
 }
 
-// appendFixes records rendered corrections in the ledger. Caller holds
-// t.mu.
+// appendFixes records rendered corrections in the ledger and truncates
+// the oldest entries past Config.MaxFixLedger, advancing fixOffset so
+// absolute ?since= cursors survive the truncation. Caller holds t.mu.
 func (t *Tenant) appendFixes(recs []FixRecord) {
 	t.fixes = append(t.fixes, recs...)
+	if limit := t.cfg.MaxFixLedger; limit > 0 && len(t.fixes) > limit {
+		drop := len(t.fixes) - limit
+		t.fixOffset += drop
+		// Reallocate rather than re-slice so the dropped records' backing
+		// array is actually released.
+		t.fixes = append([]FixRecord(nil), t.fixes[drop:]...)
+		t.reg.Add("serve.fixes.truncated", uint64(drop))
+		t.reg.SetGauge("serve.fixes.offset", int64(t.fixOffset))
+	}
 	t.reg.Add("serve.fixes.applied", uint64(len(recs)))
 }
 
@@ -321,21 +345,24 @@ func (t *Tenant) waitApplied(ctx context.Context, token uint64) error {
 	}
 }
 
-// fixesSince returns the ledger entries after the first `since` ones,
-// with the current watermark.
-func (t *Tenant) fixesSince(since int) ([]FixRecord, uint64) {
+// fixesSince returns the ledger entries at absolute index >= since,
+// with the current watermark, the all-time fix count, and the oldest
+// retained index. A since that predates the retained window is clamped
+// to the window start (those entries were truncated and are gone).
+func (t *Tenant) fixesSince(since int) ([]FixRecord, uint64, int, int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.reg.Inc("serve.reads.fixes")
-	if since < 0 {
-		since = 0
+	total := t.fixOffset + len(t.fixes)
+	if since < t.fixOffset {
+		since = t.fixOffset
 	}
-	if since > len(t.fixes) {
-		since = len(t.fixes)
+	if since > total {
+		since = total
 	}
-	out := make([]FixRecord, len(t.fixes)-since)
-	copy(out, t.fixes[since:])
-	return out, t.applied
+	out := make([]FixRecord, total-since)
+	copy(out, t.fixes[since-t.fixOffset:])
+	return out, t.applied, total, t.fixOffset
 }
 
 // readTuple snapshots one tuple's current (cleaned) values.

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQuotaRefundOnFailedInsert: enqueue charges the tuple quota for
+// every insert in the batch, so inserts that fail to materialize in
+// runBatch must be refunded — otherwise the quota leaks until restart
+// and eventually every ingest gets a spurious 413.
+func TestQuotaRefundOnFailedInsert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = time.Hour // flush manually
+	s, _ := testServer(t, cfg)
+	tn, err := s.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tn.mu.Lock()
+	before := tn.tuples
+	tn.mu.Unlock()
+
+	// Two inserts against a relation the engine does not know: admission
+	// charges quota for both, Delta.Insert rejects both.
+	ops := []op{
+		{rel: "NoSuchRel", eid: "x-1"},
+		{rel: "NoSuchRel", eid: "x-2"},
+	}
+	if _, _, err := tn.enqueue(ops, 2); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	tn.mu.Lock()
+	charged := tn.tuples
+	tn.mu.Unlock()
+	if charged != before+2 {
+		t.Fatalf("after enqueue: tuples=%d, want %d", charged, before+2)
+	}
+
+	tn.maybeFlush(true)
+
+	tn.mu.Lock()
+	after := tn.tuples
+	tn.mu.Unlock()
+	if after != before {
+		t.Fatalf("quota leak: tuples=%d after failed inserts, want %d", after, before)
+	}
+}
+
+// TestFixLedgerCapRetainsOffsets: truncating the ledger at
+// MaxFixLedger must keep absolute ?since= cursors stable — a client
+// resuming from a previously returned Total gets exactly the new
+// entries, never re-reads, never skips what is still retained.
+func TestFixLedgerCapRetainsOffsets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFixLedger = 4
+	s, _ := testServer(t, cfg)
+	tn, err := s.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := func(from, n int) []FixRecord {
+		out := make([]FixRecord, n)
+		for i := range out {
+			out[i] = FixRecord{Cell: fmt.Sprintf("c%d", from+i)}
+		}
+		return out
+	}
+
+	tn.mu.Lock()
+	tn.appendFixes(recs(0, 6)) // c0..c5; cap 4 drops c0,c1
+	tn.mu.Unlock()
+
+	fixes, _, total, offset := tn.fixesSince(0)
+	if total != 6 || offset != 2 {
+		t.Fatalf("after first truncation: total=%d offset=%d, want 6/2", total, offset)
+	}
+	if len(fixes) != 4 || fixes[0].Cell != "c2" || fixes[3].Cell != "c5" {
+		t.Fatalf("retained window wrong: %v", fixes)
+	}
+
+	// An absolute cursor keeps meaning the same entry after truncation.
+	fixes, _, _, _ = tn.fixesSince(5)
+	if len(fixes) != 1 || fixes[0].Cell != "c5" {
+		t.Fatalf("since=5: %v, want [c5]", fixes)
+	}
+	if fixes, _, _, _ = tn.fixesSince(6); len(fixes) != 0 {
+		t.Fatalf("since=total: %v, want empty", fixes)
+	}
+
+	// More appends advance the window; an up-to-date cursor still only
+	// sees the new entries.
+	tn.mu.Lock()
+	tn.appendFixes(recs(6, 2)) // c6,c7; drops c2,c3
+	tn.mu.Unlock()
+	fixes, _, total, offset = tn.fixesSince(6)
+	if total != 8 || offset != 4 {
+		t.Fatalf("after second truncation: total=%d offset=%d, want 8/4", total, offset)
+	}
+	if len(fixes) != 2 || fixes[0].Cell != "c6" || fixes[1].Cell != "c7" {
+		t.Fatalf("since=6: %v, want [c6 c7]", fixes)
+	}
+
+	// A stale cursor pointing into the truncated prefix is clamped to
+	// the oldest retained entry rather than erroring or wrapping.
+	fixes, _, _, _ = tn.fixesSince(0)
+	if len(fixes) != 4 || fixes[0].Cell != "c4" {
+		t.Fatalf("stale cursor: %v, want window starting at c4", fixes)
+	}
+}

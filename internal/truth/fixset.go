@@ -169,6 +169,11 @@ type FixSet struct {
 	// instead of scanning the whole database (see rock.CleanIncremental).
 	touched map[cellKey]bool
 
+	// journal, when non-nil, records every successful mutation as a
+	// replayable Op (see journal.go) — the replication log of the
+	// distributed chase.
+	journal []Op
+
 	// counters for reporting
 	merges, cellFixes, orderFixes int
 }
@@ -304,6 +309,7 @@ func (f *FixSet) MergeEIDs(a, b string) (changed bool, conflict *Conflict) {
 		}
 	}
 	f.merges++
+	f.record(Op{Kind: OpMergeEIDs, A: a, B: b})
 	return true, nil
 }
 
@@ -318,6 +324,7 @@ func (f *FixSet) SeparateEIDs(a, b string) (changed bool, conflict *Conflict) {
 		return false, nil
 	}
 	f.neq[p] = true
+	f.record(Op{Kind: OpSeparateEIDs, A: a, B: b})
 	return true, nil
 }
 
@@ -334,6 +341,7 @@ func (f *FixSet) SetCell(rel, eid, attr string, v data.Value) (changed bool, con
 	f.cells[k] = v
 	f.touch(k)
 	f.cellFixes++
+	f.record(Op{Kind: OpSetCell, Rel: rel, Attr: attr, A: eid, Value: v})
 	return true, nil
 }
 
@@ -363,6 +371,7 @@ func (f *FixSet) ReplaceCell(rel, eid, attr string, v data.Value) {
 	k := cellKey{rel, attr, f.eids.Find(eid)}
 	f.cells[k] = v
 	f.touch(k)
+	f.record(Op{Kind: OpReplaceCell, Rel: rel, Attr: attr, A: eid, Value: v})
 }
 
 // ClassMembers returns every EID validated identical to eid (including
@@ -374,6 +383,10 @@ func (f *FixSet) ClassMembers(eid string) []string { return f.eids.Members(eid) 
 // TD conflict resolution to rebuild an order after retracting a losing fix.
 func (f *FixSet) ReplaceOrder(rel, attr string, o *data.TemporalOrder) {
 	f.orders[rel+"."+attr] = o
+	if f.journal != nil {
+		pairs, strict := encodeOrder(o)
+		f.record(Op{Kind: OpReplaceOrder, Rel: rel, Attr: attr, OrderPairs: pairs, OrderStrict: strict})
+	}
 }
 
 // Order returns (creating if needed) the validated order for rel.attr.
@@ -409,6 +422,7 @@ func (f *FixSet) AddOrder(rel, attr string, olderTID, newerTID int, strict bool)
 		}
 		o.AddStrict(olderTID, newerTID)
 		f.orderFixes++
+		f.record(Op{Kind: OpAddOrder, Rel: rel, Attr: attr, TID1: olderTID, TID2: newerTID, Strict: true})
 		return true, nil
 	}
 	if o.Less(newerTID, olderTID) {
@@ -419,6 +433,7 @@ func (f *FixSet) AddOrder(rel, attr string, olderTID, newerTID int, strict bool)
 	}
 	o.AddWeak(olderTID, newerTID)
 	f.orderFixes++
+	f.record(Op{Kind: OpAddOrder, Rel: rel, Attr: attr, TID1: olderTID, TID2: newerTID, Strict: false})
 	return true, nil
 }
 

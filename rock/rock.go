@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/rockclean/rock/internal/chase"
@@ -158,6 +159,12 @@ type Options struct {
 	// RetryBackoff is the base backoff before a unit retry (attempt k
 	// sleeps k*RetryBackoff).
 	RetryBackoff time.Duration
+	// Cluster, when set, replaces the in-process worker pool with an
+	// external drain/submit implementation — in particular a
+	// cluster/remote.Coordinator, which distributes chase rounds across
+	// real worker processes (see README "Distributed mode"). Distributed
+	// runs support batch Clean only and require a nil Oracle.
+	Cluster cluster.Runner
 }
 
 // DefaultOptions returns Rock's shipped configuration.
@@ -417,6 +424,48 @@ func (p *Pipeline) Detect() ([]DetectedError, error) {
 	return errs, err
 }
 
+// SetCluster installs an external cluster runner (typically a
+// cluster/remote.Coordinator after its WaitWorkers completed) on an
+// already-built pipeline — the distributed entry point for callers
+// that only learn the worker set after construction.
+func (p *Pipeline) SetCluster(cl cluster.Runner) { p.opts.Cluster = cl }
+
+// Fingerprint digests the pipeline inputs that must be identical on
+// every replica of a distributed run: the partition count, the
+// relations with their tuple counts, and the rule IDs. The remote
+// handshake compares coordinator and worker fingerprints and rejects
+// mismatches before any round runs.
+func (p *Pipeline) Fingerprint() string {
+	rels := make([]string, 0, len(p.db.Relations))
+	for name, rel := range p.db.Relations {
+		rels = append(rels, fmt.Sprintf("%s:%d", name, len(rel.Tuples)))
+	}
+	sort.Strings(rels)
+	ids := make([]string, 0, len(p.rules))
+	for _, r := range p.rules {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("w=%d;rels=%s;rules=%s",
+		p.opts.Workers, strings.Join(rels, ","), strings.Join(ids, ","))
+}
+
+// FollowerEngine builds the worker-process side of a distributed run:
+// a chase engine replica over this pipeline's environment, rules and
+// ground truth, ready for remote.RunWorker. The pipeline must have
+// been constructed by the exact steps the coordinator's was (same
+// data, same matcher registrations, same training calls, same rule
+// parse order — cmd/rockworker mirrors cmd/rock's setup). Detection
+// is deliberately skipped: it only warms predication caches, which
+// memoise pure computations, so skipping it cannot change any result.
+func (p *Pipeline) FollowerEngine() *chase.Engine {
+	opts := p.chaseOptions(p.predication(), obs.New(), nil)
+	// The replica executes units locally when asked; it must never
+	// schedule on a distributed runner itself.
+	opts.Cluster = nil
+	return chase.New(p.env, p.rules, p.gamma, opts)
+}
+
 // chaseOptions maps the pipeline options onto a chase run. It is the ONE
 // place rock builds chase.Options — both the batch (CleanCtx) and the
 // incremental (Delta.CleanIncrementalCtx) paths call it, so a field added
@@ -442,6 +491,7 @@ func (p *Pipeline) chaseOptions(pred *ml.Predication, reg *obs.Registry, span *o
 		SpillDir:     p.opts.SpillDir,
 		MaxRetries:   p.opts.MaxRetries,
 		RetryBackoff: p.opts.RetryBackoff,
+		Cluster:      p.opts.Cluster,
 	}
 }
 
